@@ -1,0 +1,41 @@
+// Figures 2, 3, 6, 7, 8: the paper's race-condition schedules, executed
+// deterministically. Each row runs the exact interleaving the figure
+// depicts with (a) the vulnerable client and (b) the IQ framework, and
+// prints the resulting RDBMS vs KVS values.
+#include <cstdio>
+
+#include "sim/scenarios.h"
+
+using namespace iq::sim;
+
+namespace {
+
+void Report(const char* figure, const char* description,
+            ScenarioResult (*run)(bool)) {
+  ScenarioResult base = run(false);
+  ScenarioResult with_iq = run(true);
+  std::printf("%-8s %-46s\n", figure, description);
+  std::printf("         vulnerable: rdbms=%-6s kvs=%-6s -> %s\n",
+              base.rdbms_value.c_str(), base.kvs_value.c_str(),
+              !base.schedule_ok      ? "SCHEDULE FAILED"
+              : base.Consistent()    ? "consistent (unexpected!)"
+                                     : "STALE (as the paper shows)");
+  std::printf("         IQ leases:  rdbms=%-6s kvs=%-6s -> %s\n\n",
+              with_iq.rdbms_value.c_str(), with_iq.kvs_value.c_str(),
+              !with_iq.schedule_ok   ? "SCHEDULE FAILED"
+              : with_iq.Consistent() ? "consistent (race prevented)"
+                                     : "STALE (bug!)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Race-condition figures: vulnerable client vs IQ framework\n");
+  std::printf("==========================================================\n\n");
+  Report("Fig. 2", "cas cannot order two R-M-W write sessions", RunFigure2);
+  Report("Fig. 3", "snapshot isolation + trigger invalidate", RunFigure3);
+  Report("Fig. 6", "dirty read when a refresh session aborts", RunFigure6);
+  Report("Fig. 7", "snapshot isolation + delta: append lost", RunFigure7);
+  Report("Fig. 8", "post-commit delta: append applied twice", RunFigure8);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark): raw costs of the substrate
+// operations - KVS commands, lease acquisition/release, RDBMS transactions,
+// SQL parse/execute - to back up the Table 8 claim that the lease machinery
+// adds negligible overhead to the cache hot path.
+#include "core/iq_server.h"
+#include <benchmark/benchmark.h>
+
+#include "core/iq_client.h"
+#include "rdbms/sql.h"
+
+namespace iq {
+namespace {
+
+// ---- KVS ---------------------------------------------------------------------
+
+void BM_KvsSet(benchmark::State& state) {
+  CacheStore store;
+  std::string value(128, 'x');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.Set("key" + std::to_string(i++ % 1024), value);
+  }
+}
+BENCHMARK(BM_KvsSet);
+
+void BM_KvsGetHit(benchmark::State& state) {
+  CacheStore store;
+  for (int i = 0; i < 1024; ++i) store.Set("key" + std::to_string(i), "value");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("key" + std::to_string(i++ % 1024)));
+  }
+}
+BENCHMARK(BM_KvsGetHit);
+
+void BM_KvsGetMiss(benchmark::State& state) {
+  CacheStore store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("absent"));
+  }
+}
+BENCHMARK(BM_KvsGetMiss);
+
+void BM_KvsCas(benchmark::State& state) {
+  CacheStore store;
+  store.Set("key", "0");
+  for (auto _ : state) {
+    auto item = store.Get("key");
+    store.Cas("key", item->value, item->cas);
+  }
+}
+BENCHMARK(BM_KvsCas);
+
+void BM_KvsIncr(benchmark::State& state) {
+  CacheStore store;
+  store.Set("n", "0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Incr("n", 1));
+  }
+}
+BENCHMARK(BM_KvsIncr);
+
+// ---- IQ lease path -------------------------------------------------------------
+
+void BM_IQgetHit(benchmark::State& state) {
+  // The Table 8 hot path: a plain hit through the lease-checking read.
+  IQServer server;
+  server.store().Set("key", "value");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.IQget("key", 1));
+  }
+}
+BENCHMARK(BM_IQgetHit);
+
+void BM_ILeaseGrantInstall(benchmark::State& state) {
+  IQServer server;
+  for (auto _ : state) {
+    GetReply r = server.IQget("key", 1);
+    server.IQset("key", "value", r.token);
+    state.PauseTiming();
+    server.store().Delete("key");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ILeaseGrantInstall);
+
+void BM_QaReadSaR(benchmark::State& state) {
+  IQServer server;
+  server.store().Set("key", "value");
+  for (auto _ : state) {
+    QaReadReply q = server.QaRead("key", 1);
+    server.SaR("key", "value", q.token);
+  }
+}
+BENCHMARK(BM_QaReadSaR);
+
+void BM_QuarantineCommit(benchmark::State& state) {
+  IQServer server;
+  for (auto _ : state) {
+    state.PauseTiming();
+    server.store().Set("key", "value");
+    state.ResumeTiming();
+    SessionId tid = server.GenID();
+    server.QaReg(tid, "key");
+    server.Commit(tid);
+  }
+}
+BENCHMARK(BM_QuarantineCommit);
+
+void BM_DeltaCommit(benchmark::State& state) {
+  IQServer server;
+  server.store().Set("n", "0");
+  for (auto _ : state) {
+    SessionId tid = server.GenID();
+    server.IQDelta(tid, "n", DeltaOp{DeltaOp::Kind::kIncr, {}, 1});
+    server.Commit(tid);
+  }
+}
+BENCHMARK(BM_DeltaCommit);
+
+// ---- RDBMS ---------------------------------------------------------------------
+
+class RdbmsFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (db) return;
+    db = std::make_unique<sql::Database>();
+    db->CreateTable(sql::SchemaBuilder("T")
+                        .AddInt("id")
+                        .AddInt("n")
+                        .PrimaryKey({"id"})
+                        .Build());
+    auto txn = db->Begin();
+    for (int i = 0; i < 1024; ++i) txn->Insert("T", {sql::V(i), sql::V(0)});
+    txn->Commit();
+  }
+  std::unique_ptr<sql::Database> db;
+};
+
+BENCHMARK_F(RdbmsFixture, PointRead)(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    benchmark::DoNotOptimize(txn->SelectByPk("T", {sql::V(i++ % 1024)}));
+    txn->Rollback();
+  }
+}
+
+BENCHMARK_F(RdbmsFixture, UpdateCommit)(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    txn->UpdateByPk("T", {sql::V(i++ % 1024)}, [](sql::Row& row) {
+      row[1] = sql::V(*sql::AsInt(row[1]) + 1);
+    });
+    txn->Commit();
+  }
+}
+
+BENCHMARK_F(RdbmsFixture, SqlPrepare)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sql::Prepare("SELECT n FROM T WHERE id = ? AND n >= 0"));
+  }
+}
+
+BENCHMARK_F(RdbmsFixture, SqlExecutePrepared)(benchmark::State& state) {
+  auto stmt = sql::Prepare("SELECT n FROM T WHERE id = ?");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    benchmark::DoNotOptimize(sql::Execute(*txn, stmt, {sql::V(i++ % 1024)}));
+    txn->Rollback();
+  }
+}
+
+BENCHMARK_F(RdbmsFixture, SqlUpdateArithmetic)(benchmark::State& state) {
+  auto stmt = sql::Prepare("UPDATE T SET n = n + 1 WHERE id = ?");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    sql::Execute(*txn, stmt, {sql::V(i++ % 1024)});
+    txn->Commit();
+  }
+}
+
+}  // namespace
+}  // namespace iq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 8 (Section 6.3): SoAR (highest throughput meeting the SLA: 95% of
+// actions under 100 ms) of the Twemcache baseline vs IQ-Twemcached, warm
+// cache, cache-server CPU-bound. The paper's claim: the IQ framework's
+// overhead is negligible - the two columns are within ~1% of each other.
+//
+// Paper numbers (actions/sec):
+//              Invalidate              Refresh
+//   mix     Twem     IQ-Twem       Twem     IQ-Twem
+//   0.1%  31,492     31,473      31,338     31,184
+//   1%    31,144     31,246      30,615     30,352
+//   10%   29,317     29,204      29,194     29,277
+#include "bench_common.h"
+
+using namespace iq;
+using namespace iq::bench;
+
+int main() {
+  BenchScale scale = BenchScale::FromEnv();
+  sql::Database::Config db_cfg;  // in-memory-fast RDBMS; cache is hot path
+  BenchUniverse universe(scale.small_graph, db_cfg, scale.seed);
+
+  const double mixes[] = {0.1, 1.0, 10.0};
+  std::vector<int> thread_sweep = {1, 2, 4};
+
+  PrintHeader("Table 8: SoAR (actions/sec), warm cache");
+  std::printf("%-8s | %-25s | %-25s\n", "", "Invalidate", "Refresh");
+  std::printf("%-8s | %12s %12s | %12s %12s\n", "mix", "Twemcache",
+              "IQ-Twem", "Twemcache", "IQ-Twem");
+  for (double mix : mixes) {
+    std::printf("%-7.1f%% |", mix);
+    for (auto technique :
+         {casql::Technique::kInvalidate, casql::Technique::kRefresh}) {
+      for (auto consistency :
+           {casql::Consistency::kReadLease, casql::Consistency::kIQ}) {
+        auto cfg = MakeCasqlConfig(technique, consistency);
+        auto soar = bg::ComputeSoar(
+            [&](int threads) {
+              // Best of three trials per point: a single 1-core run is
+              // noisy under oversubscription.
+              bg::WorkloadResult best;
+              for (int trial = 0; trial < 3; ++trial) {
+                auto r = universe.RunCell(cfg, bg::MixForWritePercent(mix),
+                                          threads, scale.cell_duration / 2,
+                                          /*warm_cache=*/trial == 0,
+                                          /*validate=*/false);
+                if (r.Throughput() > best.Throughput()) best = std::move(r);
+              }
+              return best;
+            },
+            thread_sweep);
+        std::printf(" %12.0f", soar.soar);
+        std::fflush(stdout);
+      }
+      if (technique == casql::Technique::kInvalidate) std::printf(" |");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: each IQ column should be within a few percent of its\n"
+      "Twemcache neighbor (the IQ framework's overhead is negligible).\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E-commerce inventory: the classic R-M-W workload where compare-and-swap
+// is NOT enough (paper Figure 2). Concurrent orders decrement stock while
+// clearance sessions write stock down by 10% - a non-commutative mix, so
+// applying the modifications to the cache in a different order than the
+// RDBMS serialized them yields a different value. cas keeps each cache
+// update atomic but cannot fix the ORDER; the IQ client (QaRead/SaR)
+// serializes the sessions and converges exactly.
+//
+// Build & run:  ./build/examples/inventory_rmw
+#include <cstdio>
+
+#include "core/iq_server.h"
+#include "casql/casql.h"
+#include "rdbms/sql.h"
+#include "util/worker_group.h"
+
+using namespace iq;
+
+namespace {
+
+constexpr int kItems = 16;
+constexpr int kShoppers = 8;
+constexpr int kOrdersEach = 60;
+
+std::string StockKey(int item) { return "stock:" + std::to_string(item); }
+
+casql::ComputeFn ComputeStock(int item) {
+  return [item](sql::Transaction& txn) -> std::optional<std::string> {
+    auto rows =
+        sql::Query(txn, "SELECT stock FROM Inventory WHERE id = ?", {sql::V(item)});
+    if (rows.rows.empty()) return std::nullopt;
+    return std::to_string(*sql::AsInt(rows.rows[0][0]));
+  };
+}
+
+/// A clearance: write the item's stock down by 10% (non-commutative with
+/// the decrements of OrderSpec - order of application matters).
+casql::WriteSpec WritedownSpec(int item) {
+  casql::WriteSpec spec;
+  spec.body = [item](sql::Transaction& txn) {
+    return txn.UpdateByPk("Inventory", {sql::V(item)}, [](sql::Row& row) {
+             auto v = *sql::AsInt(row[1]);
+             row[1] = sql::V(v - v / 10);
+           }) == sql::TxnResult::kOk;
+  };
+  casql::KeyUpdate u;
+  u.key = StockKey(item);
+  u.refresh = [](const std::optional<std::string>& old)
+      -> std::optional<std::string> {
+    if (!old) return std::nullopt;
+    SleepFor(SteadyClock::Instance(), 50 * kNanosPerMicro);
+    std::int64_t v = std::stoll(*old);
+    return std::to_string(v - v / 10);
+  };
+  spec.updates.push_back(std::move(u));
+  return spec;
+}
+
+/// One order: decrement the item's stock by `qty` in the database and
+/// refresh the cached value with the same delta.
+casql::WriteSpec OrderSpec(int item, int qty) {
+  casql::WriteSpec spec;
+  spec.body = [item, qty](sql::Transaction& txn) {
+    static const sql::Statement stmt = sql::Prepare(
+        "UPDATE Inventory SET stock = stock - ? WHERE id = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(qty), sql::V(item)});
+    return r.ok() && r.affected == 1;
+  };
+  casql::KeyUpdate u;
+  u.key = StockKey(item);
+  u.refresh = [qty](const std::optional<std::string>& old)
+      -> std::optional<std::string> {
+    if (!old) return std::nullopt;
+    // Simulated application work between the R and the W widens the race
+    // window that cas cannot close.
+    SleepFor(SteadyClock::Instance(), 50 * kNanosPerMicro);
+    return std::to_string(std::stoll(*old) - qty);
+  };
+  spec.updates.push_back(std::move(u));
+  return spec;
+}
+
+struct RunResult {
+  int mismatched_items = 0;
+  std::int64_t total_db = 0;
+  std::int64_t total_cache = 0;
+};
+
+RunResult RunStore(casql::Consistency consistency) {
+  sql::Database db;
+  db.CreateTable(sql::SchemaBuilder("Inventory")
+                     .AddInt("id")
+                     .AddInt("stock")
+                     .PrimaryKey({"id"})
+                     .Build());
+  {
+    auto txn = db.Begin();
+    for (int i = 0; i < kItems; ++i) {
+      txn->Insert("Inventory", {sql::V(i), sql::V(100000)});
+    }
+    txn->Commit();
+  }
+
+  IQServer server;
+  casql::CasqlConfig cfg;
+  cfg.technique = casql::Technique::kRefresh;
+  cfg.consistency = consistency;
+  cfg.client.backoff_base = 20 * kNanosPerMicro;
+  cfg.client.backoff_cap = kNanosPerMilli;
+  casql::CasqlSystem store(db, server, cfg);
+
+  // Warm every stock key.
+  {
+    auto conn = store.Connect();
+    for (int i = 0; i < kItems; ++i) conn->Read(StockKey(i), ComputeStock(i));
+  }
+
+  WorkerGroup shoppers;
+  shoppers.Start(kShoppers, [&](int id, const std::atomic<bool>&) {
+    Rng rng(static_cast<std::uint64_t>(id) + 77);
+    auto conn = store.Connect();
+    for (int i = 0; i < kOrdersEach; ++i) {
+      int item = static_cast<int>(rng.NextUint64(kItems));
+      if (i % 10 == 9) {
+        conn->Write(WritedownSpec(item));  // the non-commutative ingredient
+      } else {
+        int qty = static_cast<int>(rng.NextUint64(3)) + 1;
+        conn->Write(OrderSpec(item, qty));
+      }
+    }
+  });
+  shoppers.StopAndJoin();
+
+  RunResult result;
+  auto conn = store.Connect();
+  auto txn = db.Begin();
+  for (int i = 0; i < kItems; ++i) {
+    std::int64_t db_stock =
+        *sql::AsInt((*txn->SelectByPk("Inventory", {sql::V(i)}))[1]);
+    auto cached = server.store().Get(StockKey(i));
+    std::int64_t cache_stock = cached ? std::stoll(cached->value) : db_stock;
+    result.total_db += db_stock;
+    result.total_cache += cache_stock;
+    if (db_stock != cache_stock) ++result.mismatched_items;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("inventory torture: %d shoppers x %d orders over %d items\n\n",
+              kShoppers, kOrdersEach, kItems);
+
+  RunResult cas = RunStore(casql::Consistency::kCas);
+  std::printf("cas client (Figure 10): %d/%d cached stocks diverged\n",
+              cas.mismatched_items, kItems);
+  std::printf("  database total stock: %lld, cache total: %lld (drift %lld)\n\n",
+              static_cast<long long>(cas.total_db),
+              static_cast<long long>(cas.total_cache),
+              static_cast<long long>(cas.total_cache - cas.total_db));
+
+  RunResult iq = RunStore(casql::Consistency::kIQ);
+  std::printf("IQ client (QaRead/SaR): %d/%d cached stocks diverged\n",
+              iq.mismatched_items, kItems);
+  std::printf("  database total stock: %lld, cache total: %lld (drift %lld)\n",
+              static_cast<long long>(iq.total_db),
+              static_cast<long long>(iq.total_cache),
+              static_cast<long long>(iq.total_cache - iq.total_db));
+  return iq.mismatched_items == 0 ? 0 : 1;
+}

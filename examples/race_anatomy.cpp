@@ -1,0 +1,77 @@
+// Anatomy of the paper's race conditions: executes each figure's exact
+// interleaving (deterministically) with a step-by-step narration, first
+// with the vulnerable client, then with the IQ framework.
+//
+// Build & run:  ./build/examples/race_anatomy
+#include "core/iq_server.h"
+#include <cstdio>
+
+#include "sim/scenarios.h"
+
+using namespace iq::sim;
+
+namespace {
+
+void Explain(const char* figure, const char* story,
+             ScenarioResult (*run)(bool)) {
+  std::printf("%s\n", figure);
+  std::printf("  %s\n", story);
+  ScenarioResult base = run(false);
+  ScenarioResult iq = run(true);
+  std::printf("  without IQ: database says '%s' but the cache serves '%s'%s\n",
+              base.rdbms_value.c_str(), base.kvs_value.c_str(),
+              base.Consistent() ? "" : "   <-- STALE");
+  std::printf("  with IQ:    database says '%s' and the cache serves '%s'%s\n\n",
+              iq.rdbms_value.c_str(), iq.kvs_value.c_str(),
+              iq.Consistent() ? "   (consistent)" : "   <-- BUG");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("How a cache goes stale - and how I/Q leases stop it\n");
+  std::printf("====================================================\n\n");
+
+  Explain(
+      "Figure 2: compare-and-swap cannot order two write sessions",
+      "S1 adds 50, S2 multiplies by 10. The RDBMS serializes S1 before S2\n"
+      "  ((100+50)*10 = 1500), but S2's cache R-M-W lands first, so the\n"
+      "  cache computes 100*10 then +50 = 1050. Each cas succeeded - order\n"
+      "  is the problem, not atomicity. Q leases force S2 to wait or abort.",
+      RunFigure2);
+
+  Explain(
+      "Figure 3: snapshot isolation vs trigger-based invalidation",
+      "S1's trigger deletes the key inside its transaction. S2 misses,\n"
+      "  queries the database - and snapshot isolation serves it the\n"
+      "  PRE-update rows because S1 has not committed. S2 installs that\n"
+      "  stale value after S1's delete. The Q lease makes S2 back off until\n"
+      "  S1 commits and releases.",
+      RunFigure3);
+
+  Explain(
+      "Figure 6: dirty read - refresh before the transaction aborts",
+      "S1 writes the refreshed value to the cache, then its transaction\n"
+      "  aborts. Readers consume data that never existed in the database.\n"
+      "  Under IQ, SaR happens only after commit; Abort() releases the\n"
+      "  Q lease leaving the old value.",
+      RunFigure6);
+
+  Explain(
+      "Figure 7: a reader overwrites a delta",
+      "S2 misses and computes 'A' from a pre-commit snapshot. S1 commits\n"
+      "  'AB' and appends 'B' to the (non-resident) key - a no-op. S2 then\n"
+      "  installs 'A': the append is lost. IQ-delta voids S2's I lease, so\n"
+      "  its install is dropped.",
+      RunFigure7);
+
+  Explain(
+      "Figure 8: the same delta lands twice",
+      "S1 commits 'AB' and only then appends 'B' to the cache. Meanwhile S2\n"
+      "  recomputed 'AB' from the committed data and installed it - so the\n"
+      "  append makes 'ABB'. With IQ the delta is buffered under a Q lease\n"
+      "  taken BEFORE commit, and S2 backs off until it is applied.",
+      RunFigure8);
+
+  return 0;
+}

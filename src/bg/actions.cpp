@@ -1,0 +1,470 @@
+#include "bg/actions.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "rdbms/sql.h"
+
+namespace iq::bg {
+namespace {
+
+// Validated-entity identifiers.
+EntityId PcEntity(MemberId id) { return "pc:" + std::to_string(id); }
+EntityId FcEntity(MemberId id) { return "fc:" + std::to_string(id); }
+EntityId FriendsEntity(MemberId id) { return "friends:" + std::to_string(id); }
+EntityId PendingEntity(MemberId id) { return "pending:" + std::to_string(id); }
+
+/// Sentinel counter logged when a cached value fails to decode: it lies
+/// outside every legal range, so the read counts as unpredictable.
+constexpr std::int64_t kCorrupt = std::numeric_limits<std::int64_t>::min();
+
+std::optional<std::int64_t> ParseCounter(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno != 0) return std::nullopt;
+  return v;
+}
+
+// ---- compute-from-RDBMS functions (cache-miss paths) ------------------------
+
+casql::ComputeFn ComputeProfile(MemberId id) {
+  return [id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt = sql::Prepare(
+        "SELECT name, friendCount, pendingCount FROM Users WHERE userid = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    if (r.rows.empty()) return std::nullopt;
+    ProfileValue p;
+    p.name = *sql::AsText(r.rows[0][0]);
+    p.friend_count = *sql::AsInt(r.rows[0][1]);
+    p.pending_count = *sql::AsInt(r.rows[0][2]);
+    return EncodeProfile(p);
+  };
+}
+
+casql::ComputeFn ComputeFriends(MemberId id) {
+  return [id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt = sql::Prepare(
+        "SELECT inviteeID FROM Friendship WHERE inviterID = ? AND status = 2");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    std::set<MemberId> ids;
+    for (const auto& row : r.rows) ids.insert(*sql::AsInt(row[0]));
+    return EncodeIdList(ids);
+  };
+}
+
+casql::ComputeFn ComputePending(MemberId id) {
+  return [id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt = sql::Prepare(
+        "SELECT inviterID FROM Friendship WHERE inviteeID = ? AND status = 1");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    std::set<MemberId> ids;
+    for (const auto& row : r.rows) ids.insert(*sql::AsInt(row[0]));
+    return EncodeIdList(ids);
+  };
+}
+
+casql::ComputeFn ComputePendingCount(MemberId id) {
+  return [id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt =
+        sql::Prepare("SELECT pendingCount FROM Users WHERE userid = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    if (r.rows.empty()) return std::nullopt;
+    return std::to_string(*sql::AsInt(r.rows[0][0]));
+  };
+}
+
+casql::ComputeFn ComputeFriendCount(MemberId id) {
+  return [id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt =
+        sql::Prepare("SELECT friendCount FROM Users WHERE userid = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    if (r.rows.empty()) return std::nullopt;
+    return std::to_string(*sql::AsInt(r.rows[0][0]));
+  };
+}
+
+// ---- refresh helpers ----------------------------------------------------------
+
+/// Refresh a cached profile by adjusting its counters; skips on KVS miss or
+/// corrupt value (paper Section 4.2: the application may skip).
+casql::KeyUpdate ProfileAdjust(MemberId id, std::int64_t d_friends,
+                               std::int64_t d_pending) {
+  casql::KeyUpdate u;
+  u.key = ProfileKey(id);
+  u.refresh = [d_friends, d_pending](const std::optional<std::string>& old)
+      -> std::optional<std::string> {
+    if (!old) return std::nullopt;
+    auto p = DecodeProfile(*old);
+    if (!p) return std::nullopt;
+    p->friend_count += d_friends;
+    p->pending_count += d_pending;
+    return EncodeProfile(*p);
+  };
+  return u;
+}
+
+casql::KeyUpdate ListAdjust(std::string key, MemberId element, bool add) {
+  casql::KeyUpdate u;
+  u.key = std::move(key);
+  u.refresh = [element, add](const std::optional<std::string>& old)
+      -> std::optional<std::string> {
+    if (!old) return std::nullopt;
+    return add ? IdListAdd(*old, element) : IdListRemove(*old, element);
+  };
+  return u;
+}
+
+casql::KeyUpdate CounterDelta(std::string key, std::int64_t delta) {
+  casql::KeyUpdate u;
+  u.key = std::move(key);
+  u.delta = delta >= 0
+                ? DeltaOp{DeltaOp::Kind::kIncr, {}, static_cast<std::uint64_t>(delta)}
+                : DeltaOp{DeltaOp::Kind::kDecr, {},
+                          static_cast<std::uint64_t>(-delta)};
+  return u;
+}
+
+casql::KeyUpdate Invalidate(std::string key) {
+  casql::KeyUpdate u;
+  u.key = std::move(key);
+  u.invalidate = true;
+  return u;
+}
+
+}  // namespace
+
+const char* ToString(ActionKind a) {
+  switch (a) {
+    case ActionKind::kViewProfile: return "ViewProfile";
+    case ActionKind::kListFriends: return "ListFriends";
+    case ActionKind::kViewFriendRequests: return "ViewFriendRequests";
+    case ActionKind::kInviteFriend: return "InviteFriend";
+    case ActionKind::kAcceptFriend: return "AcceptFriend";
+    case ActionKind::kRejectFriend: return "RejectFriend";
+    case ActionKind::kThawFriendship: return "ThawFriendship";
+    case ActionKind::kViewTopKResources: return "ViewTopKResources";
+    case ActionKind::kViewComments: return "ViewComments";
+  }
+  return "?";
+}
+
+BGActions::BGActions(casql::CasqlSystem& system, ActionPools& pools,
+                     const GraphConfig& graph, ThreadLog* log, Rng rng)
+    : system_(system),
+      pools_(pools),
+      graph_(graph),
+      log_(log),
+      rng_(rng),
+      conn_(system.Connect()) {}
+
+Nanos BGActions::Now() const { return system_.backend().clock().Now(); }
+
+void BGActions::RecordWrite(const casql::WriteOutcome& res) {
+  ++restart_stats_.write_sessions;
+  if (res.q_restarts > 0) {
+    ++restart_stats_.restarted_sessions;
+    restart_stats_.total_q_restarts += static_cast<std::uint64_t>(res.q_restarts);
+    restart_stats_.max_q_restarts =
+        std::max(restart_stats_.max_q_restarts,
+                 static_cast<std::uint64_t>(res.q_restarts));
+  }
+  restart_stats_.total_rdbms_restarts +=
+      static_cast<std::uint64_t>(res.rdbms_restarts);
+}
+
+bool BGActions::Run(ActionKind kind, MemberId member) {
+  switch (kind) {
+    case ActionKind::kViewProfile:
+      return ViewProfile(member);
+    case ActionKind::kListFriends:
+      return ListFriends(member);
+    case ActionKind::kViewFriendRequests:
+      return ViewFriendRequests(member);
+    case ActionKind::kInviteFriend: {
+      MemberId other =
+          static_cast<MemberId>(rng_.NextUint64(
+              static_cast<std::uint64_t>(graph_.members)));
+      if (other == member) other = (other + 1) % graph_.members;
+      return InviteFriend(member, other);
+    }
+    case ActionKind::kAcceptFriend:
+      return AcceptFriend();
+    case ActionKind::kRejectFriend:
+      return RejectFriend();
+    case ActionKind::kThawFriendship:
+      return ThawFriendship();
+    case ActionKind::kViewTopKResources:
+      return ViewTopKResources(member);
+    case ActionKind::kViewComments: {
+      std::int64_t total =
+          graph_.members * static_cast<std::int64_t>(graph_.resources_per_member);
+      if (total == 0) return false;
+      return ViewComments(
+          static_cast<std::int64_t>(rng_.NextUint64(
+              static_cast<std::uint64_t>(total))));
+    }
+  }
+  return false;
+}
+
+bool BGActions::ReadCounterKey(const std::string& key, const EntityId& entity,
+                               const casql::ComputeFn& compute) {
+  Nanos start = Now();
+  auto out = conn_->Read(key, compute);
+  Nanos end = Now();
+  if (!out.value) return false;
+  if (log_ != nullptr) {
+    auto v = ParseCounter(*out.value);
+    log_->LogCounterRead(entity, start, end, v ? *v : kCorrupt);
+  }
+  return true;
+}
+
+bool BGActions::ViewProfile(MemberId id) {
+  if (incremental()) {
+    bool a = ReadCounterKey(PendingCountKey(id), PcEntity(id),
+                            ComputePendingCount(id));
+    bool b = ReadCounterKey(FriendCountKey(id), FcEntity(id),
+                            ComputeFriendCount(id));
+    return a && b;
+  }
+  Nanos start = Now();
+  auto out = conn_->Read(ProfileKey(id), ComputeProfile(id));
+  Nanos end = Now();
+  if (!out.value) return false;
+  if (log_ != nullptr) {
+    auto p = DecodeProfile(*out.value);
+    log_->LogCounterRead(PcEntity(id), start, end,
+                         p ? p->pending_count : kCorrupt);
+    log_->LogCounterRead(FcEntity(id), start, end,
+                         p ? p->friend_count : kCorrupt);
+  }
+  return true;
+}
+
+bool BGActions::ListFriends(MemberId id) {
+  Nanos start = Now();
+  auto out = conn_->Read(FriendsKey(id), ComputeFriends(id));
+  Nanos end = Now();
+  if (!out.value) return false;
+  if (log_ != nullptr) {
+    log_->LogSetRead(FriendsEntity(id), start, end, DecodeIdList(*out.value));
+  }
+  return true;
+}
+
+bool BGActions::ViewFriendRequests(MemberId id) {
+  Nanos start = Now();
+  auto out = conn_->Read(PendingKey(id), ComputePending(id));
+  Nanos end = Now();
+  if (!out.value) return false;
+  if (log_ != nullptr) {
+    log_->LogSetRead(PendingEntity(id), start, end, DecodeIdList(*out.value));
+  }
+  return true;
+}
+
+bool BGActions::InviteFriend(MemberId inviter, MemberId invitee) {
+  if (inviter == invitee) return false;
+  casql::WriteSpec spec;
+  spec.body = [inviter, invitee](sql::Transaction& txn) {
+    static const sql::Statement ins = sql::Prepare(
+        "INSERT INTO Friendship (inviterID, inviteeID, status) VALUES (?, ?, 1)");
+    static const sql::Statement upd = sql::Prepare(
+        "UPDATE Users SET pendingCount = pendingCount + 1 WHERE userid = ?");
+    auto r = sql::Execute(txn, ins, {sql::V(inviter), sql::V(invitee)});
+    if (!r.ok()) return false;  // duplicate invite or existing friendship
+    auto u = sql::Execute(txn, upd, {sql::V(invitee)});
+    return u.ok() && u.affected == 1;
+  };
+  if (incremental()) {
+    spec.updates.push_back(CounterDelta(PendingCountKey(invitee), +1));
+    spec.updates.push_back(Invalidate(PendingKey(invitee)));
+  } else {
+    spec.updates.push_back(ProfileAdjust(invitee, 0, +1));
+    spec.updates.push_back(ListAdjust(PendingKey(invitee), inviter, true));
+  }
+
+  Nanos start = Now();
+  auto res = conn_->Write(spec);
+  Nanos end = Now();
+  RecordWrite(res);
+  if (!res.committed) return false;
+  pools_.pending.Add(inviter, invitee);
+  if (log_ != nullptr) {
+    log_->LogCounterWrite(PcEntity(invitee), start, end, +1);
+    log_->LogSetWrite(PendingEntity(invitee), start, end, true, inviter);
+  }
+  return true;
+}
+
+bool BGActions::AcceptFriend() {
+  auto pair = pools_.pending.TakeRandom(rng_);
+  if (!pair) return false;
+  auto [inviter, invitee] = *pair;
+  casql::WriteSpec spec;
+  spec.body = [inviter, invitee](sql::Transaction& txn) {
+    static const sql::Statement upd_status = sql::Prepare(
+        "UPDATE Friendship SET status = 2 "
+        "WHERE inviterID = ? AND inviteeID = ? AND status = 1");
+    static const sql::Statement ins = sql::Prepare(
+        "INSERT INTO Friendship (inviterID, inviteeID, status) VALUES (?, ?, 2)");
+    static const sql::Statement dec_pending = sql::Prepare(
+        "UPDATE Users SET pendingCount = pendingCount - 1 WHERE userid = ?");
+    static const sql::Statement inc_friends = sql::Prepare(
+        "UPDATE Users SET friendCount = friendCount + 1 WHERE userid = ?");
+    auto r = sql::Execute(txn, upd_status, {sql::V(inviter), sql::V(invitee)});
+    if (!r.ok() || r.affected != 1) return false;
+    if (!sql::Execute(txn, ins, {sql::V(invitee), sql::V(inviter)}).ok()) {
+      return false;
+    }
+    if (!sql::Execute(txn, dec_pending, {sql::V(invitee)}).ok()) return false;
+    if (!sql::Execute(txn, inc_friends, {sql::V(inviter)}).ok()) return false;
+    return sql::Execute(txn, inc_friends, {sql::V(invitee)}).ok();
+  };
+  if (incremental()) {
+    spec.updates.push_back(CounterDelta(FriendCountKey(inviter), +1));
+    spec.updates.push_back(CounterDelta(FriendCountKey(invitee), +1));
+    spec.updates.push_back(CounterDelta(PendingCountKey(invitee), -1));
+    spec.updates.push_back(Invalidate(FriendsKey(inviter)));
+    spec.updates.push_back(Invalidate(FriendsKey(invitee)));
+    spec.updates.push_back(Invalidate(PendingKey(invitee)));
+  } else {
+    spec.updates.push_back(ProfileAdjust(inviter, +1, 0));
+    spec.updates.push_back(ProfileAdjust(invitee, +1, -1));
+    spec.updates.push_back(ListAdjust(FriendsKey(inviter), invitee, true));
+    spec.updates.push_back(ListAdjust(FriendsKey(invitee), inviter, true));
+    spec.updates.push_back(ListAdjust(PendingKey(invitee), inviter, false));
+  }
+
+  Nanos start = Now();
+  auto res = conn_->Write(spec);
+  Nanos end = Now();
+  RecordWrite(res);
+  if (!res.committed) return false;
+  pools_.confirmed.Add(inviter, invitee);
+  if (log_ != nullptr) {
+    log_->LogCounterWrite(FcEntity(inviter), start, end, +1);
+    log_->LogCounterWrite(FcEntity(invitee), start, end, +1);
+    log_->LogCounterWrite(PcEntity(invitee), start, end, -1);
+    log_->LogSetWrite(FriendsEntity(inviter), start, end, true, invitee);
+    log_->LogSetWrite(FriendsEntity(invitee), start, end, true, inviter);
+    log_->LogSetWrite(PendingEntity(invitee), start, end, false, inviter);
+  }
+  return true;
+}
+
+bool BGActions::RejectFriend() {
+  auto pair = pools_.pending.TakeRandom(rng_);
+  if (!pair) return false;
+  auto [inviter, invitee] = *pair;
+  casql::WriteSpec spec;
+  spec.body = [inviter, invitee](sql::Transaction& txn) {
+    static const sql::Statement del = sql::Prepare(
+        "DELETE FROM Friendship "
+        "WHERE inviterID = ? AND inviteeID = ? AND status = 1");
+    static const sql::Statement dec_pending = sql::Prepare(
+        "UPDATE Users SET pendingCount = pendingCount - 1 WHERE userid = ?");
+    auto r = sql::Execute(txn, del, {sql::V(inviter), sql::V(invitee)});
+    if (!r.ok() || r.affected != 1) return false;
+    return sql::Execute(txn, dec_pending, {sql::V(invitee)}).ok();
+  };
+  if (incremental()) {
+    spec.updates.push_back(CounterDelta(PendingCountKey(invitee), -1));
+    spec.updates.push_back(Invalidate(PendingKey(invitee)));
+  } else {
+    spec.updates.push_back(ProfileAdjust(invitee, 0, -1));
+    spec.updates.push_back(ListAdjust(PendingKey(invitee), inviter, false));
+  }
+
+  Nanos start = Now();
+  auto res = conn_->Write(spec);
+  Nanos end = Now();
+  RecordWrite(res);
+  if (!res.committed) return false;
+  if (log_ != nullptr) {
+    log_->LogCounterWrite(PcEntity(invitee), start, end, -1);
+    log_->LogSetWrite(PendingEntity(invitee), start, end, false, inviter);
+  }
+  return true;
+}
+
+bool BGActions::ThawFriendship() {
+  auto pair = pools_.confirmed.TakeRandom(rng_);
+  if (!pair) return false;
+  auto [a, b] = *pair;
+  casql::WriteSpec spec;
+  spec.body = [a, b](sql::Transaction& txn) {
+    static const sql::Statement del = sql::Prepare(
+        "DELETE FROM Friendship WHERE inviterID = ? AND inviteeID = ?");
+    static const sql::Statement dec_friends = sql::Prepare(
+        "UPDATE Users SET friendCount = friendCount - 1 WHERE userid = ?");
+    auto r1 = sql::Execute(txn, del, {sql::V(a), sql::V(b)});
+    if (!r1.ok() || r1.affected != 1) return false;
+    auto r2 = sql::Execute(txn, del, {sql::V(b), sql::V(a)});
+    if (!r2.ok() || r2.affected != 1) return false;
+    if (!sql::Execute(txn, dec_friends, {sql::V(a)}).ok()) return false;
+    return sql::Execute(txn, dec_friends, {sql::V(b)}).ok();
+  };
+  if (incremental()) {
+    spec.updates.push_back(CounterDelta(FriendCountKey(a), -1));
+    spec.updates.push_back(CounterDelta(FriendCountKey(b), -1));
+    spec.updates.push_back(Invalidate(FriendsKey(a)));
+    spec.updates.push_back(Invalidate(FriendsKey(b)));
+  } else {
+    spec.updates.push_back(ProfileAdjust(a, -1, 0));
+    spec.updates.push_back(ProfileAdjust(b, -1, 0));
+    spec.updates.push_back(ListAdjust(FriendsKey(a), b, false));
+    spec.updates.push_back(ListAdjust(FriendsKey(b), a, false));
+  }
+
+  Nanos start = Now();
+  auto res = conn_->Write(spec);
+  Nanos end = Now();
+  RecordWrite(res);
+  if (!res.committed) return false;
+  if (log_ != nullptr) {
+    log_->LogCounterWrite(FcEntity(a), start, end, -1);
+    log_->LogCounterWrite(FcEntity(b), start, end, -1);
+    log_->LogSetWrite(FriendsEntity(a), start, end, false, b);
+    log_->LogSetWrite(FriendsEntity(b), start, end, false, a);
+  }
+  return true;
+}
+
+bool BGActions::ViewTopKResources(MemberId id, int k) {
+  auto compute = [id, k](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt =
+        sql::Prepare("SELECT rid FROM Resources WHERE wallUserID = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(id)});
+    std::set<MemberId> ids;
+    for (const auto& row : r.rows) ids.insert(*sql::AsInt(row[0]));
+    // "Top-K": highest k resource ids on the wall.
+    std::set<MemberId> top;
+    for (auto it = ids.rbegin(); it != ids.rend() && static_cast<int>(top.size()) < k;
+         ++it) {
+      top.insert(*it);
+    }
+    return EncodeIdList(top);
+  };
+  auto out = conn_->Read(TopKKey(id), compute);
+  return out.value.has_value();
+}
+
+bool BGActions::ViewComments(std::int64_t resource_id) {
+  auto compute = [resource_id](sql::Transaction& txn) -> std::optional<std::string> {
+    static const sql::Statement stmt =
+        sql::Prepare("SELECT mid FROM Manipulation WHERE rid = ?");
+    auto r = sql::Execute(txn, stmt, {sql::V(resource_id)});
+    std::set<MemberId> ids;
+    for (const auto& row : r.rows) ids.insert(*sql::AsInt(row[0]));
+    return EncodeIdList(ids);
+  };
+  auto out = conn_->Read(CommentsKey(resource_id), compute);
+  return out.value.has_value();
+}
+
+}  // namespace iq::bg

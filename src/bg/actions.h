@@ -1,0 +1,104 @@
+// The nine BG actions (Table 5), each implemented as a CASQL session per
+// Section 6.1's description, instrumented for validation.
+//
+// Read actions log what they returned to the "user" together with the
+// session's wall-clock interval; write actions log the change they applied.
+// The Validator then flags unpredictable reads offline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "bg/social_graph.h"
+#include "bg/validation.h"
+#include "casql/casql.h"
+#include "util/rng.h"
+
+namespace iq::bg {
+
+enum class ActionKind {
+  kViewProfile,
+  kListFriends,
+  kViewFriendRequests,
+  kInviteFriend,
+  kAcceptFriend,
+  kRejectFriend,
+  kThawFriendship,
+  kViewTopKResources,
+  kViewComments,
+};
+
+const char* ToString(ActionKind a);
+
+/// Per-worker executor of BG actions. Owns one CASQL connection. Not
+/// thread-safe; construct one per worker thread.
+class BGActions {
+ public:
+  BGActions(casql::CasqlSystem& system, ActionPools& pools,
+            const GraphConfig& graph, ThreadLog* log, Rng rng);
+
+  /// Dispatch by kind; member/resource targets are drawn internally.
+  /// Returns false when the action could not run (empty pool, precondition
+  /// lost, restart budget exhausted).
+  bool Run(ActionKind kind, MemberId member);
+
+  bool ViewProfile(MemberId id);
+  bool ListFriends(MemberId id);
+  bool ViewFriendRequests(MemberId id);
+  bool InviteFriend(MemberId inviter, MemberId invitee);
+  bool AcceptFriend();   // consumes a pending pair
+  bool RejectFriend();   // consumes a pending pair
+  bool ThawFriendship(); // consumes a confirmed pair
+  bool ViewTopKResources(MemberId id, int k = 5);
+  bool ViewComments(std::int64_t resource_id);
+
+  /// Per-write-session restart statistics (drives Table 6: "average and
+  /// maximum number of times an aborted session restarts").
+  struct RestartStats {
+    std::uint64_t write_sessions = 0;
+    std::uint64_t restarted_sessions = 0;  // sessions with >= 1 Q restart
+    std::uint64_t total_q_restarts = 0;
+    std::uint64_t max_q_restarts = 0;
+    std::uint64_t total_rdbms_restarts = 0;
+
+    void Merge(const RestartStats& o) {
+      write_sessions += o.write_sessions;
+      restarted_sessions += o.restarted_sessions;
+      total_q_restarts += o.total_q_restarts;
+      max_q_restarts = std::max(max_q_restarts, o.max_q_restarts);
+      total_rdbms_restarts += o.total_rdbms_restarts;
+    }
+    /// Mean restarts among sessions that restarted at least once.
+    double AvgRestarts() const {
+      return restarted_sessions == 0
+                 ? 0.0
+                 : static_cast<double>(total_q_restarts) /
+                       static_cast<double>(restarted_sessions);
+    }
+  };
+
+  const RestartStats& restart_stats() const { return restart_stats_; }
+
+ private:
+  bool incremental() const {
+    return system_.config().technique == casql::Technique::kIncremental;
+  }
+  Nanos Now() const;
+
+  /// Read one numeric counter key (incremental mode).
+  bool ReadCounterKey(const std::string& key, const EntityId& entity,
+                      const casql::ComputeFn& compute);
+
+  casql::CasqlSystem& system_;
+  ActionPools& pools_;
+  GraphConfig graph_;
+  ThreadLog* log_;  // may be null (validation off)
+  Rng rng_;
+  void RecordWrite(const casql::WriteOutcome& res);
+
+  std::unique_ptr<casql::CasqlConnection> conn_;
+  RestartStats restart_stats_;
+};
+
+}  // namespace iq::bg

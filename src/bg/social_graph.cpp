@@ -1,0 +1,131 @@
+#include "bg/social_graph.h"
+
+#include "rdbms/schema.h"
+
+namespace iq::bg {
+
+void CreateBgTables(sql::Database& db) {
+  db.CreateTable(sql::SchemaBuilder("Users")
+                     .AddInt("userid")
+                     .AddText("name")
+                     .AddInt("pendingCount")
+                     .AddInt("friendCount")
+                     .PrimaryKey({"userid"})
+                     .Build());
+  db.CreateTable(sql::SchemaBuilder("Friendship")
+                     .AddInt("inviterID")
+                     .AddInt("inviteeID")
+                     .AddInt("status")
+                     .PrimaryKey({"inviterID", "inviteeID"})
+                     .Index("inviterID")
+                     .Index("inviteeID")
+                     .Build());
+  db.CreateTable(sql::SchemaBuilder("Resources")
+                     .AddInt("rid")
+                     .AddInt("creatorid")
+                     .AddInt("wallUserID")
+                     .PrimaryKey({"rid"})
+                     .Index("wallUserID")
+                     .Build());
+  db.CreateTable(sql::SchemaBuilder("Manipulation")
+                     .AddInt("mid")
+                     .AddInt("rid")
+                     .AddInt("creatorid")
+                     .AddText("comment")
+                     .PrimaryKey({"mid"})
+                     .Index("rid")
+                     .Build());
+}
+
+std::set<MemberId> InitialFriends(const GraphConfig& config, MemberId id) {
+  std::set<MemberId> friends;
+  MemberId m = config.members;
+  int half = config.friends_per_member / 2;
+  for (int k = 1; k <= half; ++k) {
+    friends.insert((id + k) % m);
+    friends.insert(((id - k) % m + m) % m);
+  }
+  friends.erase(id);
+  return friends;
+}
+
+std::size_t LoadGraph(sql::Database& db, const GraphConfig& config) {
+  std::size_t rows = 0;
+  // Batch inserts into chunked transactions so version chains stay short
+  // and the commit mutex is not taken per row.
+  constexpr std::size_t kBatch = 2000;
+  auto txn = db.Begin();
+  std::size_t in_batch = 0;
+  auto tick = [&] {
+    if (++in_batch >= kBatch) {
+      txn->Commit();
+      txn = db.Begin();
+      in_batch = 0;
+    }
+    ++rows;
+  };
+
+  for (MemberId id = 0; id < config.members; ++id) {
+    auto friends = InitialFriends(config, id);
+    txn->Insert("Users",
+                {sql::V(id), sql::V("member" + std::to_string(id)),
+                 sql::V(0), sql::V(static_cast<std::int64_t>(friends.size()))});
+    tick();
+  }
+  // Confirmed ring friendships, both directions.
+  for (MemberId id = 0; id < config.members; ++id) {
+    for (MemberId f : InitialFriends(config, id)) {
+      txn->Insert("Friendship", {sql::V(id), sql::V(f), sql::V(kConfirmed)});
+      tick();
+    }
+  }
+  // Resources on the creator's own wall.
+  std::int64_t rid = 0;
+  std::int64_t mid = 0;
+  for (MemberId id = 0; id < config.members; ++id) {
+    for (int r = 0; r < config.resources_per_member; ++r) {
+      txn->Insert("Resources", {sql::V(rid), sql::V(id), sql::V(id)});
+      tick();
+      for (int c = 0; c < config.comments_per_resource; ++c) {
+        txn->Insert("Manipulation",
+                    {sql::V(mid), sql::V(rid), sql::V((id + c) % config.members),
+                     sql::V("comment" + std::to_string(mid))});
+        ++mid;
+        tick();
+      }
+      ++rid;
+    }
+  }
+  txn->Commit();
+  return rows;
+}
+
+void PairPool::Add(MemberId a, MemberId b) {
+  std::lock_guard lock(mu_);
+  pairs_.emplace_back(a, b);
+}
+
+std::optional<std::pair<MemberId, MemberId>> PairPool::TakeRandom(Rng& rng) {
+  std::lock_guard lock(mu_);
+  if (pairs_.empty()) return std::nullopt;
+  std::size_t idx = rng.NextUint64(pairs_.size());
+  std::swap(pairs_[idx], pairs_.back());
+  auto pair = pairs_.back();
+  pairs_.pop_back();
+  return pair;
+}
+
+std::size_t PairPool::Size() const {
+  std::lock_guard lock(mu_);
+  return pairs_.size();
+}
+
+void ActionPools::SeedFromGraph(const GraphConfig& config) {
+  for (MemberId id = 0; id < config.members; ++id) {
+    for (MemberId f : InitialFriends(config, id)) {
+      if (id < f) confirmed.Add(id, f);  // one entry per unordered pair
+    }
+  }
+}
+
+}  // namespace iq::bg

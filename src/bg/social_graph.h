@@ -1,0 +1,74 @@
+// BG social graph: relational schema, deterministic loader, and the
+// action-sequencing pools that keep write actions well-formed (an Accept
+// needs an outstanding invite, a Thaw needs an existing friendship).
+//
+// Schema (physical design of [6], simplified to what the nine actions
+// touch):
+//   Users(userid PK, name, pendingCount, friendCount)
+//   Friendship(inviterID, inviteeID PK composite, status)   status 1=pending 2=confirmed
+//       secondary indexes on inviterID and inviteeID
+//   Resources(rid PK, creatorid, wallUserID)                 indexed on wallUserID
+//   Manipulation(mid PK, rid, creatorid, comment)            indexed on rid
+//
+// The loader creates M members, phi confirmed friends per member (a ring:
+// member i befriends i+-1..i+-phi/2 mod M), rho resources per member posted
+// on their own wall, and a fixed number of comments per resource.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bg/codec.h"
+#include "rdbms/database.h"
+#include "util/rng.h"
+
+namespace iq::bg {
+
+struct GraphConfig {
+  MemberId members = 1000;        // M
+  int friends_per_member = 20;    // phi (even)
+  int resources_per_member = 10;  // rho
+  int comments_per_resource = 3;
+};
+
+/// Friendship status values.
+constexpr std::int64_t kPending = 1;
+constexpr std::int64_t kConfirmed = 2;
+
+/// Create the four tables in `db` (fails silently if they exist).
+void CreateBgTables(sql::Database& db);
+
+/// Populate `db` per `config`. Returns the number of rows inserted.
+std::size_t LoadGraph(sql::Database& db, const GraphConfig& config);
+
+/// The initial confirmed-friend set of a member under the ring loader.
+std::set<MemberId> InitialFriends(const GraphConfig& config, MemberId id);
+
+/// Thread-safe pool of (inviter, invitee) pairs driving the action mix:
+/// Invite produces pending pairs, Accept/Reject consume them; the loader
+/// seeds confirmed pairs, Accept produces them, Thaw consumes them.
+class PairPool {
+ public:
+  void Add(MemberId a, MemberId b);
+  /// Remove and return a pseudo-random pair, or nullopt if empty.
+  std::optional<std::pair<MemberId, MemberId>> TakeRandom(Rng& rng);
+  std::size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<MemberId, MemberId>> pairs_;
+};
+
+/// Both pools bundled, seeded to match the loaded graph.
+struct ActionPools {
+  PairPool pending;    // invitations awaiting Accept/Reject
+  PairPool confirmed;  // friendships available to Thaw
+
+  /// Seed `confirmed` with the loader's ring friendships.
+  void SeedFromGraph(const GraphConfig& config);
+};
+
+}  // namespace iq::bg

@@ -1,0 +1,152 @@
+#include "bg/validation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace iq::bg {
+
+void Validator::SetInitialCounter(const EntityId& entity, std::int64_t value) {
+  std::lock_guard lock(mu_);
+  initial_counters_[entity] = value;
+}
+
+void Validator::SetInitialSet(const EntityId& entity, std::set<MemberId> value) {
+  std::lock_guard lock(mu_);
+  initial_sets_[entity] = std::move(value);
+}
+
+void Validator::Absorb(ThreadLog&& log) {
+  std::lock_guard lock(mu_);
+  writes_.insert(writes_.end(), std::make_move_iterator(log.writes_.begin()),
+                 std::make_move_iterator(log.writes_.end()));
+  reads_.insert(reads_.end(), std::make_move_iterator(log.reads_.begin()),
+                std::make_move_iterator(log.reads_.end()));
+  log.writes_.clear();
+  log.reads_.clear();
+}
+
+namespace {
+
+struct EntityTimeline {
+  std::vector<const WriteLogRecord*> writes;  // sorted by end time
+  std::vector<const ReadLogRecord*> reads;    // sorted by start time
+};
+
+/// Incremental settled state for one set entity.
+struct SetState {
+  std::set<MemberId> members;
+  /// Elements whose settled ops were mutually overlapping: their final
+  /// settled membership is order-dependent, so treat them as always
+  /// acceptable (conservative, avoids false positives).
+  std::unordered_set<MemberId> ambiguous;
+  /// End time of the last settled op per element, to detect overlap.
+  std::unordered_map<MemberId, Nanos> last_op_end;
+
+  void Apply(const WriteLogRecord& w) {
+    auto it = last_op_end.find(w.element);
+    if (it != last_op_end.end() && w.start < it->second) {
+      ambiguous.insert(w.element);
+    }
+    last_op_end[w.element] = w.end;
+    if (w.set_add) {
+      members.insert(w.element);
+    } else {
+      members.erase(w.element);
+    }
+  }
+};
+
+}  // namespace
+
+ValidationReport Validator::Validate() const {
+  std::lock_guard lock(mu_);
+  ValidationReport report;
+
+  std::unordered_map<EntityId, EntityTimeline> timelines;
+  for (const auto& w : writes_) timelines[w.entity].writes.push_back(&w);
+  for (const auto& r : reads_) timelines[r.entity].reads.push_back(&r);
+
+  for (auto& [entity, tl] : timelines) {
+    std::sort(tl.writes.begin(), tl.writes.end(),
+              [](const auto* a, const auto* b) { return a->end < b->end; });
+    std::sort(tl.reads.begin(), tl.reads.end(),
+              [](const auto* a, const auto* b) { return a->start < b->start; });
+
+    std::int64_t settled_counter = 0;
+    {
+      auto it = initial_counters_.find(entity);
+      if (it != initial_counters_.end()) settled_counter = it->second;
+    }
+    SetState set_state;
+    {
+      auto it = initial_sets_.find(entity);
+      if (it != initial_sets_.end()) set_state.members = it->second;
+    }
+
+    std::size_t settled_idx = 0;  // writes[0..settled_idx) applied
+    for (const ReadLogRecord* read : tl.reads) {
+      // Advance the settled frontier: writes that completed strictly before
+      // this read began are visible in every legal serialization.
+      while (settled_idx < tl.writes.size() &&
+             tl.writes[settled_idx]->end < read->start) {
+        const WriteLogRecord& w = *tl.writes[settled_idx];
+        if (w.is_set_op) {
+          set_state.Apply(w);
+        } else {
+          settled_counter += w.delta;
+        }
+        ++settled_idx;
+      }
+
+      ++report.reads_checked;
+      if (!read->is_set) {
+        // In-flight deltas widen the acceptable interval.
+        std::int64_t lo = settled_counter;
+        std::int64_t hi = settled_counter;
+        for (std::size_t i = settled_idx; i < tl.writes.size(); ++i) {
+          const WriteLogRecord& w = *tl.writes[i];
+          if (w.start > read->end || w.is_set_op) continue;
+          if (w.delta < 0) {
+            lo += w.delta;
+          } else {
+            hi += w.delta;
+          }
+        }
+        if (read->observed_counter < lo || read->observed_counter > hi) {
+          ++report.unpredictable;
+        }
+        continue;
+      }
+
+      // Set entity: collect in-flight elements (membership may go either way).
+      std::unordered_set<MemberId> flexible = set_state.ambiguous;
+      for (std::size_t i = settled_idx; i < tl.writes.size(); ++i) {
+        const WriteLogRecord& w = *tl.writes[i];
+        if (w.start > read->end || !w.is_set_op) continue;
+        flexible.insert(w.element);
+      }
+      bool ok = true;
+      for (MemberId m : read->observed_set) {
+        if (flexible.contains(m)) continue;
+        if (!set_state.members.contains(m)) {
+          ok = false;  // observed an element no settled write produced
+          break;
+        }
+      }
+      if (ok) {
+        for (MemberId m : set_state.members) {
+          if (flexible.contains(m)) continue;
+          if (!read->observed_set.contains(m)) {
+            ok = false;  // a settled element is missing
+            break;
+          }
+        }
+      }
+      if (!ok) ++report.unpredictable;
+    }
+  }
+  return report;
+}
+
+}  // namespace iq::bg

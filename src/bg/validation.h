@@ -1,0 +1,129 @@
+// BG-style validation: quantifying unpredictable (stale) reads.
+//
+// BG knows the initial state of every data item and the change applied by
+// every write action. For each read it computes the range of values that
+// SOME legal serialization of the overlapping sessions could produce; an
+// observation outside that range is "unpredictable data" (Section 6.1).
+//
+// We implement the interval form of this check. Every session logs
+// [start, end] wall-clock intervals:
+//   - a write session logs, per entity, either a counter delta or a
+//     set add/remove;
+//   - a read session logs the observed counter value or id-set.
+// Offline, for each read:
+//   - writes whose interval ended before the read began are "settled":
+//     every legal serialization includes them;
+//   - writes overlapping the read are "in-flight": a serialization may or
+//     may not include them (this is exactly the re-arrangement window of
+//     Figure 4 - IQ may order a reader before a mid-flight writer);
+//   - writes that began after the read ended cannot be included.
+// A counter observation is valid iff it lies in
+//   [init + settled + sum(negative in-flight), init + settled + sum(positive in-flight)].
+// A set observation is valid iff every member's presence/absence matches
+// the settled state or the member is touched by an in-flight write.
+//
+// Logging is per-thread (ThreadLog) and merged after the run; the check is
+// exact for counters and per-element for sets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bg/codec.h"
+#include "util/clock.h"
+
+namespace iq::bg {
+
+/// Stable identity of a validated quantity, e.g. "pc:42" (pending count of
+/// member 42) or "friends:7".
+using EntityId = std::string;
+
+struct WriteLogRecord {
+  EntityId entity;
+  Nanos start = 0;
+  Nanos end = 0;
+  /// Counter entities: the applied delta.
+  std::int64_t delta = 0;
+  /// Set entities: one element added or removed (0 delta).
+  bool is_set_op = false;
+  bool set_add = false;
+  MemberId element = 0;
+};
+
+struct ReadLogRecord {
+  EntityId entity;
+  Nanos start = 0;
+  Nanos end = 0;
+  bool is_set = false;
+  std::int64_t observed_counter = 0;
+  std::set<MemberId> observed_set;
+};
+
+/// Per-worker log; no locking on the hot path.
+class ThreadLog {
+ public:
+  void LogCounterWrite(EntityId entity, Nanos start, Nanos end,
+                       std::int64_t delta) {
+    writes_.push_back({std::move(entity), start, end, delta, false, false, 0});
+  }
+  void LogSetWrite(EntityId entity, Nanos start, Nanos end, bool add,
+                   MemberId element) {
+    writes_.push_back({std::move(entity), start, end, 0, true, add, element});
+  }
+  void LogCounterRead(EntityId entity, Nanos start, Nanos end,
+                      std::int64_t observed) {
+    reads_.push_back({std::move(entity), start, end, false, observed, {}});
+  }
+  void LogSetRead(EntityId entity, Nanos start, Nanos end,
+                  std::set<MemberId> observed) {
+    reads_.push_back(
+        {std::move(entity), start, end, true, 0, std::move(observed)});
+  }
+
+ private:
+  friend class Validator;
+  std::vector<WriteLogRecord> writes_;
+  std::vector<ReadLogRecord> reads_;
+};
+
+struct ValidationReport {
+  std::uint64_t reads_checked = 0;
+  std::uint64_t unpredictable = 0;
+
+  double StalePercent() const {
+    return reads_checked == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(unpredictable) /
+                     static_cast<double>(reads_checked);
+  }
+};
+
+/// Collects thread logs and initial states, then validates offline.
+class Validator {
+ public:
+  /// Register the pre-run state of a counter entity (default 0).
+  void SetInitialCounter(const EntityId& entity, std::int64_t value);
+  /// Register the pre-run state of a set entity (default empty).
+  void SetInitialSet(const EntityId& entity, std::set<MemberId> value);
+
+  /// Merge a worker's log (call once per worker after the run).
+  void Absorb(ThreadLog&& log);
+
+  /// Run the interval check over everything absorbed so far.
+  ValidationReport Validate() const;
+
+ private:
+  std::map<EntityId, std::int64_t> initial_counters_;
+  std::map<EntityId, std::set<MemberId>> initial_sets_;
+  std::vector<WriteLogRecord> writes_;
+  std::vector<ReadLogRecord> reads_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace iq::bg

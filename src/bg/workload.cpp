@@ -1,0 +1,182 @@
+#include "bg/workload.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/worker_group.h"
+
+namespace iq::bg {
+
+// Table 5 columns. Order: ViewProfile, ListFriends, ViewFriendRequests,
+// InviteFriend, AcceptFriend, RejectFriend, ThawFriendship,
+// ViewTopKResources, ViewComments.
+Mix VeryLowWriteMix() {
+  return Mix{{0.40, 0.05, 0.05, 0.0002, 0.0002, 0.0003, 0.0003, 0.40, 0.099}};
+}
+
+Mix LowWriteMix() {
+  return Mix{{0.40, 0.05, 0.05, 0.002, 0.002, 0.003, 0.003, 0.40, 0.09}};
+}
+
+Mix HighWriteMix() {
+  return Mix{{0.35, 0.05, 0.05, 0.02, 0.02, 0.03, 0.03, 0.35, 0.10}};
+}
+
+Mix MixForWritePercent(double percent) {
+  if (percent <= 0.5) return VeryLowWriteMix();
+  if (percent <= 5.0) return LowWriteMix();
+  return HighWriteMix();
+}
+
+void SeedValidator(Validator& validator, const GraphConfig& graph) {
+  for (MemberId id = 0; id < graph.members; ++id) {
+    auto friends = InitialFriends(graph, id);
+    validator.SetInitialCounter("pc:" + std::to_string(id), 0);
+    validator.SetInitialCounter(
+        "fc:" + std::to_string(id),
+        static_cast<std::int64_t>(friends.size()));
+    validator.SetInitialSet("friends:" + std::to_string(id), std::move(friends));
+    validator.SetInitialSet("pending:" + std::to_string(id), {});
+  }
+}
+
+void SeedValidatorFromDb(Validator& validator, sql::Database& db,
+                         const GraphConfig& graph) {
+  auto txn = db.Begin();
+  for (const auto& row : txn->SelectAll("Users")) {
+    auto id = *sql::AsInt(row[0]);
+    validator.SetInitialCounter("pc:" + std::to_string(id), *sql::AsInt(row[2]));
+    validator.SetInitialCounter("fc:" + std::to_string(id), *sql::AsInt(row[3]));
+  }
+  std::map<MemberId, std::set<MemberId>> friends;
+  std::map<MemberId, std::set<MemberId>> pending;
+  for (const auto& row : txn->SelectAll("Friendship")) {
+    auto inviter = *sql::AsInt(row[0]);
+    auto invitee = *sql::AsInt(row[1]);
+    if (*sql::AsInt(row[2]) == kConfirmed) {
+      friends[inviter].insert(invitee);
+    } else {
+      pending[invitee].insert(inviter);
+    }
+  }
+  txn->Rollback();
+  for (MemberId id = 0; id < graph.members; ++id) {
+    auto f = friends.find(id);
+    validator.SetInitialSet("friends:" + std::to_string(id),
+                            f == friends.end() ? std::set<MemberId>{}
+                                               : std::move(f->second));
+    auto p = pending.find(id);
+    validator.SetInitialSet("pending:" + std::to_string(id),
+                            p == pending.end() ? std::set<MemberId>{}
+                                               : std::move(p->second));
+  }
+}
+
+void WarmCache(casql::CasqlSystem& system, const GraphConfig& graph) {
+  ActionPools unused_pools;
+  BGActions actions(system, unused_pools, graph, nullptr, Rng(1));
+  for (MemberId id = 0; id < graph.members; ++id) {
+    actions.ViewProfile(id);
+    actions.ListFriends(id);
+    actions.ViewFriendRequests(id);
+    actions.ViewTopKResources(id);
+  }
+}
+
+namespace {
+
+ActionKind PickAction(const Mix& mix, Rng& rng) {
+  double u = rng.NextDouble();
+  double acc = 0;
+  for (std::size_t i = 0; i < mix.probability.size(); ++i) {
+    acc += mix.probability[i];
+    if (u < acc) return static_cast<ActionKind>(i);
+  }
+  return ActionKind::kViewProfile;
+}
+
+}  // namespace
+
+WorkloadResult RunWorkload(casql::CasqlSystem& system, ActionPools& pools,
+                           const GraphConfig& graph,
+                           const WorkloadConfig& config) {
+  const Clock& clock = system.backend().clock();
+  const int n = config.threads;
+
+  std::vector<ThreadLog> logs(static_cast<std::size_t>(n));
+  std::vector<LatencyHistogram> hists(static_cast<std::size_t>(n));
+  std::vector<BGActions::RestartStats> restarts(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> action_counts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> failed_counts(static_cast<std::size_t>(n), 0);
+
+  Validator validator;
+  if (config.validate) {
+    if (config.seed_validator_from_db) {
+      SeedValidatorFromDb(validator, system.db(), graph);
+    } else {
+      SeedValidator(validator, graph);
+    }
+  }
+
+  Rng seed_rng(config.seed);
+  std::vector<Rng> worker_rngs;
+  worker_rngs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) worker_rngs.push_back(seed_rng.Fork());
+
+  Nanos t0 = clock.Now();
+  WorkerGroup::RunFor(
+      n, config.duration, clock,
+      [&](int worker, const std::atomic<bool>& stop) {
+        auto w = static_cast<std::size_t>(worker);
+        Rng rng = worker_rngs[w];
+        // BG's theta convention: exponent = 1 - theta, so theta=0.27 yields
+        // the 70/20 skew of Section 6.2.
+        ZipfianGenerator zipf(static_cast<std::uint64_t>(graph.members),
+                              1.0 - config.zipf_theta);
+        BGActions actions(system, pools, graph,
+                          config.validate ? &logs[w] : nullptr, rng.Fork());
+        while (!stop.load(std::memory_order_acquire)) {
+          ActionKind kind = PickAction(config.mix, rng);
+          auto member = static_cast<MemberId>(zipf.Next(rng));
+          Nanos start = clock.Now();
+          bool ok = actions.Run(kind, member);
+          hists[w].Record(clock.Now() - start);
+          ++action_counts[w];
+          if (!ok) ++failed_counts[w];
+        }
+        restarts[w] = actions.restart_stats();
+      });
+  Nanos elapsed = clock.Now() - t0;
+
+  WorkloadResult result;
+  result.elapsed = elapsed;
+  for (int i = 0; i < n; ++i) {
+    auto w = static_cast<std::size_t>(i);
+    result.actions += action_counts[w];
+    result.failed_actions += failed_counts[w];
+    result.latency.Merge(hists[w]);
+    result.restarts.Merge(restarts[w]);
+    if (config.validate) validator.Absorb(std::move(logs[w]));
+  }
+  if (config.validate) result.validation = validator.Validate();
+  return result;
+}
+
+SoarResult ComputeSoar(const std::function<WorkloadResult(int)>& run,
+                       const std::vector<int>& thread_counts, Nanos sla) {
+  SoarResult best;
+  for (int t : thread_counts) {
+    WorkloadResult r = run(t);
+    // SLA: 95% of actions faster than `sla`.
+    if (r.latency.FractionBelow(sla) < 0.95) continue;
+    double tput = r.Throughput();
+    if (tput > best.soar) {
+      best.soar = tput;
+      best.best_threads = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace iq::bg

@@ -1,0 +1,96 @@
+// BG workload driver: the four action mixes of Table 5, Zipfian member
+// selection, a multi-threaded measurement loop, and the SoAR computation
+// (highest throughput whose 95th-percentile latency stays under the SLA,
+// Section 6.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bg/actions.h"
+#include "bg/social_graph.h"
+#include "bg/validation.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace iq::bg {
+
+/// Action probabilities, summing to 1. Order matches ActionKind.
+struct Mix {
+  std::array<double, 9> probability{};
+
+  /// Total probability of the four write actions.
+  double WritePercent() const {
+    return 100.0 * (probability[3] + probability[4] + probability[5] +
+                    probability[6]);
+  }
+};
+
+/// Table 5's mixes: 0.1% / 1% / 10% write actions.
+Mix VeryLowWriteMix();  // 0.1%
+Mix LowWriteMix();      // 1%
+Mix HighWriteMix();     // 10%
+/// Select by the paper's row label: 0.1, 1 or 10 (percent writes).
+Mix MixForWritePercent(double percent);
+
+struct WorkloadConfig {
+  Mix mix;
+  int threads = 10;
+  Nanos duration = 2 * kNanosPerSec;
+  /// BG's Zipfian skew: theta=0.27 makes ~70% of requests reference ~20%
+  /// of members (Section 6.2).
+  double zipf_theta = 0.27;
+  std::uint64_t seed = 42;
+  bool validate = true;
+  /// Snapshot the validator's initial state from the live database instead
+  /// of the loader's formula (required when the graph has been mutated by
+  /// earlier runs).
+  bool seed_validator_from_db = false;
+};
+
+struct WorkloadResult {
+  std::uint64_t actions = 0;
+  std::uint64_t failed_actions = 0;  // empty pools / lost preconditions
+  LatencyHistogram latency;
+  ValidationReport validation;
+  BGActions::RestartStats restarts;
+  Nanos elapsed = 0;
+
+  double Throughput() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(actions) /
+                              (static_cast<double>(elapsed) / kNanosPerSec);
+  }
+};
+
+/// Seed a Validator with the loader's initial state for every member.
+void SeedValidator(Validator& validator, const GraphConfig& graph);
+
+/// Seed a Validator from the database's CURRENT committed state. Lets a
+/// benchmark reuse one loaded (and since mutated) graph across many
+/// measurement cells: each cell re-snapshots the ground truth.
+void SeedValidatorFromDb(Validator& validator, sql::Database& db,
+                         const GraphConfig& graph);
+
+/// Issue one read per cacheable key so the run starts with a warm cache
+/// (the paper's Table 8 setting).
+void WarmCache(casql::CasqlSystem& system, const GraphConfig& graph);
+
+/// Run `config.threads` workers for `config.duration`.
+WorkloadResult RunWorkload(casql::CasqlSystem& system, ActionPools& pools,
+                           const GraphConfig& graph,
+                           const WorkloadConfig& config);
+
+/// SoAR: sweep thread counts, return the highest throughput whose p95
+/// latency meets `sla` (default 100 ms, 95% of actions). Each trial calls
+/// `run(threads)` and must return a WorkloadResult.
+struct SoarResult {
+  double soar = 0;      // actions/sec
+  int best_threads = 0;
+};
+SoarResult ComputeSoar(const std::function<WorkloadResult(int)>& run,
+                       const std::vector<int>& thread_counts,
+                       Nanos sla = 100 * kNanosPerMilli);
+
+}  // namespace iq::bg

@@ -1,0 +1,406 @@
+#include "casql/casql.h"
+
+#include "util/backoff.h"
+
+namespace iq::casql {
+
+const char* ToString(Technique t) {
+  switch (t) {
+    case Technique::kInvalidate: return "invalidate";
+    case Technique::kRefresh: return "refresh";
+    case Technique::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+const char* ToString(Consistency c) {
+  switch (c) {
+    case Consistency::kNone: return "none";
+    case Consistency::kCas: return "cas";
+    case Consistency::kReadLease: return "read-lease";
+    case Consistency::kIQ: return "IQ";
+  }
+  return "?";
+}
+
+const char* ToString(LeasePlacement p) {
+  switch (p) {
+    case LeasePlacement::kPriorToTxn: return "prior-to-txn";
+    case LeasePlacement::kInsideTxn: return "inside-txn";
+  }
+  return "?";
+}
+
+CasqlSystem::CasqlSystem(sql::Database& db, KvsBackend& backend,
+                         CasqlConfig config)
+    : db_(db),
+      backend_(backend),
+      config_(config),
+      client_(backend, config.client) {}
+
+std::unique_ptr<CasqlConnection> CasqlSystem::Connect() {
+  return std::unique_ptr<CasqlConnection>(
+      new CasqlConnection(*this, client_.NewSession()));
+}
+
+CasqlConnection::CasqlConnection(CasqlSystem& system,
+                                 std::unique_ptr<IQSession> session)
+    : system_(system), session_(std::move(session)) {}
+
+std::optional<std::string> CasqlConnection::ComputeFresh(
+    const ComputeFn& compute) {
+  // A dedicated (fresh) RDBMS connection/transaction, so a miss inside a
+  // write session never observes that session's uncommitted changes
+  // (paper Section 6.2, the multi-connection approach).
+  auto txn = system_.db_.Begin();
+  auto value = compute(*txn);
+  txn->Rollback();
+  return value;
+}
+
+// ---- read sessions ----------------------------------------------------------
+
+ReadOutcome CasqlConnection::Read(const std::string& key,
+                                  const ComputeFn& compute) {
+  switch (system_.config_.consistency) {
+    case Consistency::kNone:
+    case Consistency::kCas:
+      return ReadPlain(key, compute);
+    case Consistency::kReadLease:
+    case Consistency::kIQ:
+      return ReadLeased(key, compute);
+  }
+  return {};
+}
+
+ReadOutcome CasqlConnection::ReadPlain(const std::string& key,
+                                       const ComputeFn& compute) {
+  ReadOutcome out;
+  auto item = system_.backend_.Get(key);
+  if (item) {
+    out.hit = true;
+    out.value = std::move(item->value);
+    return out;
+  }
+  out.computed = true;
+  out.value = ComputeFresh(compute);
+  // Race-prone: any number of concurrent sessions may install here, and a
+  // value computed from a pre-update snapshot overwrites fresher data.
+  if (out.value) system_.backend_.Set(key, *out.value);
+  return out;
+}
+
+ReadOutcome CasqlConnection::ReadLeased(const std::string& key,
+                                        const ComputeFn& compute) {
+  ReadOutcome out;
+  ClientGetResult got = session_->Get(key);
+  switch (got.status) {
+    case ClientGetResult::Status::kHit:
+      out.hit = true;
+      out.value = std::move(got.value);
+      return out;
+    case ClientGetResult::Status::kMissRecompute:
+      out.computed = true;
+      out.value = ComputeFresh(compute);
+      if (out.value) {
+        session_->Put(key, *out.value);
+      } else {
+        session_->DropLease(key);  // nothing to install; unblock others
+      }
+      return out;
+    case ClientGetResult::Status::kMissNoInstall:
+      // Our own quarantined key: recompute (observing our own RDBMS update)
+      // but do not install - the key dies at our commit anyway.
+      out.computed = true;
+      out.value = ComputeFresh(compute);
+      return out;
+    case ClientGetResult::Status::kTimeout:
+      out.computed = true;
+      out.value = ComputeFresh(compute);
+      return out;
+  }
+  return out;
+}
+
+// ---- write sessions ----------------------------------------------------------
+
+WriteOutcome CasqlConnection::Write(const WriteSpec& spec) {
+  if (system_.config_.consistency == Consistency::kIQ) {
+    switch (system_.config_.technique) {
+      case Technique::kInvalidate: return WriteIQInvalidate(spec);
+      case Technique::kRefresh: return WriteIQRefresh(spec);
+      case Technique::kIncremental: return WriteIQIncremental(spec);
+    }
+  }
+  return WriteBaseline(spec);
+}
+
+WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
+  WriteOutcome out;
+  KvsBackend& store = system_.backend_;
+  const CasqlConfig& cfg = system_.config_;
+  for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
+    auto txn = system_.db_.Begin();
+    bool ok = spec.body(*txn);
+    if (txn->state() == sql::Transaction::State::kAborted) {
+      ++out.rdbms_restarts;
+      session_->Backoff();
+      continue;
+    }
+    if (!ok) {
+      txn->Rollback();
+      return out;
+    }
+    if (cfg.technique == Technique::kInvalidate) {
+      // Trigger-style placement: the delete executes inside the RDBMS
+      // transaction, before commit - the race-prone shape of Figure 3.
+      for (const auto& u : spec.updates) system_.backend_.DeleteVoid(u.key);
+      txn->Commit();
+      out.committed = true;
+      return out;
+    }
+    // Mixed-mode updates that force invalidation are deleted trigger-style.
+    for (const auto& u : spec.updates) {
+      if (u.invalidate) system_.backend_.DeleteVoid(u.key);
+    }
+    txn->Commit();
+    switch (cfg.technique) {
+      case Technique::kRefresh:
+        for (const auto& u : spec.updates) {
+          if (u.invalidate || !u.refresh) continue;
+          if (cfg.consistency == Consistency::kNone) {
+            // Figure 1b: read, modify in application memory, set.
+            auto item = store.Get(u.key);
+            std::optional<std::string> old =
+                item ? std::optional<std::string>(std::move(item->value))
+                     : std::nullopt;
+            auto v_new = u.refresh(old);
+            if (cfg.baseline_rmw_delay > 0) {
+              SleepFor(SteadyClock::Instance(), cfg.baseline_rmw_delay);
+            }
+            if (v_new) store.Set(u.key, *v_new);
+          } else {
+            // Figure 10: R-M-W via compare-and-swap with retry. Atomic per
+            // key, yet still unable to impose the RDBMS serial order
+            // (Figure 2), so stale values survive.
+            for (int i = 0; i < cfg.max_cas_retries; ++i) {
+              auto item = store.Get(u.key);
+              if (!item) {
+                auto v_new = u.refresh(std::nullopt);
+                if (!v_new) break;
+                if (store.Add(u.key, *v_new) == StoreResult::kStored) break;
+                continue;  // lost the add race; retry as an update
+              }
+              auto v_new = u.refresh(item->value);
+              if (!v_new) break;
+              if (cfg.baseline_rmw_delay > 0) {
+                SleepFor(SteadyClock::Instance(), cfg.baseline_rmw_delay);
+              }
+              if (store.Cas(u.key, *v_new, item->cas) == StoreResult::kStored) {
+                break;
+              }
+            }
+          }
+        }
+        break;
+      case Technique::kIncremental:
+        for (const auto& u : spec.updates) {
+          if (u.invalidate || !u.delta) continue;
+          switch (u.delta->kind) {
+            case DeltaOp::Kind::kAppend:
+              store.Append(u.key, u.delta->blob);
+              break;
+            case DeltaOp::Kind::kPrepend:
+              store.Prepend(u.key, u.delta->blob);
+              break;
+            case DeltaOp::Kind::kIncr:
+              store.Incr(u.key, u.delta->amount);
+              break;
+            case DeltaOp::Kind::kDecr:
+              store.Decr(u.key, u.delta->amount);
+              break;
+          }
+        }
+        break;
+      case Technique::kInvalidate:
+        break;  // handled above
+    }
+    out.committed = true;
+    return out;
+  }
+  return out;
+}
+
+WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
+  WriteOutcome out;
+  const CasqlConfig& cfg = system_.config_;
+  for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
+    // QaReg is always granted (Figure 5a), so placement only changes when
+    // the quarantine window opens.
+    if (cfg.placement == LeasePlacement::kPriorToTxn) {
+      for (const auto& u : spec.updates) session_->Quarantine(u.key);
+    }
+    auto txn = system_.db_.Begin();
+    bool ok = spec.body(*txn);
+    if (txn->state() == sql::Transaction::State::kAborted) {
+      session_->Abort();
+      ++out.rdbms_restarts;
+      session_->Backoff();
+      continue;
+    }
+    if (!ok) {
+      txn->Rollback();
+      session_->Abort();  // leaves current versions in the KVS
+      return out;
+    }
+    if (cfg.placement == LeasePlacement::kInsideTxn) {
+      for (const auto& u : spec.updates) session_->Quarantine(u.key);
+    }
+    txn->Commit();
+    session_->Commit();  // DaR: delete quarantined keys, release Q leases
+    out.committed = true;
+    return out;
+  }
+  return out;
+}
+
+WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
+  WriteOutcome out;
+  const CasqlConfig& cfg = system_.config_;
+  const std::size_t n = spec.updates.size();
+  for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
+    std::vector<std::optional<std::string>> olds(n);
+    std::vector<std::optional<std::string>> news(n);
+    std::unique_ptr<sql::Transaction> txn;
+
+    if (cfg.placement == LeasePlacement::kInsideTxn) {
+      txn = system_.db_.Begin();
+      if (!spec.body(*txn) ||
+          txn->state() == sql::Transaction::State::kAborted) {
+        bool conflicted = txn->state() == sql::Transaction::State::kAborted;
+        txn->Rollback();
+        session_->Abort();
+        if (!conflicted) return out;
+        ++out.rdbms_restarts;
+        session_->Backoff();
+        continue;
+      }
+    }
+
+    bool q_conflict = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (spec.updates[i].invalidate) {
+        session_->Quarantine(spec.updates[i].key);  // always granted
+        continue;
+      }
+      if (session_->QaRead(spec.updates[i].key, olds[i]) ==
+          ClientQResult::kQConflict) {
+        q_conflict = true;
+        break;
+      }
+    }
+    if (q_conflict) {
+      // Figure 5b: release every lease, roll back the RDBMS transaction,
+      // back off, restart the whole session.
+      if (txn) txn->Rollback();
+      session_->Abort();
+      ++out.q_restarts;
+      session_->Backoff();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (spec.updates[i].invalidate) continue;
+      news[i] = spec.updates[i].refresh ? spec.updates[i].refresh(olds[i])
+                                        : std::nullopt;
+    }
+
+    if (cfg.placement == LeasePlacement::kPriorToTxn) {
+      txn = system_.db_.Begin();
+      if (!spec.body(*txn) ||
+          txn->state() == sql::Transaction::State::kAborted) {
+        bool conflicted = txn->state() == sql::Transaction::State::kAborted;
+        txn->Rollback();
+        session_->Abort();
+        if (!conflicted) return out;
+        ++out.rdbms_restarts;
+        session_->Backoff();
+        continue;
+      }
+    }
+
+    txn->Commit();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (spec.updates[i].invalidate) continue;
+      auto v = news[i] ? std::optional<std::string_view>(*news[i])
+                       : std::nullopt;
+      session_->SaR(spec.updates[i].key, v);
+    }
+    session_->Commit();  // also deletes any quarantined (invalidate) keys
+    out.committed = true;
+    return out;
+  }
+  return out;
+}
+
+WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
+  WriteOutcome out;
+  const CasqlConfig& cfg = system_.config_;
+  for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
+    std::unique_ptr<sql::Transaction> txn;
+    if (cfg.placement == LeasePlacement::kInsideTxn) {
+      txn = system_.db_.Begin();
+      if (!spec.body(*txn) ||
+          txn->state() == sql::Transaction::State::kAborted) {
+        bool conflicted = txn->state() == sql::Transaction::State::kAborted;
+        txn->Rollback();
+        session_->Abort();
+        if (!conflicted) return out;
+        ++out.rdbms_restarts;
+        session_->Backoff();
+        continue;
+      }
+    }
+
+    bool q_conflict = false;
+    for (const auto& u : spec.updates) {
+      if (u.invalidate) {
+        session_->Quarantine(u.key);  // always granted
+        continue;
+      }
+      if (!u.delta) continue;
+      if (session_->Delta(u.key, *u.delta) == ClientQResult::kQConflict) {
+        q_conflict = true;
+        break;
+      }
+    }
+    if (q_conflict) {
+      if (txn) txn->Rollback();
+      session_->Abort();
+      ++out.q_restarts;
+      session_->Backoff();
+      continue;
+    }
+
+    if (cfg.placement == LeasePlacement::kPriorToTxn) {
+      txn = system_.db_.Begin();
+      if (!spec.body(*txn) ||
+          txn->state() == sql::Transaction::State::kAborted) {
+        bool conflicted = txn->state() == sql::Transaction::State::kAborted;
+        txn->Rollback();
+        session_->Abort();
+        if (!conflicted) return out;
+        ++out.rdbms_restarts;
+        session_->Backoff();
+        continue;
+      }
+    }
+
+    txn->Commit();
+    session_->Commit();  // server applies the buffered deltas
+    out.committed = true;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace iq::casql

@@ -1,0 +1,149 @@
+// The CASQL application layer: read and write sessions combining an RDBMS
+// transaction with KVS maintenance, parameterized over
+//
+//   Technique    - how writers maintain impacted key-value pairs (Figure 1):
+//                  invalidate (delete), refresh (R-M-W), incremental (delta);
+//   Consistency  - the client design under evaluation:
+//                  kNone      plain memcached ops (race-prone baseline),
+//                  kCas       R-M-W via compare-and-swap (Figure 10),
+//                  kReadLease Twemcache + Facebook read leases [27]
+//                             (the paper's "Twemcache" baseline, Table 7),
+//                  kIQ        the full IQ framework (this paper);
+//   LeasePlacement - Q leases acquired prior to vs inside the RDBMS
+//                  transaction (Figure 9 / Table 6, refresh & delta only).
+//
+// A write session describes its RDBMS work as a transaction body plus the
+// set of impacted keys with per-technique update rules; the connection
+// drives the right command sequence, restarting the whole session on RDBMS
+// write-write conflicts or Q-lease rejections (non-blocking, deadlock-free).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/iq_client.h"
+#include "rdbms/database.h"
+
+namespace iq::casql {
+
+enum class Technique { kInvalidate, kRefresh, kIncremental };
+enum class Consistency { kNone, kCas, kReadLease, kIQ };
+enum class LeasePlacement { kPriorToTxn, kInsideTxn };
+
+const char* ToString(Technique t);
+const char* ToString(Consistency c);
+const char* ToString(LeasePlacement p);
+
+struct CasqlConfig {
+  Technique technique = Technique::kInvalidate;
+  Consistency consistency = Consistency::kIQ;
+  LeasePlacement placement = LeasePlacement::kInsideTxn;
+  /// Give up restarting a session after this many attempts.
+  int max_session_restarts = 10000;
+  /// Retry budget for baseline cas loops.
+  int max_cas_retries = 100;
+  /// Baselines only: artificial delay between the R and the W of a
+  /// baseline R-M-W (models the client<->server round trips of a networked
+  /// deployment, which widen the Figure 2 window; IQ paths ignore it).
+  Nanos baseline_rmw_delay = 0;
+  IQClient::Config client;
+};
+
+/// One impacted key in a write session.
+struct KeyUpdate {
+  std::string key;
+  /// Refresh: map the old value (nullopt = KVS miss) to the new value;
+  /// return nullopt to skip the update (paper Section 4.2: the application
+  /// "may check and skip updating of the value").
+  std::function<std::optional<std::string>(const std::optional<std::string>&)>
+      refresh;
+  /// Incremental update: the delta to apply.
+  std::optional<DeltaOp> delta;
+  /// Force the invalidate technique for this key even when the session's
+  /// technique is refresh/incremental (the paper's mixed-mode support:
+  /// e.g. delta-update a counter key while deleting a list key).
+  bool invalidate = false;
+};
+
+/// A write session: one RDBMS transaction plus its impacted keys.
+struct WriteSpec {
+  /// The transaction body. Return false to abort the session (e.g. a
+  /// constraint violation); conflicts surface via the transaction state.
+  std::function<bool(sql::Transaction&)> body;
+  std::vector<KeyUpdate> updates;
+};
+
+struct WriteOutcome {
+  bool committed = false;
+  /// Restarts forced by Q-lease rejections (Table 6's metric).
+  int q_restarts = 0;
+  /// Restarts forced by RDBMS write-write conflicts.
+  int rdbms_restarts = 0;
+};
+
+struct ReadOutcome {
+  bool hit = false;        // value came straight from the KVS
+  bool computed = false;   // value recomputed from the RDBMS
+  std::optional<std::string> value;
+};
+
+/// Computes a key's value from the database (used on KVS misses).
+using ComputeFn = std::function<std::optional<std::string>(sql::Transaction&)>;
+
+class CasqlSystem;
+
+/// Per-thread handle. Not thread-safe; create one per worker.
+class CasqlConnection {
+ public:
+  /// Read session: KVS lookup, recompute-on-miss per the consistency mode.
+  ReadOutcome Read(const std::string& key, const ComputeFn& compute);
+
+  /// Write session per the configured technique/consistency/placement.
+  WriteOutcome Write(const WriteSpec& spec);
+
+ private:
+  friend class CasqlSystem;
+  CasqlConnection(CasqlSystem& system, std::unique_ptr<IQSession> session);
+
+  ReadOutcome ReadPlain(const std::string& key, const ComputeFn& compute);
+  ReadOutcome ReadLeased(const std::string& key, const ComputeFn& compute);
+
+  WriteOutcome WriteBaseline(const WriteSpec& spec);
+  WriteOutcome WriteIQInvalidate(const WriteSpec& spec);
+  WriteOutcome WriteIQRefresh(const WriteSpec& spec);
+  WriteOutcome WriteIQIncremental(const WriteSpec& spec);
+
+  /// Recompute a key's value in a fresh RDBMS transaction (the paper's
+  /// separate-connection approach, Section 6.2).
+  std::optional<std::string> ComputeFresh(const ComputeFn& compute);
+
+  CasqlSystem& system_;
+  std::unique_ptr<IQSession> session_;
+};
+
+/// Binds a Database and a cache backend (in-process IQServer or a
+/// net::RemoteBackend speaking the wire protocol) under one configuration.
+class CasqlSystem {
+ public:
+  CasqlSystem(sql::Database& db, KvsBackend& backend, CasqlConfig config);
+
+  std::unique_ptr<CasqlConnection> Connect();
+
+  sql::Database& db() { return db_; }
+  KvsBackend& backend() { return backend_; }
+  const CasqlConfig& config() const { return config_; }
+
+ private:
+  friend class CasqlConnection;
+
+  sql::Database& db_;
+  KvsBackend& backend_;
+  CasqlConfig config_;
+  IQClient client_;
+};
+
+}  // namespace iq::casql

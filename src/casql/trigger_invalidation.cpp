@@ -1,0 +1,77 @@
+#include "casql/trigger_invalidation.h"
+
+namespace iq::casql {
+namespace {
+
+// The trigger fires on the thread executing the DML, so the active managed
+// session is thread-local state.
+thread_local SessionId t_active_tid = 0;
+
+}  // namespace
+
+TriggerInvalidator::TriggerInvalidator(sql::Database& db, KvsBackend& server)
+    : db_(db), server_(server) {}
+
+void TriggerInvalidator::Register(const std::string& table, sql::DmlOp op,
+                                  KeyMapper mapper) {
+  db_.RegisterTrigger(
+      table, op,
+      [this, mapper = std::move(mapper)](sql::Transaction&,
+                                         const sql::TriggerEvent& event) {
+        OnTrigger(mapper, event);
+      });
+}
+
+void TriggerInvalidator::OnTrigger(const KeyMapper& mapper,
+                                   const sql::TriggerEvent& event) {
+  if (t_active_tid == 0) return;  // DML outside a managed session
+  for (const std::string& key : mapper(event)) {
+    // QaReg is always granted (Figure 5a); voids I leases so racing readers
+    // cannot install values computed from pre-commit snapshots.
+    server_.QaReg(t_active_tid, key);
+  }
+}
+
+SessionId TriggerInvalidator::ActiveTid() { return t_active_tid; }
+
+std::unique_ptr<TriggerInvalidator::ManagedSession>
+TriggerInvalidator::BeginSession() {
+  SessionId tid = server_.GenID();
+  auto txn = db_.Begin();
+  t_active_tid = tid;
+  return std::unique_ptr<ManagedSession>(
+      new ManagedSession(*this, tid, std::move(txn)));
+}
+
+TriggerInvalidator::ManagedSession::ManagedSession(
+    TriggerInvalidator& owner, SessionId tid,
+    std::unique_ptr<sql::Transaction> txn)
+    : owner_(owner), tid_(tid), txn_(std::move(txn)) {}
+
+TriggerInvalidator::ManagedSession::~ManagedSession() {
+  if (!finished_) Abort();
+}
+
+bool TriggerInvalidator::ManagedSession::Commit() {
+  if (finished_) return false;
+  finished_ = true;
+  t_active_tid = 0;
+  if (txn_->state() != sql::Transaction::State::kActive ||
+      txn_->Commit() != sql::TxnResult::kOk) {
+    txn_->Rollback();
+    owner_.server_.Abort(tid_);  // leases released, values untouched
+    return false;
+  }
+  owner_.server_.DaR(tid_);  // delete quarantined keys, release Q leases
+  return true;
+}
+
+void TriggerInvalidator::ManagedSession::Abort() {
+  if (finished_) return;
+  finished_ = true;
+  t_active_tid = 0;
+  txn_->Rollback();
+  owner_.server_.Abort(tid_);
+}
+
+}  // namespace iq::casql

@@ -1,0 +1,87 @@
+// Application-transparent invalidation via RDBMS triggers, in the spirit of
+// SQLTrig (Ghandeharizadeh & Yap, cited as [16]) and the trigger-based
+// arrangement of Figure 3 - but made *correct* by the IQ framework: instead
+// of deleting impacted keys inside the transaction (the race of Section
+// 3.1), the trigger quarantines them (QaReg) under the session's TID and
+// the keys are deleted at commit (DaR).
+//
+// The developer registers, per (table, DML) pair, a KeyMapper that derives
+// the impacted cache keys from the affected row - the "query to trigger
+// translation" - then runs write transactions through ManagedSession:
+//
+//   TriggerInvalidator ti(db, server);
+//   ti.Register("Users", sql::DmlOp::kUpdate, [](const sql::TriggerEvent& e) {
+//     return std::vector<std::string>{"Profile:" + ToString((*e.new_row)[0])};
+//   });
+//   auto session = ti.BeginSession();
+//   sql::Query(session->txn(), "UPDATE Users SET ... WHERE id = ?", {...});
+//   session->Commit();   // commits the txn, then DaRs the quarantined keys
+//
+// Reads need no cooperation: any IQget-based reader observes strong
+// consistency. DML executed outside a ManagedSession does NOT quarantine
+// keys (the trigger has no session to attach to) - route all writes to
+// covered tables through ManagedSession.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kvs_backend.h"
+#include "rdbms/database.h"
+
+namespace iq::casql {
+
+/// Derives the impacted cache keys from one DML event.
+using KeyMapper = std::function<std::vector<std::string>(const sql::TriggerEvent&)>;
+
+class TriggerInvalidator {
+ public:
+  TriggerInvalidator(sql::Database& db, KvsBackend& server);
+
+  /// Quarantine the keys `mapper` derives whenever `op` fires on `table`
+  /// inside a managed session.
+  void Register(const std::string& table, sql::DmlOp op, KeyMapper mapper);
+
+  /// One managed write session: an RDBMS transaction whose covered DMLs
+  /// quarantine their impacted keys automatically. Not thread-safe; use
+  /// from one thread. Destroying an uncommitted session aborts it.
+  class ManagedSession {
+   public:
+    ~ManagedSession();
+    ManagedSession(const ManagedSession&) = delete;
+
+    sql::Transaction& txn() { return *txn_; }
+
+    /// Commit the transaction, then delete the quarantined keys and
+    /// release the Q leases. False if the transaction had already failed.
+    bool Commit();
+
+    /// Roll back and release leases, leaving cached values in place.
+    void Abort();
+
+   private:
+    friend class TriggerInvalidator;
+    ManagedSession(TriggerInvalidator& owner, SessionId tid,
+                   std::unique_ptr<sql::Transaction> txn);
+
+    TriggerInvalidator& owner_;
+    SessionId tid_;
+    std::unique_ptr<sql::Transaction> txn_;
+    bool finished_ = false;
+  };
+
+  std::unique_ptr<ManagedSession> BeginSession();
+
+  /// The session id active on this thread, or 0 (testing / diagnostics).
+  static SessionId ActiveTid();
+
+ private:
+  void OnTrigger(const KeyMapper& mapper, const sql::TriggerEvent& event);
+
+  sql::Database& db_;
+  KvsBackend& server_;
+};
+
+}  // namespace iq::casql

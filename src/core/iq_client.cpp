@@ -1,0 +1,134 @@
+#include "core/iq_client.h"
+
+namespace iq {
+
+IQClient::IQClient(KvsBackend& backend, Config config)
+    : backend_(backend), config_(config), seed_rng_(config.seed) {
+  if (config_.exponential_backoff) {
+    backoff_ = std::make_unique<ExponentialBackoff>(config_.backoff_base,
+                                                    config_.backoff_cap);
+  } else {
+    backoff_ = std::make_unique<FixedBackoff>(config_.backoff_base);
+  }
+}
+
+IQClient::IQClient(KvsBackend& backend) : IQClient(backend, Config{}) {}
+
+std::unique_ptr<IQSession> IQClient::NewSession() {
+  return std::unique_ptr<IQSession>(new IQSession(*this, backend_.GenID()));
+}
+
+IQSession::IQSession(IQClient& client, SessionId id)
+    : client_(client), id_(id), rng_([&] {
+        std::lock_guard lock(client.rng_mu_);
+        return client.seed_rng_.Fork();
+      }()) {}
+
+IQSession::~IQSession() {
+  // A session destroyed without Commit() behaves like a failed application
+  // node: abort explicitly so leases release immediately rather than
+  // waiting for expiry.
+  if (!i_tokens_.empty() || !q_tokens_.empty()) Abort();
+  client_.backend_.Abort(id_);
+}
+
+ClientGetResult IQSession::Get(std::string_view key, int max_retries) {
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    GetReply reply = client_.backend_.IQget(key, id_);
+    switch (reply.status) {
+      case GetReply::Status::kHit:
+        return {ClientGetResult::Status::kHit, std::move(reply.value)};
+      case GetReply::Status::kMissGrantedI:
+        i_tokens_[std::string(key)] = reply.token;
+        return {ClientGetResult::Status::kMissRecompute, {}};
+      case GetReply::Status::kMissNoLease:
+        return {ClientGetResult::Status::kMissNoInstall, {}};
+      case GetReply::Status::kMissBackoff: {
+        ++stats_.get_backoffs;
+        SleepFor(client_.backend_.clock(),
+                 client_.backoff_->DelayFor(attempt, rng_));
+        break;
+      }
+    }
+  }
+  return {ClientGetResult::Status::kTimeout, {}};
+}
+
+void IQSession::Put(std::string_view key, std::string_view value) {
+  auto it = i_tokens_.find(std::string(key));
+  if (it == i_tokens_.end()) return;  // no lease: nothing to install
+  client_.backend_.IQset(key, value, it->second);
+  i_tokens_.erase(it);
+}
+
+void IQSession::Quarantine(std::string_view key) {
+  client_.backend_.QaReg(id_, key);
+}
+
+ClientQResult IQSession::QaRead(std::string_view key,
+                                std::optional<std::string>& value) {
+  QaReadReply reply = client_.backend_.QaRead(key, id_);
+  if (reply.status == QaReadReply::Status::kReject) {
+    ++stats_.q_conflicts;
+    return ClientQResult::kQConflict;
+  }
+  q_tokens_[std::string(key)] = reply.token;
+  value = std::move(reply.value);
+  return ClientQResult::kGranted;
+}
+
+void IQSession::SaR(std::string_view key,
+                    std::optional<std::string_view> v_new) {
+  auto it = q_tokens_.find(std::string(key));
+  if (it == q_tokens_.end()) return;
+  client_.backend_.SaR(key, v_new, it->second);
+  q_tokens_.erase(it);
+}
+
+ClientQResult IQSession::Delta(std::string_view key, DeltaOp delta) {
+  QuarantineResult r = client_.backend_.IQDelta(id_, key, std::move(delta));
+  if (r == QuarantineResult::kReject) {
+    ++stats_.q_conflicts;
+    return ClientQResult::kQConflict;
+  }
+  return ClientQResult::kGranted;
+}
+
+ClientQResult IQSession::Append(std::string_view key, std::string_view blob) {
+  return Delta(key, DeltaOp{DeltaOp::Kind::kAppend, std::string(blob), 0});
+}
+
+ClientQResult IQSession::Incr(std::string_view key, std::uint64_t amount) {
+  return Delta(key, DeltaOp{DeltaOp::Kind::kIncr, {}, amount});
+}
+
+ClientQResult IQSession::Decr(std::string_view key, std::uint64_t amount) {
+  return Delta(key, DeltaOp{DeltaOp::Kind::kDecr, {}, amount});
+}
+
+void IQSession::Commit() {
+  client_.backend_.Commit(id_);
+  i_tokens_.clear();
+  q_tokens_.clear();
+  backoff_attempt_ = 0;
+}
+
+void IQSession::Abort() {
+  client_.backend_.Abort(id_);
+  i_tokens_.clear();
+  q_tokens_.clear();
+  backoff_attempt_ = 0;
+}
+
+void IQSession::DropLease(std::string_view key) {
+  client_.backend_.ReleaseKey(id_, key);
+  i_tokens_.erase(std::string(key));
+  q_tokens_.erase(std::string(key));
+}
+
+void IQSession::Backoff() {
+  SleepFor(client_.backend_.clock(),
+           client_.backoff_->DelayFor(backoff_attempt_++, rng_));
+}
+
+}  // namespace iq

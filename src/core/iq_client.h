@@ -1,0 +1,159 @@
+// IQ-Client: the application-facing side of the IQ framework (the paper's
+// modified Whalin client). Lease tokens and back-off are managed here and
+// are invisible to application code; a session object exposes the paper's
+// programming model:
+//
+//   read session:   Get() -> hit, or miss + permission to recompute;
+//                   Put() installs the recomputed value (token attached).
+//   write session:  QaRead()/Delta()/Quarantine() before the RDBMS commit,
+//                   then SaR()/Commit() after it; Abort() on failure.
+//
+// A QaRead/Delta rejection (Q-Q conflict, Figure 5b) surfaces as
+// kQConflict: the caller must release everything (Abort()), roll back its
+// RDBMS transaction, back off (Backoff()), and re-run the whole session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/kvs_backend.h"
+#include "util/backoff.h"
+#include "util/rng.h"
+
+namespace iq {
+
+/// Client-side view of a read.
+struct ClientGetResult {
+  enum class Status {
+    kHit,        // value returned
+    kMissRecompute,  // query the RDBMS and call Put() with the result
+    kMissNoInstall,  // query the RDBMS; do NOT Put() (own quarantined key)
+    kTimeout,    // retry budget exhausted while backing off
+  };
+  Status status;
+  std::string value;
+};
+
+/// Client-side view of a quarantine request.
+enum class ClientQResult {
+  kGranted,
+  kQConflict,  // release all leases, roll back, back off, restart session
+};
+
+/// Per-session client-side counters (drives Table 6).
+struct SessionStats {
+  std::uint64_t get_backoffs = 0;
+  std::uint64_t q_conflicts = 0;
+};
+
+class IQClient;
+
+/// One session: at most one RDBMS transaction plus KVS operations, with all
+/// leases released by Commit()/Abort(). Not thread-safe (a session belongs
+/// to one application thread, like one memcached connection).
+class IQSession {
+ public:
+  ~IQSession();
+  IQSession(IQSession&&) = delete;
+
+  SessionId id() const { return id_; }
+  const SessionStats& stats() const { return stats_; }
+
+  // ---- read path ----------------------------------------------------------
+
+  /// IQget with transparent back-off (up to `max_retries` attempts).
+  ClientGetResult Get(std::string_view key, int max_retries = 100);
+
+  /// Install a value computed after a kMissRecompute. Silently ignored by
+  /// the server when the I lease was voided meanwhile.
+  void Put(std::string_view key, std::string_view value);
+
+  // ---- write path: invalidate ----------------------------------------------
+
+  /// Quarantine `key` for deletion at Commit (QaReg; always granted).
+  void Quarantine(std::string_view key);
+
+  // ---- write path: refresh ---------------------------------------------------
+
+  /// Quarantine-and-Read. On kGranted, `value` holds the current value
+  /// (nullopt on KVS miss) and the Q lease is held until SaR/Commit/Abort.
+  ClientQResult QaRead(std::string_view key, std::optional<std::string>& value);
+
+  /// Swap-and-Release for a key previously QaRead by this session.
+  void SaR(std::string_view key, std::optional<std::string_view> v_new);
+
+  // ---- write path: incremental update ---------------------------------------
+
+  /// Buffer an incremental update (applied server-side at Commit()).
+  ClientQResult Delta(std::string_view key, DeltaOp delta);
+  ClientQResult Append(std::string_view key, std::string_view blob);
+  ClientQResult Incr(std::string_view key, std::uint64_t amount);
+  ClientQResult Decr(std::string_view key, std::uint64_t amount);
+
+  // ---- lifecycle ------------------------------------------------------------
+
+  /// Apply buffered changes (delete invalidated keys, apply deltas) and
+  /// release every lease. Call after the RDBMS transaction commits.
+  void Commit();
+
+  /// Discard buffered changes and release every lease, leaving current
+  /// values in place. Call when the RDBMS transaction aborts.
+  void Abort();
+
+  /// Sleep per the client's back-off policy; increments the attempt counter
+  /// so repeated calls wait longer. Reset by Commit/Abort.
+  void Backoff();
+
+  /// Relinquish a lease held on one key without applying anything (e.g. an
+  /// I lease whose recompute found no row to cache).
+  void DropLease(std::string_view key);
+
+ private:
+  friend class IQClient;
+  IQSession(IQClient& client, SessionId id);
+
+  IQClient& client_;
+  SessionId id_;
+  /// I-lease tokens held for keys read via Get().
+  std::unordered_map<std::string, LeaseToken> i_tokens_;
+  /// Q(refresh) tokens held via QaRead.
+  std::unordered_map<std::string, LeaseToken> q_tokens_;
+  int backoff_attempt_ = 0;
+  SessionStats stats_;
+  Rng rng_;
+};
+
+/// Factory bound to one IQ-Server; hands out sessions.
+class IQClient {
+ public:
+  struct Config {
+    /// Back-off before retrying a contended read or a restarted session.
+    Nanos backoff_base = 50 * kNanosPerMicro;
+    Nanos backoff_cap = 10 * kNanosPerMilli;
+    /// false selects FixedBackoff(backoff_base) (the A3 ablation).
+    bool exponential_backoff = true;
+    std::uint64_t seed = 42;
+  };
+
+  IQClient(KvsBackend& backend, Config config);
+  explicit IQClient(KvsBackend& backend);
+
+  KvsBackend& backend() { return backend_; }
+
+  std::unique_ptr<IQSession> NewSession();
+
+ private:
+  friend class IQSession;
+
+  KvsBackend& backend_;
+  Config config_;
+  std::unique_ptr<BackoffPolicy> backoff_;
+  std::mutex rng_mu_;
+  Rng seed_rng_;
+};
+
+}  // namespace iq

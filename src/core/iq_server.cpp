@@ -1,0 +1,444 @@
+#include "core/iq_server.h"
+
+#include <charconv>
+
+namespace iq {
+namespace {
+
+std::optional<std::uint64_t> ParseUint(std::string_view v) {
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) return std::nullopt;
+  return out;
+}
+
+/// Apply one delta to an in-memory value (memcached semantics; incr/decr on
+/// non-numeric values are ignored, decr saturates at zero).
+void ApplyDeltaToValue(std::string& value, const DeltaOp& delta) {
+  switch (delta.kind) {
+    case DeltaOp::Kind::kAppend:
+      value.append(delta.blob);
+      return;
+    case DeltaOp::Kind::kPrepend:
+      value.insert(0, delta.blob);
+      return;
+    case DeltaOp::Kind::kIncr: {
+      auto cur = ParseUint(value);
+      if (cur) value = std::to_string(*cur + delta.amount);
+      return;
+    }
+    case DeltaOp::Kind::kDecr: {
+      auto cur = ParseUint(value);
+      if (cur) value = std::to_string(*cur >= delta.amount ? *cur - delta.amount : 0);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+IQServer::IQServer(CacheStore::Config store_config, Config config)
+    : config_(config),
+      store_([&] {
+        if (store_config.clock == nullptr) store_config.clock = config.clock;
+        return store_config;
+      }()),
+      clock_(config.clock != nullptr ? *config.clock : SteadyClock::Instance()),
+      leases_(store_.shard_count()) {}
+
+IQServer::IQServer() : IQServer(CacheStore::Config{}, Config{}) {}
+
+bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
+                           const std::string& key) {
+  LeaseEntry* entry = leases_.Find(g.shard_index(), key);
+  if (entry == nullptr || !LeaseTable::Expired(*entry, clock_.Now())) {
+    return false;
+  }
+  // An expired Q lease deletes the key-value pair: the lease holder may be
+  // a failed application node mid-session, and a deleted key is always safe
+  // (the next read recomputes from the RDBMS).
+  bool deleted = false;
+  if (entry->kind != LeaseKind::kInhibit) {
+    deleted = store_.DeleteLocked(g, key);
+  }
+  if (entry->kind == LeaseKind::kQInvalidate) {
+    for (SessionId s : entry->inv_holders) registry_.RemoveKey(s, key);
+  } else if (entry->holder != 0) {
+    registry_.RemoveKey(entry->holder, key);
+  }
+  leases_.Erase(g.shard_index(), key);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.leases_expired;
+  if (deleted) ++stats_.expiry_deletes;
+  return true;
+}
+
+GetReply IQServer::IQget(std::string_view key, SessionId session) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+
+  if (entry != nullptr) {
+    switch (entry->kind) {
+      case LeaseKind::kQInvalidate: {
+        if (session != 0 && entry->inv_holders.contains(session)) {
+          // The quarantining session must observe a miss so it re-queries
+          // the RDBMS and sees its own update (Section 3.3). No lease: it
+          // must not install the recomputed value either.
+          return {GetReply::Status::kMissNoLease, {}, 0};
+        }
+        if (config_.deferred_delete) {
+          // Old version stays visible until DaR: readers serialize before
+          // the in-flight write session (the re-arrangement window).
+          auto item = store_.GetLocked(g, key);
+          if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
+        }
+        std::lock_guard lock(stats_mu_);
+        ++stats_.backoffs;
+        return {GetReply::Status::kMissBackoff, {}, 0};
+      }
+      case LeaseKind::kQRefresh: {
+        if (session != 0 && entry->holder == session) {
+          // Own-update visibility (Section 4.2.2): the holder sees its
+          // buffered deltas applied.
+          auto item = store_.GetLocked(g, key);
+          if (item) {
+            std::string value = std::move(item->value);
+            for (const auto& d : entry->pending_deltas) ApplyDeltaToValue(value, d);
+            return {GetReply::Status::kHit, std::move(value), 0};
+          }
+          return {GetReply::Status::kMissNoLease, {}, 0};
+        }
+        if (config_.deferred_delete) {
+          auto item = store_.GetLocked(g, key);
+          if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
+        }
+        std::lock_guard lock(stats_mu_);
+        ++stats_.backoffs;
+        return {GetReply::Status::kMissBackoff, {}, 0};
+      }
+      case LeaseKind::kInhibit: {
+        auto item = store_.GetLocked(g, key);
+        if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
+        std::lock_guard lock(stats_mu_);
+        ++stats_.backoffs;
+        return {GetReply::Status::kMissBackoff, {}, 0};
+      }
+    }
+  }
+
+  auto item = store_.GetLocked(g, key);
+  if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
+
+  // Miss with no pending lease: grant an I lease so exactly one session
+  // queries the RDBMS (also Facebook's thundering-herd protection).
+  LeaseEntry lease;
+  lease.kind = LeaseKind::kInhibit;
+  lease.token = NewToken();
+  lease.holder = session;
+  lease.expires_at = Deadline();
+  LeaseToken token = lease.token;
+  leases_.Put(g.shard_index(), skey, std::move(lease));
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.i_granted;
+  }
+  return {GetReply::Status::kMissGrantedI, {}, token};
+}
+
+StoreResult IQServer::IQset(std::string_view key, std::string_view value,
+                            LeaseToken token) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+  if (entry != nullptr && entry->kind == LeaseKind::kInhibit &&
+      entry->token == token && token != 0) {
+    store_.SetLocked(g, key, value);
+    leases_.Erase(g.shard_index(), skey);
+    return StoreResult::kStored;
+  }
+  // The I lease was voided by a Q request, expired, or never existed: the
+  // computed value may be stale, so the set is ignored (Section 3.2).
+  std::lock_guard lock(stats_mu_);
+  ++stats_.stale_sets_dropped;
+  return StoreResult::kNotStored;
+}
+
+QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+
+  if (entry != nullptr) {
+    if (entry->kind == LeaseKind::kInhibit) {
+      // A writer preempts a reader's I lease: the RDBMS ordering between
+      // them is unknown, so the reader's eventual IQset must be dropped.
+      leases_.Erase(g.shard_index(), skey);
+      entry = nullptr;
+      std::lock_guard lock(stats_mu_);
+      ++stats_.i_voided;
+    } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == session) {
+      // Idempotent re-acquisition by the same session.
+      auto item = store_.GetLocked(g, key);
+      return {QaReadReply::Status::kGranted,
+              item ? std::optional<std::string>(std::move(item->value))
+                   : std::nullopt,
+              entry->token};
+    } else {
+      // Another write session holds Q (Figure 5b): reject; the caller
+      // releases everything, rolls back its RDBMS transaction, retries.
+      std::lock_guard lock(stats_mu_);
+      ++stats_.q_rejected;
+      return {QaReadReply::Status::kReject, std::nullopt, 0};
+    }
+  }
+
+  LeaseEntry lease;
+  lease.kind = LeaseKind::kQRefresh;
+  lease.token = NewToken();
+  lease.holder = session;
+  lease.expires_at = Deadline();
+  LeaseToken token = lease.token;
+  leases_.Put(g.shard_index(), skey, std::move(lease));
+  registry_.AddKey(session, skey);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.q_ref_granted;
+  }
+  auto item = store_.GetLocked(g, key);
+  return {QaReadReply::Status::kGranted,
+          item ? std::optional<std::string>(std::move(item->value)) : std::nullopt,
+          token};
+}
+
+StoreResult IQServer::SaR(std::string_view key,
+                          std::optional<std::string_view> v_new,
+                          LeaseToken token) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+  if (entry == nullptr || entry->kind != LeaseKind::kQRefresh ||
+      entry->token != token || token == 0) {
+    // Voided (by a QaReg) or expired lease: swap is ignored; the key is (or
+    // will be) deleted, which is always safe.
+    std::lock_guard lock(stats_mu_);
+    ++stats_.stale_sets_dropped;
+    return StoreResult::kNotFound;
+  }
+  if (v_new) store_.SetLocked(g, key, *v_new);
+  SessionId holder = entry->holder;
+  leases_.Erase(g.shard_index(), skey);
+  registry_.RemoveKey(holder, skey);
+  return StoreResult::kStored;
+}
+
+QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+
+  if (entry != nullptr) {
+    switch (entry->kind) {
+      case LeaseKind::kInhibit: {
+        leases_.Erase(g.shard_index(), skey);
+        entry = nullptr;
+        std::lock_guard lock(stats_mu_);
+        ++stats_.i_voided;
+        break;
+      }
+      case LeaseKind::kQInvalidate:
+        // Deletes are idempotent: Q(invalidate) leases share (Figure 5a).
+        entry->inv_holders.insert(tid);
+        registry_.AddKey(tid, skey);
+        if (!config_.deferred_delete) store_.DeleteLocked(g, key);
+        {
+          std::lock_guard lock(stats_mu_);
+          ++stats_.q_inv_granted;
+        }
+        return QuarantineResult::kGranted;
+      case LeaseKind::kQRefresh: {
+        // Cross-technique collision: invalidation always wins because a
+        // delete is always safe. Void the refresh lease - its SaR/Commit
+        // becomes a no-op - and quarantine for deletion.
+        registry_.RemoveKey(entry->holder, skey);
+        leases_.Erase(g.shard_index(), skey);
+        entry = nullptr;
+        std::lock_guard lock(stats_mu_);
+        ++stats_.i_voided;
+        break;
+      }
+    }
+  }
+
+  LeaseEntry lease;
+  lease.kind = LeaseKind::kQInvalidate;
+  lease.inv_holders.insert(tid);
+  lease.expires_at = Deadline();
+  leases_.Put(g.shard_index(), skey, std::move(lease));
+  registry_.AddKey(tid, skey);
+  if (!config_.deferred_delete) store_.DeleteLocked(g, key);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.q_inv_granted;
+  return QuarantineResult::kGranted;
+}
+
+QuarantineResult IQServer::IQDelta(SessionId tid, std::string_view key,
+                                   DeltaOp delta) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+
+  if (entry != nullptr) {
+    if (entry->kind == LeaseKind::kInhibit) {
+      leases_.Erase(g.shard_index(), skey);
+      entry = nullptr;
+      std::lock_guard lock(stats_mu_);
+      ++stats_.i_voided;
+    } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == tid) {
+      entry->pending_deltas.push_back(std::move(delta));
+      return QuarantineResult::kGranted;
+    } else {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.q_rejected;
+      return QuarantineResult::kReject;
+    }
+  }
+
+  LeaseEntry lease;
+  lease.kind = LeaseKind::kQRefresh;
+  lease.token = NewToken();
+  lease.holder = tid;
+  lease.expires_at = Deadline();
+  lease.pending_deltas.push_back(std::move(delta));
+  leases_.Put(g.shard_index(), skey, std::move(lease));
+  registry_.AddKey(tid, skey);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.q_ref_granted;
+  return QuarantineResult::kGranted;
+}
+
+void IQServer::ApplyDeltaLocked(const CacheStore::ShardGuard& g,
+                                const std::string& key, const DeltaOp& delta) {
+  auto item = store_.GetLocked(g, key);
+  if (!item) return;  // delta on a non-resident key is a no-op
+  std::string value = std::move(item->value);
+  ApplyDeltaToValue(value, delta);
+  store_.SetLocked(g, key, value);
+}
+
+void IQServer::Commit(SessionId tid) {
+  for (const std::string& key : registry_.Keys(tid)) {
+    auto g = store_.LockKey(key);
+    LeaseEntry* entry = leases_.Find(g.shard_index(), key);
+    if (entry == nullptr || !entry->HeldBy(tid)) continue;
+    switch (entry->kind) {
+      case LeaseKind::kQInvalidate:
+        store_.DeleteLocked(g, key);
+        entry->inv_holders.erase(tid);
+        if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        break;
+      case LeaseKind::kQRefresh:
+        for (const auto& d : entry->pending_deltas) ApplyDeltaLocked(g, key, d);
+        leases_.Erase(g.shard_index(), key);
+        break;
+      case LeaseKind::kInhibit:
+        break;  // I leases are not registered; defensive
+    }
+  }
+  registry_.Drop(tid);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.commits;
+}
+
+void IQServer::DaR(SessionId tid) { Commit(tid); }
+
+void IQServer::Abort(SessionId tid) {
+  for (const std::string& key : registry_.Keys(tid)) {
+    auto g = store_.LockKey(key);
+    LeaseEntry* entry = leases_.Find(g.shard_index(), key);
+    if (entry == nullptr || !entry->HeldBy(tid)) continue;
+    switch (entry->kind) {
+      case LeaseKind::kQInvalidate:
+        // Leave the current version in place (paper Section 3.3).
+        entry->inv_holders.erase(tid);
+        if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        break;
+      case LeaseKind::kQRefresh:
+        leases_.Erase(g.shard_index(), key);  // pending deltas discarded
+        break;
+      case LeaseKind::kInhibit:
+        break;
+    }
+  }
+  registry_.Drop(tid);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.aborts;
+}
+
+void IQServer::ReleaseKey(SessionId tid, std::string_view key) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+  if (entry == nullptr || !entry->HeldBy(tid)) return;
+  if (entry->kind == LeaseKind::kQInvalidate) {
+    entry->inv_holders.erase(tid);
+    if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), skey);
+  } else {
+    leases_.Erase(g.shard_index(), skey);
+  }
+  registry_.RemoveKey(tid, skey);
+}
+
+bool IQServer::DeleteVoid(std::string_view key) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+  if (entry != nullptr && entry->kind == LeaseKind::kInhibit) {
+    leases_.Erase(g.shard_index(), skey);
+    std::lock_guard lock(stats_mu_);
+    ++stats_.i_voided;
+  }
+  return store_.DeleteLocked(g, key);
+}
+
+IQServerStats IQServer::Stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+std::size_t IQServer::SweepExpired() {
+  std::size_t reclaimed = 0;
+  Nanos now = clock_.Now();
+  for (std::size_t shard = 0; shard < store_.shard_count(); ++shard) {
+    auto g = store_.LockShard(shard);
+    // Collect first (MaybeExpire mutates the map we are iterating), then
+    // expire each through the normal path, which deletes quarantined values
+    // and cleans the session registry.
+    std::vector<std::string> overdue;
+    leases_.ForEach(shard, [&](const std::string& key, LeaseEntry& entry) {
+      if (LeaseTable::Expired(entry, now)) overdue.push_back(key);
+    });
+    for (const std::string& key : overdue) {
+      if (MaybeExpire(g, key)) ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::optional<LeaseKind> IQServer::LeaseOn(std::string_view key) {
+  std::string skey(key);
+  auto g = store_.LockKey(key);
+  MaybeExpire(g, skey);
+  LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
+  if (entry == nullptr) return std::nullopt;
+  return entry->kind;
+}
+
+}  // namespace iq

@@ -1,0 +1,190 @@
+// IQ-Server: the Twemcache-equivalent CacheStore extended with I and Q
+// leases — the paper's Section 5 server, with the Section 3.3 deferred-
+// delete optimization and the Section 4.2.2 own-update visibility rules.
+//
+// Command set (paper numbering):
+//   1. IQget(key, session)        read; may grant an I lease on a miss
+//   2. IQset(key, value, token)   install a value under a valid I lease
+//   3. QaRead(key, session)       Q(refresh) lease + current value
+//   4. SaR(key, v_new, token)     swap value, release Q(refresh) lease
+//   5. GenID()                    new session/transaction id
+//   6. QaReg(tid, key)            Q(invalidate) lease ("QaR" in the paper)
+//   7. DaR(tid)                   delete quarantined keys, release leases
+//   8. IQDelta(tid, key, delta)   buffer an incremental update under Q
+//   9. Commit(tid)                apply buffered deltas / deletes, release
+//  10. Abort(tid)                 discard buffered changes, release
+//
+// Thread safety: every command takes the CacheStore shard lock for its key,
+// so lease state and item state mutate atomically per key. Lease expiry is
+// enforced lazily on access; an expired Q lease deletes the key-value pair
+// (safe: the KVS holds a subset of the RDB), an expired I lease vacates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/kvs_backend.h"
+#include "kvs/kvs.h"
+#include "leases/lease_table.h"
+
+namespace iq {
+
+/// Server-side counters for the evaluation harness.
+struct IQServerStats {
+  std::uint64_t i_granted = 0;
+  std::uint64_t i_voided = 0;       // I leases preempted by Q requests
+  std::uint64_t backoffs = 0;       // IQget told a session to back off
+  std::uint64_t stale_sets_dropped = 0;  // IQset with invalid token ignored
+  std::uint64_t q_inv_granted = 0;
+  std::uint64_t q_ref_granted = 0;
+  std::uint64_t q_rejected = 0;     // QaRead/IQDelta aborted a requester
+  std::uint64_t leases_expired = 0;
+  std::uint64_t expiry_deletes = 0; // keys deleted because a Q lease expired
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+class IQServer final : public KvsBackend {
+ public:
+  struct Config {
+    /// Lease lifetime; 0 = leases never expire (tests drive ManualClock).
+    Nanos lease_lifetime = 10 * kNanosPerSec;
+    /// Section 3.3 optimization: keep the old value visible while a
+    /// Q(invalidate) lease is pending, deleting only at DaR/Commit.
+    /// When false, QaReg deletes the key immediately.
+    bool deferred_delete = true;
+    const Clock* clock = nullptr;
+  };
+
+  /// The server owns its CacheStore.
+  explicit IQServer(CacheStore::Config store_config, Config config);
+  IQServer();
+
+  CacheStore& store() { return store_; }
+  const Clock& clock() const override { return clock_; }
+
+  // ---- commands ---------------------------------------------------------
+
+  /// Command 5: unique session/transaction identifier.
+  SessionId GenID() override {
+    return next_session_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Command 1. `session` identifies the caller so it can observe its own
+  /// updates (0 = anonymous read).
+  GetReply IQget(std::string_view key, SessionId session = 0) override;
+
+  /// Command 2. Applies only when `token` matches the live I lease.
+  StoreResult IQset(std::string_view key, std::string_view value,
+                    LeaseToken token) override;
+
+  /// Command 3. Acquire Q(refresh) and read (R of R-M-W).
+  QaReadReply QaRead(std::string_view key, SessionId session) override;
+
+  /// Command 4. Swap value and release Q(refresh) (W of R-M-W). A nullopt
+  /// value releases the lease leaving the current value in place.
+  StoreResult SaR(std::string_view key, std::optional<std::string_view> v_new,
+                  LeaseToken token) override;
+
+  /// Command 6 (QaR in the paper). Always granted: voids I leases and
+  /// shares with other Q(invalidate) holders.
+  QuarantineResult QaReg(SessionId tid, std::string_view key) override;
+
+  /// Command 7. Deletes every key quarantined by `tid` and releases its
+  /// Q(invalidate) leases.
+  void DaR(SessionId tid) override;
+
+  /// Command 8. Buffer an incremental update under a Q(refresh) lease.
+  QuarantineResult IQDelta(SessionId tid, std::string_view key,
+                           DeltaOp delta) override;
+
+  /// Command 9. Apply `tid`'s buffered deltas, delete its quarantined
+  /// (invalidate) keys, release all its leases.
+  void Commit(SessionId tid) override;
+
+  /// Command 10. Discard `tid`'s buffered changes, release its leases,
+  /// leave current values intact.
+  void Abort(SessionId tid) override;
+
+  /// Release a session's leases on one key without applying changes (used
+  /// by clients when a multi-key acquisition fails midway).
+  void ReleaseKey(SessionId tid, std::string_view key) override;
+
+  /// Facebook-memcached-style delete used by the lease-only baseline: the
+  /// value is removed and any outstanding I lease on the key is voided (a
+  /// subsequent IQset with that token is ignored). Q leases are untouched.
+  bool DeleteVoid(std::string_view key) override;
+
+  // ---- plain memcached operations (KvsBackend; delegate to the store) ----
+  std::optional<CacheItem> Get(std::string_view key) override {
+    return store_.Get(key);
+  }
+  StoreResult Set(std::string_view key, std::string_view value) override {
+    return store_.Set(key, value);
+  }
+  StoreResult Add(std::string_view key, std::string_view value) override {
+    return store_.Add(key, value);
+  }
+  StoreResult Cas(std::string_view key, std::string_view value,
+                  std::uint64_t cas) override {
+    return store_.Cas(key, value, cas);
+  }
+  StoreResult Append(std::string_view key, std::string_view blob) override {
+    return store_.Append(key, blob);
+  }
+  StoreResult Prepend(std::string_view key, std::string_view blob) override {
+    return store_.Prepend(key, blob);
+  }
+  std::optional<std::uint64_t> Incr(std::string_view key,
+                                    std::uint64_t amount) override {
+    return store_.Incr(key, amount);
+  }
+  std::optional<std::uint64_t> Decr(std::string_view key,
+                                    std::uint64_t amount) override {
+    return store_.Decr(key, amount);
+  }
+
+  // ---- introspection ------------------------------------------------------
+
+  IQServerStats Stats() const;
+  /// Live (unexpired) lease on `key`, if any (testing).
+  std::optional<LeaseKind> LeaseOn(std::string_view key);
+  std::size_t LeaseCount() const { return leases_.Size(); }
+
+  /// Proactively expire overdue leases across all shards (expiry is
+  /// otherwise enforced lazily on access). Returns the number of leases
+  /// reclaimed. Suitable for a periodic maintenance task.
+  std::size_t SweepExpired();
+
+ private:
+  /// Expire `entry` if due: Q leases delete the key value. Returns true if
+  /// the entry was removed. Caller holds the shard lock.
+  bool MaybeExpire(const CacheStore::ShardGuard& g, const std::string& key);
+
+  /// Apply one buffered delta to the key's current value. Missing keys are
+  /// skipped for append/prepend/incr/decr (memcached semantics).
+  void ApplyDeltaLocked(const CacheStore::ShardGuard& g, const std::string& key,
+                        const DeltaOp& delta);
+
+  LeaseToken NewToken() { return next_token_.fetch_add(1, std::memory_order_relaxed); }
+  Nanos Deadline() const {
+    return config_.lease_lifetime == 0 ? 0 : clock_.Now() + config_.lease_lifetime;
+  }
+
+  Config config_;
+  CacheStore store_;
+  const Clock& clock_;
+  LeaseTable leases_;
+  SessionRegistry registry_;
+  std::atomic<LeaseToken> next_token_{1};
+  std::atomic<SessionId> next_session_{1};
+
+  mutable std::mutex stats_mu_;
+  IQServerStats stats_;
+};
+
+}  // namespace iq

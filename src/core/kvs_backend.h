@@ -1,0 +1,96 @@
+// KvsBackend: the cache-server contract seen by clients - the ten IQ
+// commands of Section 5 plus the plain memcached operations the baseline
+// clients use. Two implementations exist:
+//
+//   IQServer            (core/iq_server.h)  - in-process
+//   net::RemoteBackend  (net/remote_backend.h) - over the wire protocol
+//
+// Everything above this interface (IQClient, the casql session layer, the
+// BG benchmark) is transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "kvs/kvs.h"
+#include "leases/lease_table.h"
+#include "util/clock.h"
+
+namespace iq {
+
+/// Reply to IQget.
+struct GetReply {
+  enum class Status {
+    kHit,          // value present
+    kMissGrantedI, // miss; caller holds a fresh I lease (token)
+    kMissBackoff,  // miss; another session holds a lease - back off, retry
+    kMissNoLease,  // miss for the session's own quarantined key: query the
+                   // RDBMS inside the session, do not install (Section 3.3)
+  };
+  Status status;
+  std::string value;     // valid when kHit
+  LeaseToken token = 0;  // valid when kMissGrantedI
+};
+
+/// Reply to QaRead.
+struct QaReadReply {
+  enum class Status {
+    kGranted,  // Q lease held; `value` may be nullopt (KVS miss)
+    kReject,   // another write session holds Q: release all, abort, retry
+  };
+  Status status;
+  std::optional<std::string> value;
+  LeaseToken token = 0;
+};
+
+/// Reply to IQDelta / QaReg.
+enum class QuarantineResult {
+  kGranted,
+  kReject,  // conflicting Q(refresh) lease; session must abort and retry
+};
+
+class KvsBackend {
+ public:
+  virtual ~KvsBackend() = default;
+
+  /// Time source clients use for back-off pacing.
+  virtual const Clock& clock() const = 0;
+
+  // ---- the IQ command set (paper Section 5) ----
+  virtual SessionId GenID() = 0;
+  virtual GetReply IQget(std::string_view key, SessionId session = 0) = 0;
+  virtual StoreResult IQset(std::string_view key, std::string_view value,
+                            LeaseToken token) = 0;
+  virtual QaReadReply QaRead(std::string_view key, SessionId session) = 0;
+  virtual StoreResult SaR(std::string_view key,
+                          std::optional<std::string_view> v_new,
+                          LeaseToken token) = 0;
+  virtual QuarantineResult QaReg(SessionId tid, std::string_view key) = 0;
+  virtual void DaR(SessionId tid) = 0;
+  virtual QuarantineResult IQDelta(SessionId tid, std::string_view key,
+                                   DeltaOp delta) = 0;
+  virtual void Commit(SessionId tid) = 0;
+  virtual void Abort(SessionId tid) = 0;
+  /// Release a session's lease on one key without applying changes.
+  virtual void ReleaseKey(SessionId tid, std::string_view key) = 0;
+
+  // ---- plain memcached operations (baseline clients) ----
+  virtual std::optional<CacheItem> Get(std::string_view key) = 0;
+  virtual StoreResult Set(std::string_view key, std::string_view value) = 0;
+  virtual StoreResult Add(std::string_view key, std::string_view value) = 0;
+  virtual StoreResult Cas(std::string_view key, std::string_view value,
+                          std::uint64_t cas) = 0;
+  virtual StoreResult Append(std::string_view key, std::string_view blob) = 0;
+  virtual StoreResult Prepend(std::string_view key, std::string_view blob) = 0;
+  virtual std::optional<std::uint64_t> Incr(std::string_view key,
+                                            std::uint64_t amount) = 0;
+  virtual std::optional<std::uint64_t> Decr(std::string_view key,
+                                            std::uint64_t amount) = 0;
+  /// Facebook-memcached-style delete: removes the value AND voids any
+  /// outstanding I lease on the key.
+  virtual bool DeleteVoid(std::string_view key) = 0;
+};
+
+}  // namespace iq

@@ -1,0 +1,92 @@
+#include "kvs/camp.h"
+
+#include <bit>
+
+namespace iq {
+
+std::uint64_t CampPolicy::RoundRatio(std::uint64_t cost,
+                                     std::size_t size) const {
+  if (size == 0) size = 1;
+  std::uint64_t ratio = cost / size;
+  if (ratio == 0) ratio = 1;
+  // Keep the top `precision_` significant bits; zero the rest. This bounds
+  // the number of distinct queues to precision * 64 while distorting any
+  // ratio by at most a factor (1 + 2^-precision).
+  int width = 64 - std::countl_zero(ratio);
+  if (width <= precision_) return ratio;
+  int drop = width - precision_;
+  return (ratio >> drop) << drop;
+}
+
+void CampPolicy::Enqueue(const std::string& key, Item& item) {
+  auto& queue = queues_[item.ratio];
+  queue.push_back(key);
+  item.pos = std::prev(queue.end());
+  item.priority = inflation_ + item.ratio;
+}
+
+void CampPolicy::Dequeue(const Item& item) {
+  auto it = queues_.find(item.ratio);
+  if (it == queues_.end()) return;
+  it->second.erase(item.pos);
+  if (it->second.empty()) queues_.erase(it);
+}
+
+void CampPolicy::OnInsert(const std::string& key, std::uint64_t cost,
+                          std::size_t size) {
+  std::uint64_t ratio = RoundRatio(cost, size);
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    Dequeue(it->second);
+    it->second.ratio = ratio;
+    Enqueue(key, it->second);
+    return;
+  }
+  Item item;
+  item.ratio = ratio;
+  auto [ins, ok] = items_.emplace(key, std::move(item));
+  (void)ok;
+  Enqueue(key, ins->second);
+}
+
+void CampPolicy::OnAccess(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  Dequeue(it->second);
+  Enqueue(key, it->second);  // fresh priority = current L + ratio
+}
+
+void CampPolicy::OnErase(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  Dequeue(it->second);
+  items_.erase(it);
+}
+
+std::optional<std::string> CampPolicy::Victim() const {
+  const std::string* best = nullptr;
+  std::uint64_t best_priority = 0;
+  for (const auto& [ratio, queue] : queues_) {
+    const std::string& head = queue.front();
+    auto it = items_.find(head);
+    if (it == items_.end()) continue;  // defensive; lists stay in sync
+    if (best == nullptr || it->second.priority < best_priority) {
+      best = &head;
+      best_priority = it->second.priority;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+void CampPolicy::OnEvict(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  // Aging: future insertions start at the evicted priority, so long-idle
+  // expensive items eventually lose to fresh cheap ones.
+  inflation_ = it->second.priority;
+  Dequeue(it->second);
+  items_.erase(it);
+}
+
+}  // namespace iq

@@ -1,0 +1,79 @@
+// CAMP: Cost Adaptive Multi-queue eviction Policy (Ghandeharizadeh, Irani,
+// Lam, Yap - Middleware 2014, cited as [14] by the IQ paper). In a CASQL
+// deployment key-value pairs differ wildly in recomputation cost (a point
+// SELECT vs a multi-join) and size, so cost-blind LRU evicts the wrong
+// items. CAMP approximates Greedy-Dual-Size:
+//
+//   priority(item) = L + round(cost / size)
+//
+// where L is an aging "inflation" value, updated to the priority of the
+// last evicted item, and round() keeps only the top `precision` significant
+// bits of the cost/size ratio. Items whose rounded ratio is equal form one
+// FIFO/LRU queue, so CAMP maintains a small set of queues; the eviction
+// victim is the queue head with the smallest priority. All operations are
+// O(log #queues) instead of Greedy-Dual's O(log n).
+//
+// This header is a self-contained policy object used by CacheStore when
+// Config::eviction == EvictionPolicy::kCamp; it tracks keys, not values.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace iq {
+
+class CampPolicy {
+ public:
+  /// `precision`: number of significant bits kept when rounding the
+  /// cost/size ratio (the paper uses small values, e.g. 4-10).
+  explicit CampPolicy(int precision = 8) : precision_(precision) {}
+
+  /// Track a new or updated item. `cost` is the recomputation cost the
+  /// application reported (default 1 = plain LRU-ish behavior), `size` the
+  /// item's byte footprint (>= 1).
+  void OnInsert(const std::string& key, std::uint64_t cost, std::size_t size);
+
+  /// An access refreshes the item's priority (re-inserts at its queue tail
+  /// with priority L + ratio).
+  void OnAccess(const std::string& key);
+
+  /// Stop tracking a key (deleted/expired).
+  void OnErase(const std::string& key);
+
+  /// Pick the eviction victim: smallest priority among queue heads.
+  /// Returns nullopt when empty. Does NOT erase it (caller erases the item
+  /// then calls OnErase, which updates L).
+  std::optional<std::string> Victim() const;
+
+  /// Called when the chosen victim is actually evicted: advances L.
+  void OnEvict(const std::string& key);
+
+  std::size_t Size() const { return items_.size(); }
+  std::uint64_t inflation() const { return inflation_; }
+  std::size_t QueueCount() const { return queues_.size(); }
+
+ private:
+  struct Item {
+    std::uint64_t ratio;     // rounded cost/size
+    std::uint64_t priority;  // L at last touch + ratio
+    std::list<std::string>::iterator pos;
+  };
+
+  std::uint64_t RoundRatio(std::uint64_t cost, std::size_t size) const;
+  void Enqueue(const std::string& key, Item& item);
+  void Dequeue(const Item& item);
+
+  int precision_;
+  std::uint64_t inflation_ = 0;  // L
+  // ratio -> queue of keys, oldest first. Within a queue priorities are
+  // non-decreasing (enqueue priority = current L + ratio, L non-decreasing),
+  // so the head is always the queue's minimum.
+  std::map<std::uint64_t, std::list<std::string>> queues_;
+  std::unordered_map<std::string, Item> items_;
+};
+
+}  // namespace iq

@@ -1,0 +1,363 @@
+#include "kvs/kvs.h"
+
+#include <charconv>
+#include <functional>
+
+namespace iq {
+
+const char* ToString(StoreResult r) {
+  switch (r) {
+    case StoreResult::kStored: return "STORED";
+    case StoreResult::kNotStored: return "NOT_STORED";
+    case StoreResult::kExists: return "EXISTS";
+    case StoreResult::kNotFound: return "NOT_FOUND";
+  }
+  return "?";
+}
+
+CacheStore::CacheStore() : CacheStore(Config{}) {}
+
+CacheStore::CacheStore(Config config)
+    : clock_(config.clock != nullptr ? *config.clock : SteadyClock::Instance()),
+      per_shard_budget_(config.shard_count > 0 && config.memory_budget_bytes > 0
+                            ? config.memory_budget_bytes / config.shard_count
+                            : 0),
+      shards_(config.shard_count > 0 ? config.shard_count : 1) {
+  if (config.eviction == EvictionPolicy::kCamp) {
+    for (auto& s : shards_) {
+      s.camp = std::make_unique<CampPolicy>(config.camp_precision);
+    }
+  }
+}
+
+std::size_t CacheStore::ShardIndexFor(std::string_view key) const {
+  return std::hash<std::string_view>{}(key) % shards_.size();
+}
+
+CacheStore::Shard& CacheStore::ShardFor(std::string_view key) {
+  return shards_[ShardIndexFor(key)];
+}
+
+CacheStore::ShardGuard CacheStore::LockKey(std::string_view key) {
+  std::size_t idx = ShardIndexFor(key);
+  return ShardGuard(std::unique_lock(shards_[idx].mu), idx);
+}
+
+CacheStore::ShardGuard CacheStore::LockShard(std::size_t index) {
+  return ShardGuard(std::unique_lock(shards_[index].mu), index);
+}
+
+std::size_t CacheStore::ItemBytes(std::string_view key, std::string_view value) {
+  // Key + value + fixed per-item overhead approximating Twemcache's item
+  // header and hash/LRU linkage.
+  return key.size() + value.size() + 64;
+}
+
+bool CacheStore::ExpiredLocked(Shard&, const Item& item) const {
+  return item.expires_at != 0 && clock_.Now() >= item.expires_at;
+}
+
+void CacheStore::EraseLocked(Shard& s,
+                             std::unordered_map<std::string, Item>::iterator it) {
+  s.bytes -= ItemBytes(it->first, it->second.value);
+  s.lru.erase(it->second.lru_pos);
+  if (s.camp) s.camp->OnErase(it->first);
+  s.items.erase(it);
+}
+
+void CacheStore::TouchLocked(Shard& s, Item& item, const std::string& key) {
+  s.lru.erase(item.lru_pos);
+  s.lru.push_front(key);
+  item.lru_pos = s.lru.begin();
+  if (s.camp) s.camp->OnAccess(key);
+}
+
+void CacheStore::EvictIfNeededLocked(Shard& s) {
+  if (per_shard_budget_ == 0) return;
+  while (s.bytes > per_shard_budget_ && !s.items.empty()) {
+    std::unordered_map<std::string, Item>::iterator victim;
+    if (s.camp) {
+      auto key = s.camp->Victim();
+      if (!key) break;
+      victim = s.items.find(*key);
+      if (victim == s.items.end()) {
+        s.camp->OnErase(*key);
+        continue;
+      }
+      s.camp->OnEvict(*key);  // advances the inflation value L
+    } else {
+      if (s.lru.empty()) break;
+      victim = s.items.find(s.lru.back());
+      if (victim == s.items.end()) {  // should not happen; keep lists in sync
+        s.lru.pop_back();
+        continue;
+      }
+    }
+    EraseLocked(s, victim);
+    ++s.stats.evictions;
+  }
+}
+
+std::unordered_map<std::string, CacheStore::Item>::iterator CacheStore::FindLive(
+    Shard& s, std::string_view key) {
+  auto it = s.items.find(std::string(key));
+  if (it == s.items.end()) return s.items.end();
+  if (ExpiredLocked(s, it->second)) {
+    EraseLocked(s, it);
+    ++s.stats.expirations;
+    return s.items.end();
+  }
+  return it;
+}
+
+void CacheStore::StoreLocked(Shard& s, std::string_view key,
+                             std::string_view value, std::uint32_t flags,
+                             Nanos ttl, std::uint64_t cost) {
+  auto it = s.items.find(std::string(key));
+  Nanos expires = ttl > 0 ? clock_.Now() + ttl : 0;
+  if (it != s.items.end()) {
+    s.bytes -= ItemBytes(it->first, it->second.value);
+    it->second.value.assign(value);
+    it->second.flags = flags;
+    it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+    it->second.expires_at = expires;
+    s.bytes += ItemBytes(it->first, it->second.value);
+    if (s.camp) {
+      s.camp->OnInsert(it->first, cost, ItemBytes(it->first, it->second.value));
+    }
+    TouchLocked(s, it->second, it->first);
+  } else {
+    auto [ins, ok] = s.items.emplace(std::string(key), Item{});
+    (void)ok;
+    ins->second.value.assign(value);
+    ins->second.flags = flags;
+    ins->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+    ins->second.expires_at = expires;
+    s.lru.push_front(ins->first);
+    ins->second.lru_pos = s.lru.begin();
+    s.bytes += ItemBytes(ins->first, ins->second.value);
+    if (s.camp) {
+      s.camp->OnInsert(ins->first, cost, ItemBytes(ins->first, ins->second.value));
+    }
+  }
+  EvictIfNeededLocked(s);
+}
+
+std::optional<CacheItem> CacheStore::Get(std::string_view key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.gets;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) {
+    ++s.stats.get_misses;
+    return std::nullopt;
+  }
+  ++s.stats.get_hits;
+  TouchLocked(s, it->second, it->first);
+  return CacheItem{it->second.value, it->second.flags, it->second.cas};
+}
+
+StoreResult CacheStore::Set(std::string_view key, std::string_view value,
+                            std::uint32_t flags, Nanos ttl,
+                            std::uint64_t cost) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.sets;
+  StoreLocked(s, key, value, flags, ttl, cost);
+  return StoreResult::kStored;
+}
+
+StoreResult CacheStore::Add(std::string_view key, std::string_view value,
+                            std::uint32_t flags, Nanos ttl) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.sets;
+  if (FindLive(s, key) != s.items.end()) return StoreResult::kNotStored;
+  StoreLocked(s, key, value, flags, ttl);
+  return StoreResult::kStored;
+}
+
+StoreResult CacheStore::Replace(std::string_view key, std::string_view value,
+                                std::uint32_t flags, Nanos ttl) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.sets;
+  if (FindLive(s, key) == s.items.end()) return StoreResult::kNotStored;
+  StoreLocked(s, key, value, flags, ttl);
+  return StoreResult::kStored;
+}
+
+StoreResult CacheStore::Cas(std::string_view key, std::string_view value,
+                            std::uint64_t cas, std::uint32_t flags, Nanos ttl) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.cas_ops;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return StoreResult::kNotFound;
+  if (it->second.cas != cas) {
+    ++s.stats.cas_mismatches;
+    return StoreResult::kExists;
+  }
+  StoreLocked(s, key, value, flags, ttl);
+  return StoreResult::kStored;
+}
+
+bool CacheStore::Delete(std::string_view key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.deletes;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return false;
+  EraseLocked(s, it);
+  ++s.stats.delete_hits;
+  return true;
+}
+
+StoreResult CacheStore::Append(std::string_view key, std::string_view suffix) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.appends;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return StoreResult::kNotStored;
+  s.bytes -= ItemBytes(it->first, it->second.value);
+  it->second.value.append(suffix);
+  it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  s.bytes += ItemBytes(it->first, it->second.value);
+  TouchLocked(s, it->second, it->first);
+  EvictIfNeededLocked(s);
+  return StoreResult::kStored;
+}
+
+StoreResult CacheStore::Prepend(std::string_view key, std::string_view prefix) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.prepends;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return StoreResult::kNotStored;
+  s.bytes -= ItemBytes(it->first, it->second.value);
+  it->second.value.insert(0, prefix);
+  it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  s.bytes += ItemBytes(it->first, it->second.value);
+  TouchLocked(s, it->second, it->first);
+  EvictIfNeededLocked(s);
+  return StoreResult::kStored;
+}
+
+namespace {
+
+std::optional<std::uint64_t> ParseUint(std::string_view v) {
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> CacheStore::Incr(std::string_view key,
+                                              std::uint64_t delta) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.incr_decrs;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return std::nullopt;
+  auto cur = ParseUint(it->second.value);
+  if (!cur) return std::nullopt;
+  std::uint64_t next = *cur + delta;
+  s.bytes -= ItemBytes(it->first, it->second.value);
+  it->second.value = std::to_string(next);
+  it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  s.bytes += ItemBytes(it->first, it->second.value);
+  return next;
+}
+
+std::optional<std::uint64_t> CacheStore::Decr(std::string_view key,
+                                              std::uint64_t delta) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  ++s.stats.incr_decrs;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return std::nullopt;
+  auto cur = ParseUint(it->second.value);
+  if (!cur) return std::nullopt;
+  std::uint64_t next = *cur >= delta ? *cur - delta : 0;  // saturate at 0
+  s.bytes -= ItemBytes(it->first, it->second.value);
+  it->second.value = std::to_string(next);
+  it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  s.bytes += ItemBytes(it->first, it->second.value);
+  return next;
+}
+
+void CacheStore::Flush() {
+  for (auto& s : shards_) {
+    std::lock_guard lock(s.mu);
+    s.items.clear();
+    s.lru.clear();
+    s.bytes = 0;
+  }
+}
+
+CacheStats CacheStore::Stats() const {
+  CacheStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s.mu);
+    total.gets += s.stats.gets;
+    total.get_hits += s.stats.get_hits;
+    total.get_misses += s.stats.get_misses;
+    total.sets += s.stats.sets;
+    total.deletes += s.stats.deletes;
+    total.delete_hits += s.stats.delete_hits;
+    total.cas_ops += s.stats.cas_ops;
+    total.cas_mismatches += s.stats.cas_mismatches;
+    total.appends += s.stats.appends;
+    total.prepends += s.stats.prepends;
+    total.incr_decrs += s.stats.incr_decrs;
+    total.evictions += s.stats.evictions;
+    total.expirations += s.stats.expirations;
+    total.bytes_used += s.bytes;
+    total.item_count += s.items.size();
+  }
+  return total;
+}
+
+// ---- Locked extension API --------------------------------------------------
+
+std::optional<CacheItem> CacheStore::GetLocked(const ShardGuard& g,
+                                               std::string_view key) {
+  Shard& s = shards_[g.shard_index()];
+  ++s.stats.gets;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) {
+    ++s.stats.get_misses;
+    return std::nullopt;
+  }
+  ++s.stats.get_hits;
+  TouchLocked(s, it->second, it->first);
+  return CacheItem{it->second.value, it->second.flags, it->second.cas};
+}
+
+StoreResult CacheStore::SetLocked(const ShardGuard& g, std::string_view key,
+                                  std::string_view value, std::uint32_t flags,
+                                  Nanos ttl) {
+  Shard& s = shards_[g.shard_index()];
+  ++s.stats.sets;
+  StoreLocked(s, key, value, flags, ttl);
+  return StoreResult::kStored;
+}
+
+bool CacheStore::DeleteLocked(const ShardGuard& g, std::string_view key) {
+  Shard& s = shards_[g.shard_index()];
+  ++s.stats.deletes;
+  auto it = FindLive(s, key);
+  if (it == s.items.end()) return false;
+  EraseLocked(s, it);
+  ++s.stats.delete_hits;
+  return true;
+}
+
+bool CacheStore::ContainsLocked(const ShardGuard& g, std::string_view key) {
+  Shard& s = shards_[g.shard_index()];
+  return FindLive(s, key) != s.items.end();
+}
+
+}  // namespace iq

@@ -1,0 +1,203 @@
+// An in-process key-value store equivalent to Twitter memcached
+// (Twemcache 2.5.3) as used by the paper: get/set/add/replace/cas/delete/
+// append/prepend/incr/decr over byte-string values, with LRU eviction under
+// a byte budget, optional TTLs, and per-operation statistics.
+//
+// The store is sharded; each shard owns a mutex, a hash table, and an LRU
+// list. The IQ-Server (src/core/iq_server.h) composes on top of this class
+// through the Locked* API: it takes the shard lock once, consults its lease
+// table, and manipulates items under the same critical section — exactly
+// how the paper's lease code is woven into Twemcache's item module.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/camp.h"
+#include "util/clock.h"
+
+namespace iq {
+
+/// Which eviction policy a CacheStore runs under its byte budget.
+enum class EvictionPolicy {
+  kLru,   // classic memcached least-recently-used
+  kCamp,  // cost/size-aware CAMP (see kvs/camp.h)
+};
+
+/// Result of a mutating KVS command, mirroring memcached reply semantics.
+enum class StoreResult {
+  kStored,     // value written
+  kNotStored,  // add on existing key / replace-append-prepend on missing key
+  kExists,     // cas version mismatch
+  kNotFound,   // cas/delete/incr on missing key
+};
+
+const char* ToString(StoreResult r);
+
+/// A cached item as returned to callers.
+struct CacheItem {
+  std::string value;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;  // unique version; changes on every write
+};
+
+/// Aggregate statistics (monotonic counters).
+struct CacheStats {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t delete_hits = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t cas_mismatches = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t prepends = 0;
+  std::uint64_t incr_decrs = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t bytes_used = 0;  // snapshot, not monotonic
+  std::uint64_t item_count = 0;  // snapshot, not monotonic
+};
+
+class CacheStore {
+ public:
+  struct Config {
+    std::size_t shard_count = 16;
+    /// Total memory budget across shards; 0 disables eviction.
+    std::size_t memory_budget_bytes = 0;
+    /// Clock used for TTL expiry. Defaults to the process steady clock.
+    const Clock* clock = nullptr;
+    /// Victim selection under the byte budget.
+    EvictionPolicy eviction = EvictionPolicy::kLru;
+    /// Significant bits kept by CAMP's ratio rounding.
+    int camp_precision = 8;
+  };
+
+  CacheStore();
+  explicit CacheStore(Config config);
+
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  // ---- memcached command set -------------------------------------------
+
+  /// get: returns the item, or nullopt on miss/expiry.
+  std::optional<CacheItem> Get(std::string_view key);
+
+  /// set: unconditional store. `cost` is the application-reported cost of
+  /// recomputing this value (used by the CAMP eviction policy; ignored by
+  /// LRU; 1 = default).
+  StoreResult Set(std::string_view key, std::string_view value,
+                  std::uint32_t flags = 0, Nanos ttl = 0,
+                  std::uint64_t cost = 1);
+
+  /// add: store only if the key does not exist.
+  StoreResult Add(std::string_view key, std::string_view value,
+                  std::uint32_t flags = 0, Nanos ttl = 0);
+
+  /// replace: store only if the key exists.
+  StoreResult Replace(std::string_view key, std::string_view value,
+                      std::uint32_t flags = 0, Nanos ttl = 0);
+
+  /// cas: store only if the caller's version matches the current one.
+  StoreResult Cas(std::string_view key, std::string_view value,
+                  std::uint64_t cas, std::uint32_t flags = 0, Nanos ttl = 0);
+
+  /// delete: returns true if the key existed.
+  bool Delete(std::string_view key);
+
+  /// append/prepend: extend an existing value; kNotStored on miss.
+  StoreResult Append(std::string_view key, std::string_view suffix);
+  StoreResult Prepend(std::string_view key, std::string_view prefix);
+
+  /// incr/decr: treat the value as an ASCII unsigned integer. Returns the
+  /// new value, or nullopt if the key is missing or non-numeric. decr
+  /// saturates at 0 (memcached semantics).
+  std::optional<std::uint64_t> Incr(std::string_view key, std::uint64_t delta);
+  std::optional<std::uint64_t> Decr(std::string_view key, std::uint64_t delta);
+
+  /// flush_all: drop every item.
+  void Flush();
+
+  CacheStats Stats() const;
+
+  // ---- extension API for the IQ server ---------------------------------
+  //
+  // LockKey returns a guard holding the shard mutex for `key`; the Locked*
+  // calls below require that guard and run without further locking. Two
+  // keys on the same shard are serialized by construction.
+
+  class ShardGuard {
+   public:
+    ShardGuard(ShardGuard&&) = default;
+    std::size_t shard_index() const { return index_; }
+
+   private:
+    friend class CacheStore;
+    ShardGuard(std::unique_lock<std::mutex> lock, std::size_t index)
+        : lock_(std::move(lock)), index_(index) {}
+    std::unique_lock<std::mutex> lock_;
+    std::size_t index_;
+  };
+
+  ShardGuard LockKey(std::string_view key);
+  /// Lock a shard directly by index (maintenance sweeps).
+  ShardGuard LockShard(std::size_t index);
+  std::size_t ShardIndexFor(std::string_view key) const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  std::optional<CacheItem> GetLocked(const ShardGuard& g, std::string_view key);
+  StoreResult SetLocked(const ShardGuard& g, std::string_view key,
+                        std::string_view value, std::uint32_t flags = 0,
+                        Nanos ttl = 0);
+  bool DeleteLocked(const ShardGuard& g, std::string_view key);
+  bool ContainsLocked(const ShardGuard& g, std::string_view key);
+
+ private:
+  struct Item {
+    std::string value;
+    std::uint32_t flags = 0;
+    std::uint64_t cas = 0;
+    Nanos expires_at = 0;  // 0 = never
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Item> items;
+    std::list<std::string> lru;  // front = most recent (LRU policy)
+    std::unique_ptr<CampPolicy> camp;  // non-null iff eviction == kCamp
+    std::size_t bytes = 0;
+    CacheStats stats;  // guarded by mu
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  bool ExpiredLocked(Shard& s, const Item& item) const;
+  void EraseLocked(Shard& s, std::unordered_map<std::string, Item>::iterator it);
+  void TouchLocked(Shard& s, Item& item, const std::string& key);
+  void StoreLocked(Shard& s, std::string_view key, std::string_view value,
+                   std::uint32_t flags, Nanos ttl, std::uint64_t cost = 1);
+  void EvictIfNeededLocked(Shard& s);
+  static std::size_t ItemBytes(std::string_view key, std::string_view value);
+
+  /// Looks up key, erasing it first if expired. Returns items.end() on miss.
+  std::unordered_map<std::string, Item>::iterator FindLive(Shard& s,
+                                                           std::string_view key);
+
+  const Clock& clock_;
+  std::size_t per_shard_budget_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> cas_counter_{1};
+};
+
+}  // namespace iq

@@ -1,0 +1,78 @@
+#include "leases/lease_table.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace iq {
+
+const char* ToString(LeaseKind k) {
+  switch (k) {
+    case LeaseKind::kInhibit: return "I";
+    case LeaseKind::kQInvalidate: return "Q-inv";
+    case LeaseKind::kQRefresh: return "Q-ref";
+  }
+  return "?";
+}
+
+LeaseEntry* LeaseTable::Find(std::size_t shard, const std::string& key) {
+  auto& m = shards_[shard];
+  auto it = m.find(key);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+const LeaseEntry* LeaseTable::Find(std::size_t shard,
+                                   const std::string& key) const {
+  const auto& m = shards_[shard];
+  auto it = m.find(key);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+LeaseEntry& LeaseTable::Put(std::size_t shard, const std::string& key,
+                            LeaseEntry entry) {
+  return shards_[shard].insert_or_assign(key, std::move(entry)).first->second;
+}
+
+void LeaseTable::Erase(std::size_t shard, const std::string& key) {
+  shards_[shard].erase(key);
+}
+
+std::size_t LeaseTable::Size() const {
+  std::size_t n = 0;
+  for (const auto& m : shards_) n += m.size();
+  return n;
+}
+
+void SessionRegistry::AddKey(SessionId session, const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto& keys = sessions_[session];
+  if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+    keys.push_back(key);
+  }
+}
+
+void SessionRegistry::RemoveKey(SessionId session, const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  auto& keys = it->second;
+  keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+  if (keys.empty()) sessions_.erase(it);
+}
+
+std::vector<std::string> SessionRegistry::Keys(SessionId session) const {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void SessionRegistry::Drop(SessionId session) {
+  std::lock_guard lock(mu_);
+  sessions_.erase(session);
+}
+
+std::size_t SessionRegistry::SessionCount() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace iq

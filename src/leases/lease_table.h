@@ -1,0 +1,126 @@
+// Lease bookkeeping for the IQ framework (paper Sections 3-5).
+//
+// Three lease flavors exist on a key:
+//   kInhibit    - "I" lease: granted to one read session on a KVS miss so it
+//                 alone recomputes the value from the RDBMS. At most one per
+//                 key; voided by any Q request.
+//   kQInvalidate- "Q" lease taken by invalidate-technique write sessions
+//                 (QaReg/DaR). Multiple sessions may share it (deletes are
+//                 idempotent, Figure 5a).
+//   kQRefresh   - "Q" lease taken by refresh (QaRead/SaR) and incremental-
+//                 update (IQ-delta/Commit) write sessions. Exclusive: a
+//                 second session's request is rejected and that session
+//                 aborts (Figure 5b). Buffers pending deltas server-side.
+//
+// LeaseTable stores entries sharded identically to the CacheStore so the
+// IQ-Server can examine/modify the lease and the cached item under one
+// shard lock. LeaseTable itself performs no locking.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace iq {
+
+/// Unique, unguessable-enough lease identity. 0 is "no token".
+using LeaseToken = std::uint64_t;
+
+/// Session / transaction identity handed out by GenID(). 0 is "anonymous".
+using SessionId = std::uint64_t;
+
+enum class LeaseKind { kInhibit, kQInvalidate, kQRefresh };
+
+const char* ToString(LeaseKind k);
+
+/// A buffered incremental update (paper's IQ-delta command).
+struct DeltaOp {
+  enum class Kind { kAppend, kPrepend, kIncr, kDecr };
+  Kind kind;
+  std::string blob;          // kAppend / kPrepend payload
+  std::uint64_t amount = 0;  // kIncr / kDecr amount
+};
+
+struct LeaseEntry {
+  LeaseKind kind;
+  /// Valid for kInhibit and kQRefresh. 0 for kQInvalidate.
+  LeaseToken token = 0;
+  /// Owner for kInhibit/kQRefresh.
+  SessionId holder = 0;
+  /// Sharing owners for kQInvalidate.
+  std::unordered_set<SessionId> inv_holders;
+  /// Expiration (Clock::Now() scale).
+  Nanos expires_at = 0;
+  /// kQRefresh only: deltas queued by IQ-delta, applied at Commit.
+  std::vector<DeltaOp> pending_deltas;
+
+  bool HeldBy(SessionId s) const {
+    if (kind == LeaseKind::kQInvalidate) return inv_holders.contains(s);
+    return holder == s;
+  }
+};
+
+/// Sharded key -> LeaseEntry map. Callers (the IQ-Server) are responsible
+/// for holding the corresponding CacheStore shard lock around every call
+/// that touches a given shard.
+class LeaseTable {
+ public:
+  explicit LeaseTable(std::size_t shard_count)
+      : shards_(shard_count > 0 ? shard_count : 1) {}
+
+  /// Lease on `key`, or nullptr. Does NOT check expiry (see Expired()).
+  LeaseEntry* Find(std::size_t shard, const std::string& key);
+  const LeaseEntry* Find(std::size_t shard, const std::string& key) const;
+
+  /// Insert or overwrite.
+  LeaseEntry& Put(std::size_t shard, const std::string& key, LeaseEntry entry);
+
+  void Erase(std::size_t shard, const std::string& key);
+
+  static bool Expired(const LeaseEntry& e, Nanos now) {
+    return e.expires_at != 0 && now >= e.expires_at;
+  }
+
+  /// Count of live entries (testing/stats; caller must not hold shard locks
+  /// unevenly — intended for quiescent inspection).
+  std::size_t Size() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Visit every (key, entry) of one shard.
+  template <typename Fn>
+  void ForEach(std::size_t shard, Fn&& fn) {
+    for (auto& [key, entry] : shards_[shard]) fn(key, entry);
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, LeaseEntry>> shards_;
+};
+
+/// Per-session registry of quarantined keys, needed so Commit/Abort/DaR can
+/// find everything a session holds. Thread-safe with an internal mutex.
+///
+/// Lock order: CacheStore shard lock, then this registry's mutex. Never
+/// acquire a shard lock while holding the registry mutex.
+class SessionRegistry {
+ public:
+  void AddKey(SessionId session, const std::string& key);
+  void RemoveKey(SessionId session, const std::string& key);
+  /// All keys registered to `session` (copy), in registration order.
+  std::vector<std::string> Keys(SessionId session) const;
+  /// Drop the whole session entry.
+  void Drop(SessionId session);
+  std::size_t SessionCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<SessionId, std::vector<std::string>> sessions_;
+};
+
+}  // namespace iq

@@ -1,0 +1,296 @@
+#include "net/channel.h"
+
+#include "util/backoff.h"
+
+namespace iq::net {
+
+LoopbackChannel::LoopbackChannel(IQServer& server, Nanos one_way_latency,
+                                 const Clock* clock)
+    : dispatcher_(server),
+      latency_(one_way_latency),
+      clock_(clock != nullptr ? *clock : SteadyClock::Instance()) {}
+
+std::string LoopbackChannel::RoundTrip(const std::string& request_bytes) {
+  if (latency_ > 0) SleepFor(clock_, latency_);
+  std::string reply;
+  {
+    std::lock_guard lock(mu_);
+    parser_.Feed(request_bytes);
+    Request request;
+    std::string error;
+    // A single RoundTrip may carry several pipelined requests; answer all.
+    while (true) {
+      auto status = parser_.Next(&request, &error);
+      if (status == RequestParser::Status::kNeedMore) break;
+      if (status == RequestParser::Status::kError) {
+        Response err;
+        err.type = ResponseType::kError;
+        err.message = error;
+        reply += Serialize(err);
+        continue;
+      }
+      ++requests_;
+      reply += Serialize(dispatcher_.Dispatch(request));
+    }
+  }
+  if (latency_ > 0) SleepFor(clock_, latency_);
+  return reply;
+}
+
+Response RemoteCacheClient::Call(const Request& request) {
+  std::string bytes = channel_.RoundTrip(Serialize(request));
+  std::size_t consumed = 0;
+  auto response = ParseResponse(bytes, &consumed);
+  if (!response) {
+    Response err;
+    err.type = ResponseType::kError;
+    err.message = "short or malformed response";
+    return err;
+  }
+  return *response;
+}
+
+std::optional<CacheItem> RemoteCacheClient::Get(const std::string& key) {
+  Request r;
+  r.command = Command::kGet;
+  r.key = key;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kValue) return std::nullopt;
+  return CacheItem{std::move(resp.data), resp.flags, resp.cas_unique};
+}
+
+std::optional<CacheItem> RemoteCacheClient::Gets(const std::string& key) {
+  Request r;
+  r.command = Command::kGets;
+  r.key = key;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kValue) return std::nullopt;
+  return CacheItem{std::move(resp.data), resp.flags, resp.cas_unique};
+}
+
+namespace {
+
+StoreResult ToStoreResult(const Response& resp) {
+  switch (resp.type) {
+    case ResponseType::kStored: return StoreResult::kStored;
+    case ResponseType::kExists: return StoreResult::kExists;
+    case ResponseType::kNotFound: return StoreResult::kNotFound;
+    default: return StoreResult::kNotStored;
+  }
+}
+
+}  // namespace
+
+StoreResult RemoteCacheClient::Set(const std::string& key,
+                                   const std::string& value,
+                                   std::uint32_t flags, std::int64_t exptime) {
+  Request r;
+  r.command = Command::kSet;
+  r.key = key;
+  r.data = value;
+  r.flags = flags;
+  r.exptime = exptime;
+  return ToStoreResult(Call(r));
+}
+
+StoreResult RemoteCacheClient::Add(const std::string& key,
+                                   const std::string& value) {
+  Request r;
+  r.command = Command::kAdd;
+  r.key = key;
+  r.data = value;
+  return ToStoreResult(Call(r));
+}
+
+StoreResult RemoteCacheClient::Cas(const std::string& key,
+                                   const std::string& value,
+                                   std::uint64_t unique) {
+  Request r;
+  r.command = Command::kCas;
+  r.key = key;
+  r.data = value;
+  r.cas_unique = unique;
+  return ToStoreResult(Call(r));
+}
+
+bool RemoteCacheClient::Delete(const std::string& key) {
+  Request r;
+  r.command = Command::kDelete;
+  r.key = key;
+  return Call(r).type == ResponseType::kDeleted;
+}
+
+StoreResult RemoteCacheClient::Append(const std::string& key,
+                                      const std::string& blob) {
+  Request r;
+  r.command = Command::kAppend;
+  r.key = key;
+  r.data = blob;
+  return ToStoreResult(Call(r));
+}
+
+StoreResult RemoteCacheClient::Prepend(const std::string& key,
+                                       const std::string& blob) {
+  Request r;
+  r.command = Command::kPrepend;
+  r.key = key;
+  r.data = blob;
+  return ToStoreResult(Call(r));
+}
+
+std::optional<std::uint64_t> RemoteCacheClient::Incr(const std::string& key,
+                                                     std::uint64_t amount) {
+  Request r;
+  r.command = Command::kIncr;
+  r.key = key;
+  r.amount = amount;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kNumber) return std::nullopt;
+  return resp.number;
+}
+
+std::optional<std::uint64_t> RemoteCacheClient::Decr(const std::string& key,
+                                                     std::uint64_t amount) {
+  Request r;
+  r.command = Command::kDecr;
+  r.key = key;
+  r.amount = amount;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kNumber) return std::nullopt;
+  return resp.number;
+}
+
+void RemoteCacheClient::FlushAll() {
+  Request r;
+  r.command = Command::kFlushAll;
+  Call(r);
+}
+
+std::string RemoteCacheClient::Stats() {
+  Request r;
+  r.command = Command::kStats;
+  return Call(r).message;
+}
+
+GetReply RemoteCacheClient::IQget(const std::string& key, SessionId session) {
+  Request r;
+  r.command = Command::kIQGet;
+  r.key = key;
+  r.session = session;
+  Response resp = Call(r);
+  switch (resp.type) {
+    case ResponseType::kValue:
+      return {GetReply::Status::kHit, std::move(resp.data), 0};
+    case ResponseType::kMissToken:
+      return {GetReply::Status::kMissGrantedI, {}, resp.number};
+    case ResponseType::kMissNoLease:
+      return {GetReply::Status::kMissNoLease, {}, 0};
+    default:
+      return {GetReply::Status::kMissBackoff, {}, 0};
+  }
+}
+
+StoreResult RemoteCacheClient::IQset(const std::string& key,
+                                     const std::string& value,
+                                     LeaseToken token) {
+  Request r;
+  r.command = Command::kIQSet;
+  r.key = key;
+  r.data = value;
+  r.token = token;
+  return ToStoreResult(Call(r));
+}
+
+QaReadReply RemoteCacheClient::QaRead(const std::string& key,
+                                      SessionId session) {
+  Request r;
+  r.command = Command::kQaRead;
+  r.key = key;
+  r.session = session;
+  Response resp = Call(r);
+  switch (resp.type) {
+    case ResponseType::kQValue:
+      return {QaReadReply::Status::kGranted, std::move(resp.data), resp.number};
+    case ResponseType::kQMiss:
+      return {QaReadReply::Status::kGranted, std::nullopt, resp.number};
+    default:
+      return {QaReadReply::Status::kReject, std::nullopt, 0};
+  }
+}
+
+StoreResult RemoteCacheClient::SaR(const std::string& key,
+                                   const std::optional<std::string>& value,
+                                   LeaseToken token) {
+  Request r;
+  r.command = value ? Command::kSaR : Command::kSaRNull;
+  r.key = key;
+  if (value) r.data = *value;
+  r.token = token;
+  return ToStoreResult(Call(r));
+}
+
+SessionId RemoteCacheClient::GenID() {
+  Request r;
+  r.command = Command::kGenId;
+  Response resp = Call(r);
+  return resp.type == ResponseType::kId ? resp.number : 0;
+}
+
+void RemoteCacheClient::QaReg(SessionId tid, const std::string& key) {
+  Request r;
+  r.command = Command::kQaReg;
+  r.session = tid;
+  r.key = key;
+  Call(r);
+}
+
+void RemoteCacheClient::DaR(SessionId tid) {
+  Request r;
+  r.command = Command::kDaR;
+  r.session = tid;
+  Call(r);
+}
+
+QuarantineResult RemoteCacheClient::IQDelta(SessionId tid,
+                                            const std::string& key,
+                                            DeltaOp delta) {
+  Request r;
+  r.session = tid;
+  r.key = key;
+  switch (delta.kind) {
+    case DeltaOp::Kind::kAppend:
+      r.command = Command::kIQAppend;
+      r.data = std::move(delta.blob);
+      break;
+    case DeltaOp::Kind::kPrepend:
+      r.command = Command::kIQPrepend;
+      r.data = std::move(delta.blob);
+      break;
+    case DeltaOp::Kind::kIncr:
+      r.command = Command::kIQIncr;
+      r.amount = delta.amount;
+      break;
+    case DeltaOp::Kind::kDecr:
+      r.command = Command::kIQDecr;
+      r.amount = delta.amount;
+      break;
+  }
+  return Call(r).type == ResponseType::kGranted ? QuarantineResult::kGranted
+                                                : QuarantineResult::kReject;
+}
+
+void RemoteCacheClient::Commit(SessionId tid) {
+  Request r;
+  r.command = Command::kCommit;
+  r.session = tid;
+  Call(r);
+}
+
+void RemoteCacheClient::Abort(SessionId tid) {
+  Request r;
+  r.command = Command::kAbort;
+  r.session = tid;
+  Call(r);
+}
+
+}  // namespace iq::net

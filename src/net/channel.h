@@ -1,0 +1,95 @@
+// Transport layer: a byte-oriented channel between a protocol client and
+// the dispatcher, plus a remote-client facade that speaks the wire format.
+//
+// LoopbackChannel is an in-process stand-in for a TCP connection to the
+// cache server: bytes go through the full serialize -> parse -> dispatch ->
+// serialize -> parse cycle, with optional injected round-trip latency, so
+// everything above the socket layer is exercised exactly as in a networked
+// deployment.
+#pragma once
+
+#include "core/iq_server.h"
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/clock.h"
+
+namespace iq::net {
+
+/// Abstract request/response byte channel (client side of a connection).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Send request bytes; block until the response bytes arrive.
+  virtual std::string RoundTrip(const std::string& request_bytes) = 0;
+};
+
+/// In-process channel straight into a CommandDispatcher.
+class LoopbackChannel final : public Channel {
+ public:
+  /// `one_way_latency` is injected on each direction of every round trip.
+  explicit LoopbackChannel(IQServer& server, Nanos one_way_latency = 0,
+                           const Clock* clock = nullptr);
+
+  std::string RoundTrip(const std::string& request_bytes) override;
+
+  /// Requests served so far.
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  CommandDispatcher dispatcher_;
+  Nanos latency_;
+  const Clock& clock_;
+  std::mutex mu_;  // one outstanding request per connection, like memcached
+  RequestParser parser_;
+  std::uint64_t requests_ = 0;
+};
+
+/// A memcached/IQ client that talks through a Channel - the remote
+/// equivalent of calling IQServer directly. Each method performs one
+/// round trip.
+class RemoteCacheClient {
+ public:
+  explicit RemoteCacheClient(Channel& channel) : channel_(channel) {}
+
+  // -- standard commands --
+  std::optional<CacheItem> Get(const std::string& key);
+  std::optional<CacheItem> Gets(const std::string& key);
+  StoreResult Set(const std::string& key, const std::string& value,
+                  std::uint32_t flags = 0, std::int64_t exptime = 0);
+  StoreResult Add(const std::string& key, const std::string& value);
+  StoreResult Cas(const std::string& key, const std::string& value,
+                  std::uint64_t unique);
+  bool Delete(const std::string& key);
+  StoreResult Append(const std::string& key, const std::string& blob);
+  StoreResult Prepend(const std::string& key, const std::string& blob);
+  std::optional<std::uint64_t> Incr(const std::string& key, std::uint64_t amount);
+  std::optional<std::uint64_t> Decr(const std::string& key, std::uint64_t amount);
+  void FlushAll();
+  std::string Stats();
+
+  // -- IQ commands --
+  GetReply IQget(const std::string& key, SessionId session);
+  StoreResult IQset(const std::string& key, const std::string& value,
+                    LeaseToken token);
+  QaReadReply QaRead(const std::string& key, SessionId session);
+  StoreResult SaR(const std::string& key,
+                  const std::optional<std::string>& value, LeaseToken token);
+  SessionId GenID();
+  void QaReg(SessionId tid, const std::string& key);
+  void DaR(SessionId tid);
+  QuarantineResult IQDelta(SessionId tid, const std::string& key, DeltaOp delta);
+  void Commit(SessionId tid);
+  void Abort(SessionId tid);
+
+ private:
+  Response Call(const Request& request);
+
+  Channel& channel_;
+};
+
+}  // namespace iq::net

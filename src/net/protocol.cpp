@@ -1,0 +1,484 @@
+#include "net/protocol.h"
+
+#include <charconv>
+#include <unordered_map>
+
+namespace iq::net {
+namespace {
+
+std::optional<std::uint64_t> ParseU64(std::string_view s) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> ParseI64(std::string_view s) {
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+struct CommandInfo {
+  Command command;
+  bool has_payload;  // followed by a data block
+};
+
+const std::unordered_map<std::string_view, CommandInfo>& CommandTable() {
+  static const auto* table = new std::unordered_map<std::string_view, CommandInfo>{
+      {"get", {Command::kGet, false}},
+      {"gets", {Command::kGets, false}},
+      {"set", {Command::kSet, true}},
+      {"add", {Command::kAdd, true}},
+      {"replace", {Command::kReplace, true}},
+      {"cas", {Command::kCas, true}},
+      {"append", {Command::kAppend, true}},
+      {"prepend", {Command::kPrepend, true}},
+      {"delete", {Command::kDelete, false}},
+      {"incr", {Command::kIncr, false}},
+      {"decr", {Command::kDecr, false}},
+      {"flush_all", {Command::kFlushAll, false}},
+      {"stats", {Command::kStats, false}},
+      {"quit", {Command::kQuit, false}},
+      {"iqget", {Command::kIQGet, false}},
+      {"iqset", {Command::kIQSet, true}},
+      {"qaread", {Command::kQaRead, false}},
+      {"sar", {Command::kSaR, true}},
+      {"sarnull", {Command::kSaRNull, false}},
+      {"genid", {Command::kGenId, false}},
+      {"qareg", {Command::kQaReg, false}},
+      {"dar", {Command::kDaR, false}},
+      {"iqappend", {Command::kIQAppend, true}},
+      {"iqprepend", {Command::kIQPrepend, true}},
+      {"iqincr", {Command::kIQIncr, false}},
+      {"iqdecr", {Command::kIQDecr, false}},
+      {"commit", {Command::kCommit, false}},
+      {"abort", {Command::kAbort, false}},
+  };
+  return *table;
+}
+
+/// Expected payload size for a storage-style command line, or nullopt for
+/// malformed lines. Fills the non-payload fields of *req.
+std::optional<std::size_t> ParseCommandLine(
+    const std::vector<std::string_view>& tok, const CommandInfo& info,
+    Request* req, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<std::size_t> {
+    *error = msg;
+    return std::nullopt;
+  };
+  req->command = info.command;
+  switch (info.command) {
+    case Command::kGet:
+    case Command::kGets:
+    case Command::kDelete:
+      if (tok.size() != 2) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      return 0;
+    case Command::kSet:
+    case Command::kAdd:
+    case Command::kReplace:
+    case Command::kAppend:
+    case Command::kPrepend: {
+      if (tok.size() != 5) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto flags = ParseU64(tok[2]);
+      auto exptime = ParseI64(tok[3]);
+      auto bytes = ParseU64(tok[4]);
+      if (!flags || !exptime || !bytes) return fail("bad numeric field");
+      req->flags = static_cast<std::uint32_t>(*flags);
+      req->exptime = *exptime;
+      return *bytes;
+    }
+    case Command::kCas: {
+      if (tok.size() != 6) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto flags = ParseU64(tok[2]);
+      auto exptime = ParseI64(tok[3]);
+      auto bytes = ParseU64(tok[4]);
+      auto unique = ParseU64(tok[5]);
+      if (!flags || !exptime || !bytes || !unique) return fail("bad numeric field");
+      req->flags = static_cast<std::uint32_t>(*flags);
+      req->exptime = *exptime;
+      req->cas_unique = *unique;
+      return *bytes;
+    }
+    case Command::kIncr:
+    case Command::kDecr: {
+      if (tok.size() != 3) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto amount = ParseU64(tok[2]);
+      if (!amount) return fail("bad amount");
+      req->amount = *amount;
+      return 0;
+    }
+    case Command::kFlushAll:
+    case Command::kStats:
+    case Command::kQuit:
+    case Command::kGenId:
+      if (tok.size() != 1) return fail("bad argument count");
+      return 0;
+    case Command::kIQGet:
+    case Command::kQaRead: {
+      if (tok.size() != 3) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto session = ParseU64(tok[2]);
+      if (!session) return fail("bad session id");
+      req->session = *session;
+      return 0;
+    }
+    case Command::kIQSet:
+    case Command::kSaR: {
+      if (tok.size() != 4) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto token = ParseU64(tok[2]);
+      auto bytes = ParseU64(tok[3]);
+      if (!token || !bytes) return fail("bad numeric field");
+      req->token = *token;
+      return *bytes;
+    }
+    case Command::kSaRNull: {
+      if (tok.size() != 3) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      auto token = ParseU64(tok[2]);
+      if (!token) return fail("bad token");
+      req->token = *token;
+      return 0;
+    }
+    case Command::kQaReg: {
+      if (tok.size() != 3) return fail("bad argument count");
+      auto tid = ParseU64(tok[1]);
+      if (!tid) return fail("bad tid");
+      req->session = *tid;
+      req->key = std::string(tok[2]);
+      return 0;
+    }
+    case Command::kDaR:
+    case Command::kCommit:
+    case Command::kAbort: {
+      if (tok.size() != 2) return fail("bad argument count");
+      auto tid = ParseU64(tok[1]);
+      if (!tid) return fail("bad tid");
+      req->session = *tid;
+      return 0;
+    }
+    case Command::kIQAppend:
+    case Command::kIQPrepend: {
+      if (tok.size() != 4) return fail("bad argument count");
+      auto tid = ParseU64(tok[1]);
+      auto bytes = ParseU64(tok[3]);
+      if (!tid || !bytes) return fail("bad numeric field");
+      req->session = *tid;
+      req->key = std::string(tok[2]);
+      return *bytes;
+    }
+    case Command::kIQIncr:
+    case Command::kIQDecr: {
+      if (tok.size() != 4) return fail("bad argument count");
+      auto tid = ParseU64(tok[1]);
+      auto amount = ParseU64(tok[3]);
+      if (!tid || !amount) return fail("bad numeric field");
+      req->session = *tid;
+      req->key = std::string(tok[2]);
+      req->amount = *amount;
+      return 0;
+    }
+  }
+  return fail("unhandled command");
+}
+
+}  // namespace
+
+const char* ToString(Command c) {
+  switch (c) {
+    case Command::kGet: return "get";
+    case Command::kGets: return "gets";
+    case Command::kSet: return "set";
+    case Command::kAdd: return "add";
+    case Command::kReplace: return "replace";
+    case Command::kCas: return "cas";
+    case Command::kAppend: return "append";
+    case Command::kPrepend: return "prepend";
+    case Command::kDelete: return "delete";
+    case Command::kIncr: return "incr";
+    case Command::kDecr: return "decr";
+    case Command::kFlushAll: return "flush_all";
+    case Command::kStats: return "stats";
+    case Command::kQuit: return "quit";
+    case Command::kIQGet: return "iqget";
+    case Command::kIQSet: return "iqset";
+    case Command::kQaRead: return "qaread";
+    case Command::kSaR: return "sar";
+    case Command::kSaRNull: return "sarnull";
+    case Command::kGenId: return "genid";
+    case Command::kQaReg: return "qareg";
+    case Command::kDaR: return "dar";
+    case Command::kIQAppend: return "iqappend";
+    case Command::kIQPrepend: return "iqprepend";
+    case Command::kIQIncr: return "iqincr";
+    case Command::kIQDecr: return "iqdecr";
+    case Command::kCommit: return "commit";
+    case Command::kAbort: return "abort";
+  }
+  return "?";
+}
+
+RequestParser::Status RequestParser::Next(Request* out, std::string* error) {
+  std::size_t eol = buffer_.find("\r\n");
+  if (eol == std::string::npos) return Status::kNeedMore;
+  std::string_view line(buffer_.data(), eol);
+  auto tokens = SplitTokens(line);
+  if (tokens.empty()) {
+    *error = "empty command line";
+    buffer_.erase(0, eol + 2);
+    return Status::kError;
+  }
+  auto it = CommandTable().find(tokens[0]);
+  if (it == CommandTable().end()) {
+    *error = "unknown command '" + std::string(tokens[0]) + "'";
+    buffer_.erase(0, eol + 2);
+    return Status::kError;
+  }
+  Request req;
+  auto payload = ParseCommandLine(tokens, it->second, &req, error);
+  if (!payload) {
+    buffer_.erase(0, eol + 2);
+    return Status::kError;
+  }
+  std::size_t need = *payload;
+  if (it->second.has_payload) {
+    // Data block: <need> bytes followed by \r\n.
+    std::size_t total = eol + 2 + need + 2;
+    if (buffer_.size() < total) return Status::kNeedMore;
+    if (buffer_[eol + 2 + need] != '\r' || buffer_[eol + 2 + need + 1] != '\n') {
+      *error = "bad data chunk terminator";
+      buffer_.erase(0, total);
+      return Status::kError;
+    }
+    req.data = buffer_.substr(eol + 2, need);
+    buffer_.erase(0, total);
+  } else {
+    buffer_.erase(0, eol + 2);
+  }
+  *out = std::move(req);
+  return Status::kOk;
+}
+
+std::string Serialize(const Request& r) {
+  auto line_and_data = [&](std::string line) {
+    line += " " + std::to_string(r.data.size()) + "\r\n";
+    line += r.data;
+    line += "\r\n";
+    return line;
+  };
+  switch (r.command) {
+    case Command::kGet: return "get " + r.key + "\r\n";
+    case Command::kGets: return "gets " + r.key + "\r\n";
+    case Command::kSet:
+    case Command::kAdd:
+    case Command::kReplace:
+    case Command::kAppend:
+    case Command::kPrepend:
+      return line_and_data(std::string(ToString(r.command)) + " " + r.key +
+                           " " + std::to_string(r.flags) + " " +
+                           std::to_string(r.exptime));
+    case Command::kCas: {
+      std::string line = "cas " + r.key + " " + std::to_string(r.flags) +
+                         " " + std::to_string(r.exptime) + " " +
+                         std::to_string(r.data.size()) + " " +
+                         std::to_string(r.cas_unique) + "\r\n";
+      line += r.data;
+      line += "\r\n";
+      return line;
+    }
+    case Command::kDelete: return "delete " + r.key + "\r\n";
+    case Command::kIncr:
+      return "incr " + r.key + " " + std::to_string(r.amount) + "\r\n";
+    case Command::kDecr:
+      return "decr " + r.key + " " + std::to_string(r.amount) + "\r\n";
+    case Command::kFlushAll: return "flush_all\r\n";
+    case Command::kStats: return "stats\r\n";
+    case Command::kQuit: return "quit\r\n";
+    case Command::kIQGet:
+      return "iqget " + r.key + " " + std::to_string(r.session) + "\r\n";
+    case Command::kIQSet:
+      return line_and_data("iqset " + r.key + " " + std::to_string(r.token));
+    case Command::kQaRead:
+      return "qaread " + r.key + " " + std::to_string(r.session) + "\r\n";
+    case Command::kSaR:
+      return line_and_data("sar " + r.key + " " + std::to_string(r.token));
+    case Command::kSaRNull:
+      return "sarnull " + r.key + " " + std::to_string(r.token) + "\r\n";
+    case Command::kGenId: return "genid\r\n";
+    case Command::kQaReg:
+      return "qareg " + std::to_string(r.session) + " " + r.key + "\r\n";
+    case Command::kDaR: return "dar " + std::to_string(r.session) + "\r\n";
+    case Command::kIQAppend:
+      return line_and_data("iqappend " + std::to_string(r.session) + " " + r.key);
+    case Command::kIQPrepend:
+      return line_and_data("iqprepend " + std::to_string(r.session) + " " + r.key);
+    case Command::kIQIncr:
+      return "iqincr " + std::to_string(r.session) + " " + r.key + " " +
+             std::to_string(r.amount) + "\r\n";
+    case Command::kIQDecr:
+      return "iqdecr " + std::to_string(r.session) + " " + r.key + " " +
+             std::to_string(r.amount) + "\r\n";
+    case Command::kCommit: return "commit " + std::to_string(r.session) + "\r\n";
+    case Command::kAbort: return "abort " + std::to_string(r.session) + "\r\n";
+  }
+  return "";
+}
+
+std::string Serialize(const Response& r) {
+  switch (r.type) {
+    case ResponseType::kValue: {
+      std::string out = "VALUE " + r.key + " " + std::to_string(r.flags) +
+                        " " + std::to_string(r.data.size());
+      if (r.with_cas) out += " " + std::to_string(r.cas_unique);
+      out += "\r\n";
+      out += r.data;
+      out += "\r\nEND\r\n";
+      return out;
+    }
+    case ResponseType::kEnd: return "END\r\n";
+    case ResponseType::kStored: return "STORED\r\n";
+    case ResponseType::kNotStored: return "NOT_STORED\r\n";
+    case ResponseType::kExists: return "EXISTS\r\n";
+    case ResponseType::kNotFound: return "NOT_FOUND\r\n";
+    case ResponseType::kDeleted: return "DELETED\r\n";
+    case ResponseType::kNumber: return std::to_string(r.number) + "\r\n";
+    case ResponseType::kError:
+      return r.message.empty() ? "ERROR\r\n"
+                               : "CLIENT_ERROR " + r.message + "\r\n";
+    case ResponseType::kOk: return "OK\r\n";
+    case ResponseType::kStats: return r.message + "END\r\n";
+    case ResponseType::kMissToken:
+      return "MISS_TOKEN " + std::to_string(r.number) + "\r\n";
+    case ResponseType::kMissBackoff: return "MISS_BACKOFF\r\n";
+    case ResponseType::kMissNoLease: return "MISS_NOLEASE\r\n";
+    case ResponseType::kQValue: {
+      std::string out = "QVALUE " + std::to_string(r.number) + " " +
+                        std::to_string(r.data.size()) + "\r\n";
+      out += r.data;
+      out += "\r\n";
+      return out;
+    }
+    case ResponseType::kQMiss:
+      return "QMISS " + std::to_string(r.number) + "\r\n";
+    case ResponseType::kReject: return "REJECT\r\n";
+    case ResponseType::kGranted: return "GRANTED\r\n";
+    case ResponseType::kId: return "ID " + std::to_string(r.number) + "\r\n";
+  }
+  return "";
+}
+
+std::optional<Response> ParseResponse(std::string_view bytes,
+                                      std::size_t* consumed) {
+  std::size_t eol = bytes.find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  std::string_view line = bytes.substr(0, eol);
+  auto tokens = SplitTokens(line);
+  if (tokens.empty()) return std::nullopt;
+  Response resp;
+  auto simple = [&](ResponseType t) {
+    resp.type = t;
+    *consumed = eol + 2;
+    return resp;
+  };
+  std::string_view head = tokens[0];
+  if (head == "END") return simple(ResponseType::kEnd);
+  if (head == "STORED") return simple(ResponseType::kStored);
+  if (head == "NOT_STORED") return simple(ResponseType::kNotStored);
+  if (head == "EXISTS") return simple(ResponseType::kExists);
+  if (head == "NOT_FOUND") return simple(ResponseType::kNotFound);
+  if (head == "DELETED") return simple(ResponseType::kDeleted);
+  if (head == "OK") return simple(ResponseType::kOk);
+  if (head == "MISS_BACKOFF") return simple(ResponseType::kMissBackoff);
+  if (head == "MISS_NOLEASE") return simple(ResponseType::kMissNoLease);
+  if (head == "REJECT") return simple(ResponseType::kReject);
+  if (head == "GRANTED") return simple(ResponseType::kGranted);
+  if (head == "ERROR") return simple(ResponseType::kError);
+  if (head == "CLIENT_ERROR") {
+    resp.type = ResponseType::kError;
+    resp.message = std::string(line.substr(13));
+    *consumed = eol + 2;
+    return resp;
+  }
+  if (head == "MISS_TOKEN" || head == "QMISS" || head == "ID") {
+    if (tokens.size() != 2) return std::nullopt;
+    auto n = ParseU64(tokens[1]);
+    if (!n) return std::nullopt;
+    resp.type = head == "MISS_TOKEN" ? ResponseType::kMissToken
+                : head == "QMISS"    ? ResponseType::kQMiss
+                                     : ResponseType::kId;
+    resp.number = *n;
+    *consumed = eol + 2;
+    return resp;
+  }
+  if (head == "VALUE") {
+    if (tokens.size() < 4) return std::nullopt;
+    auto flags = ParseU64(tokens[2]);
+    auto size = ParseU64(tokens[3]);
+    if (!flags || !size) return std::nullopt;
+    std::size_t total = eol + 2 + *size + 2 + 5;  // data + \r\n + "END\r\n"
+    if (bytes.size() < total) return std::nullopt;
+    resp.type = ResponseType::kValue;
+    resp.key = std::string(tokens[1]);
+    resp.flags = static_cast<std::uint32_t>(*flags);
+    resp.data = std::string(bytes.substr(eol + 2, *size));
+    if (tokens.size() >= 5) {
+      auto cas = ParseU64(tokens[4]);
+      if (cas) {
+        resp.cas_unique = *cas;
+        resp.with_cas = true;
+      }
+    }
+    *consumed = total;
+    return resp;
+  }
+  if (head == "QVALUE") {
+    if (tokens.size() != 3) return std::nullopt;
+    auto token = ParseU64(tokens[1]);
+    auto size = ParseU64(tokens[2]);
+    if (!token || !size) return std::nullopt;
+    std::size_t total = eol + 2 + *size + 2;
+    if (bytes.size() < total) return std::nullopt;
+    resp.type = ResponseType::kQValue;
+    resp.number = *token;
+    resp.data = std::string(bytes.substr(eol + 2, *size));
+    *consumed = total;
+    return resp;
+  }
+  if (head == "STAT") {
+    // Collect STAT lines up to END.
+    std::size_t end = bytes.find("END\r\n");
+    if (end == std::string_view::npos) return std::nullopt;
+    resp.type = ResponseType::kStats;
+    resp.message = std::string(bytes.substr(0, end));
+    *consumed = end + 5;
+    return resp;
+  }
+  // A bare number (incr/decr result).
+  if (auto n = ParseU64(head); n && tokens.size() == 1) {
+    resp.type = ResponseType::kNumber;
+    resp.number = *n;
+    *consumed = eol + 2;
+    return resp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iq::net

@@ -1,0 +1,160 @@
+// The memcached text protocol, extended with the IQ commands of Section 5.
+//
+// Standard commands (memcached 1.4 text protocol subset):
+//   get <key>\r\n
+//   gets <key>\r\n                                   (returns cas unique)
+//   set|add|replace <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//   cas <key> <flags> <exptime> <bytes> <unique>\r\n<data>\r\n
+//   append|prepend <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//   delete <key>\r\n
+//   incr|decr <key> <amount>\r\n
+//   flush_all\r\n
+//   stats\r\n
+//   quit\r\n
+//
+// IQ extensions (one line each; tokens are decimal):
+//   iqget <key> <session>\r\n
+//     -> VALUE ... | MISS_TOKEN <token> | MISS_BACKOFF | MISS_NOLEASE
+//   iqset <key> <token> <bytes>\r\n<data>\r\n  -> STORED | NOT_STORED
+//   qaread <key> <session>\r\n
+//     -> QVALUE <token> ...data block... | QMISS <token> | REJECT
+//   sar <key> <token> <bytes>\r\n<data>\r\n    -> STORED | NOT_FOUND
+//   sarnull <key> <token>\r\n                  -> STORED | NOT_FOUND
+//   genid\r\n                                  -> ID <session>
+//   qareg <tid> <key>\r\n                      -> GRANTED
+//   dar <tid>\r\n                              -> OK
+//   iqappend|iqprepend <tid> <key> <bytes>\r\n<data>\r\n -> GRANTED | REJECT
+//   iqincr|iqdecr <tid> <key> <amount>\r\n     -> GRANTED | REJECT
+//   commit <tid>\r\n                           -> OK
+//   abort <tid>\r\n                            -> OK
+//
+// The parser is incremental: feed bytes, take complete requests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iq::net {
+
+enum class Command {
+  kGet,
+  kGets,
+  kSet,
+  kAdd,
+  kReplace,
+  kCas,
+  kAppend,
+  kPrepend,
+  kDelete,
+  kIncr,
+  kDecr,
+  kFlushAll,
+  kStats,
+  kQuit,
+  // IQ extensions
+  kIQGet,
+  kIQSet,
+  kQaRead,
+  kSaR,
+  kSaRNull,
+  kGenId,
+  kQaReg,
+  kDaR,
+  kIQAppend,
+  kIQPrepend,
+  kIQIncr,
+  kIQDecr,
+  kCommit,
+  kAbort,
+};
+
+const char* ToString(Command c);
+
+/// One parsed request.
+struct Request {
+  Command command;
+  std::string key;
+  std::string data;            // payload of storage commands
+  std::uint32_t flags = 0;
+  std::int64_t exptime = 0;    // seconds, memcached-style
+  std::uint64_t cas_unique = 0;
+  std::uint64_t amount = 0;    // incr/decr
+  std::uint64_t token = 0;     // IQ lease token
+  std::uint64_t session = 0;   // IQ session / tid
+};
+
+/// Incremental request parser. Tolerates requests split across arbitrary
+/// Feed() boundaries (as TCP would deliver them).
+class RequestParser {
+ public:
+  /// Append raw bytes to the internal buffer.
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Result of attempting to take one request.
+  enum class Status {
+    kOk,         // *out filled
+    kNeedMore,   // incomplete request buffered
+    kError,      // malformed input; message in *error
+  };
+
+  Status Next(Request* out, std::string* error);
+
+  /// Bytes currently buffered (testing).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Serialize a request to protocol bytes (client side).
+std::string Serialize(const Request& request);
+
+// ---- responses ----------------------------------------------------------------
+
+enum class ResponseType {
+  kValue,        // VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\nEND\r\n
+  kEnd,          // END (get miss)
+  kStored,
+  kNotStored,
+  kExists,
+  kNotFound,
+  kDeleted,
+  kNumber,       // incr/decr result
+  kError,        // ERROR / CLIENT_ERROR <msg>
+  kOk,
+  kStats,        // STAT lines + END
+  // IQ extensions
+  kMissToken,    // MISS_TOKEN <token>
+  kMissBackoff,  // MISS_BACKOFF
+  kMissNoLease,  // MISS_NOLEASE
+  kQValue,       // QVALUE <token> <bytes>\r\n<data>
+  kQMiss,        // QMISS <token>
+  kReject,       // REJECT
+  kGranted,      // GRANTED
+  kId,           // ID <session>
+};
+
+struct Response {
+  ResponseType type;
+  std::string key;
+  std::string data;
+  std::uint32_t flags = 0;
+  std::uint64_t cas_unique = 0;
+  bool with_cas = false;       // gets vs get
+  std::uint64_t number = 0;    // incr/decr result, token, or session id
+  std::string message;         // error text / stats payload
+};
+
+/// Serialize a response to protocol bytes (server side).
+std::string Serialize(const Response& response);
+
+/// Parse exactly one response from `bytes` (client side). Returns nullopt
+/// when the buffer does not yet hold a complete response; on success,
+/// *consumed is set to the bytes used.
+std::optional<Response> ParseResponse(std::string_view bytes,
+                                      std::size_t* consumed);
+
+}  // namespace iq::net

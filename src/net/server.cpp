@@ -1,0 +1,254 @@
+#include "net/server.h"
+
+#include <sstream>
+
+namespace iq::net {
+namespace {
+
+Response FromStoreResult(StoreResult r) {
+  Response resp;
+  switch (r) {
+    case StoreResult::kStored: resp.type = ResponseType::kStored; break;
+    case StoreResult::kNotStored: resp.type = ResponseType::kNotStored; break;
+    case StoreResult::kExists: resp.type = ResponseType::kExists; break;
+    case StoreResult::kNotFound: resp.type = ResponseType::kNotFound; break;
+  }
+  return resp;
+}
+
+Nanos ExptimeToTtl(std::int64_t exptime) {
+  // memcached: 0 = never; positive = relative seconds (we skip the 30-day
+  // absolute-timestamp rule - callers here always use relative).
+  return exptime <= 0 ? 0 : exptime * kNanosPerSec;
+}
+
+}  // namespace
+
+Response CommandDispatcher::Dispatch(const Request& request) {
+  switch (request.command) {
+    case Command::kGet:
+    case Command::kGets: {
+      Response resp;
+      auto item = server_.store().Get(request.key);
+      if (!item) {
+        resp.type = ResponseType::kEnd;
+        return resp;
+      }
+      resp.type = ResponseType::kValue;
+      resp.key = request.key;
+      resp.data = std::move(item->value);
+      resp.flags = item->flags;
+      if (request.command == Command::kGets) {
+        resp.with_cas = true;
+        resp.cas_unique = item->cas;
+      }
+      return resp;
+    }
+    case Command::kSet:
+    case Command::kAdd:
+    case Command::kReplace:
+    case Command::kCas:
+    case Command::kAppend:
+    case Command::kPrepend:
+    case Command::kDelete:
+    case Command::kIncr:
+    case Command::kDecr:
+    case Command::kFlushAll:
+      return DispatchStorage(request);
+    case Command::kStats: {
+      Response resp;
+      resp.type = ResponseType::kStats;
+      resp.message = FormatStats(server_);
+      return resp;
+    }
+    case Command::kQuit: {
+      Response resp;
+      resp.type = ResponseType::kOk;
+      return resp;
+    }
+    default:
+      return DispatchIQ(request);
+  }
+}
+
+Response CommandDispatcher::DispatchStorage(const Request& r) {
+  CacheStore& store = server_.store();
+  Nanos ttl = ExptimeToTtl(r.exptime);
+  switch (r.command) {
+    case Command::kSet:
+      return FromStoreResult(store.Set(r.key, r.data, r.flags, ttl));
+    case Command::kAdd:
+      return FromStoreResult(store.Add(r.key, r.data, r.flags, ttl));
+    case Command::kReplace:
+      return FromStoreResult(store.Replace(r.key, r.data, r.flags, ttl));
+    case Command::kCas:
+      return FromStoreResult(store.Cas(r.key, r.data, r.cas_unique, r.flags, ttl));
+    case Command::kAppend:
+      return FromStoreResult(store.Append(r.key, r.data));
+    case Command::kPrepend:
+      return FromStoreResult(store.Prepend(r.key, r.data));
+    case Command::kDelete: {
+      Response resp;
+      // Baseline delete carries Facebook semantics: voids I leases too.
+      resp.type = server_.DeleteVoid(r.key) ? ResponseType::kDeleted
+                                            : ResponseType::kNotFound;
+      return resp;
+    }
+    case Command::kIncr:
+    case Command::kDecr: {
+      auto result = r.command == Command::kIncr ? store.Incr(r.key, r.amount)
+                                                : store.Decr(r.key, r.amount);
+      Response resp;
+      if (!result) {
+        resp.type = ResponseType::kNotFound;
+      } else {
+        resp.type = ResponseType::kNumber;
+        resp.number = *result;
+      }
+      return resp;
+    }
+    case Command::kFlushAll: {
+      store.Flush();
+      Response resp;
+      resp.type = ResponseType::kOk;
+      return resp;
+    }
+    default: {
+      Response resp;
+      resp.type = ResponseType::kError;
+      resp.message = "not a storage command";
+      return resp;
+    }
+  }
+}
+
+Response CommandDispatcher::DispatchIQ(const Request& r) {
+  Response resp;
+  switch (r.command) {
+    case Command::kIQGet: {
+      GetReply reply = server_.IQget(r.key, r.session);
+      switch (reply.status) {
+        case GetReply::Status::kHit:
+          resp.type = ResponseType::kValue;
+          resp.key = r.key;
+          resp.data = std::move(reply.value);
+          return resp;
+        case GetReply::Status::kMissGrantedI:
+          resp.type = ResponseType::kMissToken;
+          resp.number = reply.token;
+          return resp;
+        case GetReply::Status::kMissBackoff:
+          resp.type = ResponseType::kMissBackoff;
+          return resp;
+        case GetReply::Status::kMissNoLease:
+          resp.type = ResponseType::kMissNoLease;
+          return resp;
+      }
+      break;
+    }
+    case Command::kIQSet:
+      return FromStoreResult(server_.IQset(r.key, r.data, r.token));
+    case Command::kQaRead: {
+      QaReadReply reply = server_.QaRead(r.key, r.session);
+      if (reply.status == QaReadReply::Status::kReject) {
+        resp.type = ResponseType::kReject;
+        return resp;
+      }
+      if (reply.value) {
+        resp.type = ResponseType::kQValue;
+        resp.number = reply.token;
+        resp.data = std::move(*reply.value);
+      } else {
+        resp.type = ResponseType::kQMiss;
+        resp.number = reply.token;
+      }
+      return resp;
+    }
+    case Command::kSaR:
+      return FromStoreResult(
+          server_.SaR(r.key, std::string_view(r.data), r.token));
+    case Command::kSaRNull:
+      return FromStoreResult(server_.SaR(r.key, std::nullopt, r.token));
+    case Command::kGenId:
+      resp.type = ResponseType::kId;
+      resp.number = server_.GenID();
+      return resp;
+    case Command::kQaReg:
+      server_.QaReg(r.session, r.key);
+      resp.type = ResponseType::kGranted;  // QaReg is always granted
+      return resp;
+    case Command::kDaR:
+      server_.DaR(r.session);
+      resp.type = ResponseType::kOk;
+      return resp;
+    case Command::kIQAppend:
+    case Command::kIQPrepend:
+    case Command::kIQIncr:
+    case Command::kIQDecr: {
+      DeltaOp delta;
+      switch (r.command) {
+        case Command::kIQAppend:
+          delta = {DeltaOp::Kind::kAppend, r.data, 0};
+          break;
+        case Command::kIQPrepend:
+          delta = {DeltaOp::Kind::kPrepend, r.data, 0};
+          break;
+        case Command::kIQIncr:
+          delta = {DeltaOp::Kind::kIncr, {}, r.amount};
+          break;
+        default:
+          delta = {DeltaOp::Kind::kDecr, {}, r.amount};
+          break;
+      }
+      QuarantineResult q = server_.IQDelta(r.session, r.key, std::move(delta));
+      resp.type = q == QuarantineResult::kGranted ? ResponseType::kGranted
+                                                  : ResponseType::kReject;
+      return resp;
+    }
+    case Command::kCommit:
+      server_.Commit(r.session);
+      resp.type = ResponseType::kOk;
+      return resp;
+    case Command::kAbort:
+      server_.Abort(r.session);
+      resp.type = ResponseType::kOk;
+      return resp;
+    default:
+      break;
+  }
+  resp.type = ResponseType::kError;
+  resp.message = "unhandled command";
+  return resp;
+}
+
+std::string FormatStats(const IQServer& server) {
+  const IQServerStats iq = server.Stats();
+  const CacheStats store = const_cast<IQServer&>(server).store().Stats();
+  std::ostringstream out;
+  auto stat = [&](const char* name, std::uint64_t v) {
+    out << "STAT " << name << " " << v << "\r\n";
+  };
+  stat("gets", store.gets);
+  stat("get_hits", store.get_hits);
+  stat("get_misses", store.get_misses);
+  stat("sets", store.sets);
+  stat("deletes", store.deletes);
+  stat("evictions", store.evictions);
+  stat("expirations", store.expirations);
+  stat("bytes_used", store.bytes_used);
+  stat("item_count", store.item_count);
+  stat("i_leases_granted", iq.i_granted);
+  stat("i_leases_voided", iq.i_voided);
+  stat("backoffs", iq.backoffs);
+  stat("stale_sets_dropped", iq.stale_sets_dropped);
+  stat("q_inv_granted", iq.q_inv_granted);
+  stat("q_ref_granted", iq.q_ref_granted);
+  stat("q_rejected", iq.q_rejected);
+  stat("leases_expired", iq.leases_expired);
+  stat("expiry_deletes", iq.expiry_deletes);
+  stat("commits", iq.commits);
+  stat("aborts", iq.aborts);
+  return out.str();
+}
+
+}  // namespace iq::net

@@ -1,0 +1,31 @@
+// Server-side command dispatch: maps parsed protocol Requests onto an
+// IQServer, producing protocol Responses - the request-handling loop of the
+// real IQ-Twemcached, minus the sockets (see channel.h for the transport).
+#pragma once
+
+#include <string>
+
+#include "core/iq_server.h"
+#include "net/protocol.h"
+
+namespace iq::net {
+
+class CommandDispatcher {
+ public:
+  explicit CommandDispatcher(IQServer& server) : server_(server) {}
+
+  /// Execute one request against the server. kQuit returns kOk; transport
+  /// teardown is the channel's business.
+  Response Dispatch(const Request& request);
+
+ private:
+  Response DispatchStorage(const Request& request);
+  Response DispatchIQ(const Request& request);
+
+  IQServer& server_;
+};
+
+/// Render the server's statistics as memcached "STAT name value" lines.
+std::string FormatStats(const IQServer& server);
+
+}  // namespace iq::net

@@ -1,0 +1,93 @@
+// A small SQL subset over the MVCC engine, enough to express every query
+// the paper's workloads issue (Table 3: SELECT/INSERT/UPDATE/DELETE with
+// equality/comparison predicates, parameter placeholders, and additive SET
+// expressions such as "SET pending = pending + 1").
+//
+//   SELECT a, b FROM t WHERE pk = ? AND status = 2
+//   INSERT INTO t (a, b, c) VALUES (?, ?, 'x')
+//   UPDATE t SET n = n + 1, status = ? WHERE id = ?
+//   DELETE FROM t WHERE a = ? AND b = ?
+//
+// Usage: Prepare(sql) once, then Execute(txn, stmt, params) per call. The
+// executor plans point reads via the primary key, equality lookups via
+// secondary indexes, and falls back to scans.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdbms/database.h"
+#include "rdbms/value.h"
+
+namespace iq::sql {
+
+// ---- AST --------------------------------------------------------------------
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Scalar expression: literal, parameter, column reference, or
+/// additive binary expression.
+struct Expr {
+  enum class Kind { kLiteral, kParam, kColumn, kAdd, kSub };
+  Kind kind;
+  Value literal;        // kLiteral
+  int param_index = 0;  // kParam (0-based)
+  std::string column;   // kColumn
+  std::unique_ptr<Expr> lhs, rhs;  // kAdd/kSub
+};
+
+/// One conjunct of a WHERE clause: <column> <op> <expr>.
+struct Predicate {
+  std::string column;
+  CompareOp op;
+  Expr value;
+};
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+/// A parsed, reusable statement.
+struct Statement {
+  StatementKind kind;
+  std::string table;
+  // SELECT: projected column names; empty = '*'.
+  std::vector<std::string> select_columns;
+  // INSERT: column list (empty = schema order) and value expressions.
+  std::vector<std::string> insert_columns;
+  std::vector<Expr> insert_values;
+  // UPDATE: SET assignments.
+  std::vector<std::pair<std::string, Expr>> set_exprs;
+  // WHERE conjuncts (empty = all rows).
+  std::vector<Predicate> where;
+  // Number of '?' placeholders.
+  int param_count = 0;
+};
+
+/// Result of executing a statement.
+struct QueryResult {
+  TxnResult status = TxnResult::kOk;
+  /// SELECT projection column names.
+  std::vector<std::string> columns;
+  /// SELECT output rows.
+  std::vector<Row> rows;
+  /// Rows touched by INSERT/UPDATE/DELETE.
+  std::size_t affected = 0;
+
+  bool ok() const { return status == TxnResult::kOk; }
+};
+
+// ---- API --------------------------------------------------------------------
+
+/// Parse `sql` into a Statement. Throws std::invalid_argument with a
+/// position-annotated message on syntax errors.
+Statement Prepare(const std::string& sql);
+
+/// Execute a prepared statement inside `txn` with positional parameters.
+QueryResult Execute(Transaction& txn, const Statement& stmt,
+                    const std::vector<Value>& params = {});
+
+/// One-shot convenience: prepare + execute.
+QueryResult Query(Transaction& txn, const std::string& sql,
+                  const std::vector<Value>& params = {});
+
+}  // namespace iq::sql

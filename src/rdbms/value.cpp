@@ -1,0 +1,31 @@
+#include "rdbms/value.h"
+
+#include <functional>
+
+namespace iq::sql {
+
+std::string ToString(const Value& v) {
+  if (IsNull(v)) return "NULL";
+  if (auto i = AsInt(v)) return std::to_string(*i);
+  return "'" + std::get<std::string>(v) + "'";
+}
+
+std::string ToString(const Row& row) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(row[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::size_t ValueHash::operator()(const Value& v) const {
+  if (IsNull(v)) return 0x9e3779b9;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return std::hash<std::int64_t>{}(*i);
+  }
+  return std::hash<std::string>{}(std::get<std::string>(v));
+}
+
+}  // namespace iq::sql

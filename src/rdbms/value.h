@@ -1,0 +1,62 @@
+// Value model for the relational engine: a cell is NULL, a 64-bit integer,
+// or a text string. Rows are flat vectors of cells positioned by the table
+// schema's column order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace iq::sql {
+
+struct Null {
+  bool operator==(const Null&) const = default;
+  auto operator<=>(const Null&) const = default;
+};
+
+/// One table cell. The variant order defines cross-type ordering
+/// (NULL < integers < text), which only matters for deterministic sorts.
+using Value = std::variant<Null, std::int64_t, std::string>;
+
+using Row = std::vector<Value>;
+
+inline Value V() { return Null{}; }
+inline Value V(std::int64_t x) { return x; }
+inline Value V(int x) { return static_cast<std::int64_t>(x); }
+inline Value V(std::string s) { return Value(std::move(s)); }
+inline Value V(const char* s) { return Value(std::string(s)); }
+
+inline bool IsNull(const Value& v) { return std::holds_alternative<Null>(v); }
+
+/// Integer accessor; returns nullopt for non-integers.
+inline std::optional<std::int64_t> AsInt(const Value& v) {
+  if (const auto* p = std::get_if<std::int64_t>(&v)) return *p;
+  return std::nullopt;
+}
+
+/// Text accessor; returns nullopt for non-strings.
+inline std::optional<std::string> AsText(const Value& v) {
+  if (const auto* p = std::get_if<std::string>(&v)) return *p;
+  return std::nullopt;
+}
+
+std::string ToString(const Value& v);
+std::string ToString(const Row& row);
+
+/// Hash for composite keys built from Values (used by indexes).
+struct ValueHash {
+  std::size_t operator()(const Value& v) const;
+};
+
+struct RowHash {
+  std::size_t operator()(const Row& r) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    ValueHash vh;
+    for (const auto& v : r) h = (h ^ vh(v)) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+}  // namespace iq::sql

@@ -1,0 +1,186 @@
+#include "rdbms/wal.h"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+namespace iq::sql {
+namespace {
+
+void AppendValue(std::string& out, const Value& v) {
+  if (IsNull(v)) {
+    out += "N;";
+  } else if (auto i = AsInt(v)) {
+    out += "I" + std::to_string(*i) + ";";
+  } else {
+    const std::string& s = std::get<std::string>(v);
+    out += "S" + std::to_string(s.size()) + ":" + s + ";";
+  }
+}
+
+bool ParseValue(const std::string& raw, std::size_t& pos, Value* out) {
+  if (pos >= raw.size()) return false;
+  char tag = raw[pos++];
+  if (tag == 'N') {
+    if (pos >= raw.size() || raw[pos] != ';') return false;
+    ++pos;
+    *out = Null{};
+    return true;
+  }
+  if (tag == 'I') {
+    std::size_t end = raw.find(';', pos);
+    if (end == std::string::npos) return false;
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(raw.data() + pos, raw.data() + end, v);
+    if (ec != std::errc{} || p != raw.data() + end) return false;
+    pos = end + 1;
+    *out = v;
+    return true;
+  }
+  if (tag == 'S') {
+    std::size_t colon = raw.find(':', pos);
+    if (colon == std::string::npos) return false;
+    std::size_t len = 0;
+    auto [p, ec] = std::from_chars(raw.data() + pos, raw.data() + colon, len);
+    if (ec != std::errc{} || p != raw.data() + colon) return false;
+    pos = colon + 1;
+    if (pos + len > raw.size()) return false;
+    *out = raw.substr(pos, len);
+    pos += len;
+    if (pos >= raw.size() || raw[pos] != ';') return false;
+    ++pos;
+    return true;
+  }
+  return false;
+}
+
+/// Reads "<n>" at pos up to `stop_char`, advancing pos past the stop char.
+bool ParseSize(const std::string& raw, std::size_t& pos, char stop_char,
+               std::uint64_t* out) {
+  std::size_t end = raw.find(stop_char, pos);
+  if (end == std::string::npos) return false;
+  auto [p, ec] = std::from_chars(raw.data() + pos, raw.data() + end, *out);
+  if (ec != std::errc{} || p != raw.data() + end) return false;
+  pos = end + 1;
+  return true;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open WAL file: " + path_);
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string WriteAheadLog::EncodeRecord(Timestamp ts,
+                                        const std::vector<RedoOp>& ops) {
+  std::string out = "TXN " + std::to_string(ts) + " " +
+                    std::to_string(ops.size()) + "\n";
+  for (const auto& op : ops) {
+    out += op.kind == RedoOp::Kind::kPut ? "P " : "D ";
+    out += std::to_string(op.table.size()) + ":" + op.table + " " +
+           std::to_string(op.row.size()) + " ";
+    for (const auto& v : op.row) AppendValue(out, v);
+    out += "\n";
+  }
+  out += "COMMIT\n";
+  return out;
+}
+
+bool WriteAheadLog::DecodeRecord(const std::string& data, std::size_t* pos,
+                                 Timestamp* ts, std::vector<RedoOp>* ops) {
+  std::size_t p = *pos;
+  ops->clear();
+  if (data.compare(p, 4, "TXN ") != 0) return false;
+  p += 4;
+  std::uint64_t ts_val = 0, op_count = 0;
+  if (!ParseSize(data, p, ' ', &ts_val)) return false;
+  if (!ParseSize(data, p, '\n', &op_count)) return false;
+  for (std::uint64_t i = 0; i < op_count; ++i) {
+    if (p + 2 > data.size()) return false;
+    RedoOp op;
+    if (data[p] == 'P') {
+      op.kind = RedoOp::Kind::kPut;
+    } else if (data[p] == 'D') {
+      op.kind = RedoOp::Kind::kDelete;
+    } else {
+      return false;
+    }
+    if (data[p + 1] != ' ') return false;
+    p += 2;
+    std::uint64_t name_len = 0;
+    if (!ParseSize(data, p, ':', &name_len)) return false;
+    if (p + name_len > data.size()) return false;
+    op.table = data.substr(p, name_len);
+    p += name_len;
+    if (p >= data.size() || data[p] != ' ') return false;
+    ++p;
+    std::uint64_t cells = 0;
+    if (!ParseSize(data, p, ' ', &cells)) return false;
+    op.row.reserve(cells);
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      Value v;
+      if (!ParseValue(data, p, &v)) return false;
+      op.row.push_back(std::move(v));
+    }
+    if (p >= data.size() || data[p] != '\n') return false;
+    ++p;
+    ops->push_back(std::move(op));
+  }
+  if (data.compare(p, 7, "COMMIT\n") != 0) return false;
+  p += 7;
+  *ts = ts_val;
+  *pos = p;
+  return true;
+}
+
+void WriteAheadLog::Append(Timestamp commit_ts, const std::vector<RedoOp>& ops) {
+  std::string record = EncodeRecord(commit_ts, ops);
+  std::lock_guard lock(mu_);
+  std::fwrite(record.data(), 1, record.size(), file_);
+  std::fflush(file_);
+  ++records_;
+}
+
+std::size_t WriteAheadLog::Replay(const std::string& path, Database& db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  std::size_t applied = 0;
+  Timestamp ts = 0;
+  std::vector<RedoOp> ops;
+  while (DecodeRecord(data, &pos, &ts, &ops)) {
+    auto txn = db.Begin();
+    bool ok = true;
+    for (const auto& op : ops) {
+      Table* table = db.GetTable(op.table);
+      if (table == nullptr) continue;  // dropped/unknown table: skip op
+      if (op.kind == RedoOp::Kind::kDelete) {
+        txn->DeleteByPk(op.table, op.row);  // missing row is fine
+        continue;
+      }
+      Row pk = table->schema().PrimaryKeyOf(op.row);
+      // Insert-or-replace (replay is idempotent over a prefix).
+      if (txn->SelectByPk(op.table, pk)) {
+        Row new_row = op.row;
+        ok = txn->UpdateByPk(op.table, pk, [&](Row& row) { row = new_row; }) ==
+                 TxnResult::kOk &&
+             ok;
+      } else {
+        ok = txn->Insert(op.table, op.row) == TxnResult::kOk && ok;
+      }
+    }
+    if (ok && txn->Commit() == TxnResult::kOk) ++applied;
+  }
+  return applied;
+}
+
+}  // namespace iq::sql

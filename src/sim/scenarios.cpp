@@ -1,0 +1,466 @@
+#include "sim/scenarios.h"
+
+#include <thread>
+
+#include "core/iq_client.h"
+#include "core/iq_server.h"
+#include "rdbms/database.h"
+#include "sim/step_scheduler.h"
+
+namespace iq::sim {
+namespace {
+
+constexpr const char* kKey = "K";
+
+/// One relational datum (row k=1 of table T) cached under KVS key "K".
+struct Fixture {
+  sql::Database db;
+  IQServer server;
+
+  Fixture(const std::string& initial, bool warm_cache) {
+    db.CreateTable(sql::SchemaBuilder("T")
+                       .AddInt("k")
+                       .AddText("v")
+                       .PrimaryKey({"k"})
+                       .Build());
+    auto txn = db.Begin();
+    txn->Insert("T", {sql::V(1), sql::V(initial)});
+    txn->Commit();
+    if (warm_cache) server.store().Set(kKey, initial);
+  }
+
+  /// Current committed relational value.
+  std::string DbValue() {
+    auto txn = db.Begin();
+    auto row = txn->SelectByPk("T", {sql::V(1)});
+    txn->Rollback();
+    return row ? *sql::AsText((*row)[1]) : "";
+  }
+
+  /// Read the row inside an existing transaction (snapshot semantics).
+  std::string DbValueIn(sql::Transaction& txn) {
+    auto row = txn.SelectByPk("T", {sql::V(1)});
+    return row ? *sql::AsText((*row)[1]) : "";
+  }
+
+  /// Mutate the row inside `txn` with `f` applied to the current value.
+  bool DbApply(sql::Transaction& txn,
+               const std::function<std::string(const std::string&)>& f) {
+    return txn.UpdateByPk("T", {sql::V(1)}, [&](sql::Row& row) {
+             row[1] = sql::V(f(*sql::AsText(row[1])));
+           }) == sql::TxnResult::kOk;
+  }
+
+  /// What a user read observes after the schedule: the cached value on a
+  /// hit, or a freshly recomputed (and correct) value on a miss.
+  ScenarioResult Finish(bool schedule_ok) {
+    ScenarioResult r;
+    r.schedule_ok = schedule_ok;
+    r.rdbms_value = DbValue();
+    auto item = server.store().Get(kKey);
+    if (item) {
+      r.kvs_resident = true;
+      r.kvs_raw = item->value;
+      r.kvs_value = item->value;
+    } else {
+      r.kvs_value = r.rdbms_value;  // a miss recomputes from the RDBMS
+    }
+    return r;
+  }
+};
+
+std::string TimesTen(const std::string& s) {
+  return std::to_string(std::stoll(s) * 10);
+}
+std::string PlusFifty(const std::string& s) {
+  return std::to_string(std::stoll(s) + 50);
+}
+
+}  // namespace
+
+// ---- Figure 2: cas cannot order two R-M-W write sessions --------------------
+
+ScenarioResult RunFigure2(bool use_iq) {
+  Fixture fx("100", /*warm_cache=*/true);
+  bool ok = true;
+
+  if (!use_iq) {
+    StepScheduler sched({"1.rdbms", "2.all", "1.kvs"});
+    std::thread s1([&] {
+      // S1: +50. RDBMS first...
+      ok &= sched.Step("1.rdbms", [&] {
+        auto txn = fx.db.Begin();
+        fx.DbApply(*txn, PlusFifty);
+        txn->Commit();
+      });
+      // ... KVS R-M-W (get, modify, cas) long after S2 slipped in between.
+      ok &= sched.Step("1.kvs", [&] {
+        for (int i = 0; i < 10; ++i) {
+          auto item = fx.server.store().Get(kKey);
+          if (!item) break;
+          if (fx.server.store().Cas(kKey, PlusFifty(item->value), item->cas) ==
+              StoreResult::kStored) {
+            break;
+          }
+        }
+      });
+    });
+    std::thread s2([&] {
+      // S2: x10, entirely between S1's RDBMS and KVS phases.
+      ok &= sched.Step("2.all", [&] {
+        auto txn = fx.db.Begin();
+        fx.DbApply(*txn, TimesTen);
+        txn->Commit();
+        for (int i = 0; i < 10; ++i) {
+          auto item = fx.server.store().Get(kKey);
+          if (!item) break;
+          if (fx.server.store().Cas(kKey, TimesTen(item->value), item->cas) ==
+              StoreResult::kStored) {
+            break;
+          }
+        }
+      });
+    });
+    s1.join();
+    s2.join();
+    return fx.Finish(ok);
+  }
+
+  // IQ refresh: Q leases serialize the two write sessions.
+  IQClient client(fx.server);
+  StepScheduler sched({"1.qaread", "1.rdbms", "2.try", "1.sar", "2.redo"});
+  std::thread s1([&] {
+    auto session = client.NewSession();
+    std::optional<std::string> old;
+    ok &= sched.Step("1.qaread",
+                     [&] { session->QaRead(kKey, old); });
+    ok &= sched.Step("1.rdbms", [&] {
+      auto txn = fx.db.Begin();
+      fx.DbApply(*txn, PlusFifty);
+      txn->Commit();
+    });
+    ok &= sched.Step("1.sar", [&] {
+      session->SaR(kKey, old ? std::optional<std::string_view>(
+                                   *old = PlusFifty(*old))
+                             : std::nullopt);
+      session->Commit();
+    });
+  });
+  std::thread s2([&] {
+    auto session = client.NewSession();
+    std::optional<std::string> old;
+    ok &= sched.Step("2.try", [&] {
+      // Rejected: S1 holds the Q lease (Figure 5b).
+      if (session->QaRead(kKey, old) != ClientQResult::kQConflict) ok = false;
+      session->Abort();
+    });
+    ok &= sched.Step("2.redo", [&] {
+      if (session->QaRead(kKey, old) != ClientQResult::kGranted) {
+        ok = false;
+        return;
+      }
+      auto txn = fx.db.Begin();
+      fx.DbApply(*txn, TimesTen);
+      txn->Commit();
+      session->SaR(kKey, old ? std::optional<std::string_view>(
+                                   *old = TimesTen(*old))
+                             : std::nullopt);
+      session->Commit();
+    });
+  });
+  s1.join();
+  s2.join();
+  return fx.Finish(ok);
+}
+
+// ---- Figure 3: snapshot-isolation race with invalidate ----------------------
+
+ScenarioResult RunFigure3(bool use_iq) {
+  if (!use_iq) {
+    Fixture fx("old", /*warm_cache=*/true);
+    bool ok = true;
+    StepScheduler sched({"1.12", "1.3", "2.1", "2.24", "1.4", "2.5"});
+    std::thread s1([&] {
+      std::unique_ptr<sql::Transaction> txn;
+      ok &= sched.Step("1.12", [&] {
+        txn = fx.db.Begin();
+        fx.DbApply(*txn, [](const std::string&) { return "new"; });
+      });
+      // Trigger-based invalidation: the delete runs inside the transaction.
+      ok &= sched.Step("1.3", [&] { fx.server.DeleteVoid(kKey); });
+      ok &= sched.Step("1.4", [&] { txn->Commit(); });
+    });
+    std::thread s2([&] {
+      LeaseToken token = 0;
+      std::string computed;
+      ok &= sched.Step("2.1", [&] {
+        GetReply r = fx.server.IQget(kKey);  // read-lease baseline
+        if (r.status != GetReply::Status::kMissGrantedI) ok = false;
+        token = r.token;
+      });
+      ok &= sched.Step("2.24", [&] {
+        // Snapshot taken before S1 commits: observes the old value.
+        auto txn = fx.db.Begin();
+        computed = fx.DbValueIn(*txn);
+        txn->Rollback();
+      });
+      ok &= sched.Step("2.5", [&] {
+        // The I lease is still valid: the stale value lands in the KVS.
+        fx.server.IQset(kKey, computed, token);
+      });
+    });
+    s1.join();
+    s2.join();
+    return fx.Finish(ok);
+  }
+
+  // IQ: the Q lease quarantines the key across the commit; the reader backs
+  // off and recomputes only after DaR.
+  Fixture fx("old", /*warm_cache=*/false);
+  bool ok = true;
+  StepScheduler sched({"1.12", "1.3", "2.1", "1.4", "1.5", "2.5"});
+  std::thread s1([&] {
+    SessionId tid = fx.server.GenID();
+    std::unique_ptr<sql::Transaction> txn;
+    ok &= sched.Step("1.12", [&] {
+      txn = fx.db.Begin();
+      fx.DbApply(*txn, [](const std::string&) { return "new"; });
+    });
+    ok &= sched.Step("1.3", [&] { fx.server.QaReg(tid, kKey); });
+    ok &= sched.Step("1.4", [&] { txn->Commit(); });
+    ok &= sched.Step("1.5", [&] { fx.server.DaR(tid); });
+  });
+  std::thread s2([&] {
+    ok &= sched.Step("2.1", [&] {
+      // Quarantined: the KVS refuses an I lease and asks S2 to back off.
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kMissBackoff) ok = false;
+    });
+    ok &= sched.Step("2.5", [&] {
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kMissGrantedI) {
+        ok = false;
+        return;
+      }
+      auto txn = fx.db.Begin();
+      std::string computed = fx.DbValueIn(*txn);  // post-commit: "new"
+      txn->Rollback();
+      fx.server.IQset(kKey, computed, r.token);
+    });
+  });
+  s1.join();
+  s2.join();
+  return fx.Finish(ok);
+}
+
+// ---- Figure 6: dirty read when a refresh session aborts ---------------------
+
+ScenarioResult RunFigure6(bool use_iq) {
+  Fixture fx("100", /*warm_cache=*/true);
+  bool ok = true;
+
+  if (!use_iq) {
+    StepScheduler sched({"1.rmw", "1.abort", "2.read"});
+    std::string dirty_read;
+    std::thread s1([&] {
+      ok &= sched.Step("1.rmw", [&] {
+        // Refresh applied to the KVS before the RDBMS commit...
+        auto item = fx.server.store().Get(kKey);
+        if (item) fx.server.store().Set(kKey, PlusFifty(item->value));
+      });
+      ok &= sched.Step("1.abort", [&] {
+        auto txn = fx.db.Begin();
+        fx.DbApply(*txn, PlusFifty);
+        txn->Rollback();  // ... and the transaction aborts (step 1.5)
+      });
+    });
+    std::thread s2([&] {
+      ok &= sched.Step("2.read", [&] {
+        auto item = fx.server.store().Get(kKey);
+        if (item) dirty_read = item->value;
+      });
+    });
+    s1.join();
+    s2.join();
+    auto result = fx.Finish(ok);
+    // The dirty value S2 consumed is the stale final state as well.
+    return result;
+  }
+
+  IQClient client(fx.server);
+  StepScheduler sched({"1.qaread", "1.abort", "2.read"});
+  std::thread s1([&] {
+    auto session = client.NewSession();
+    std::optional<std::string> old;
+    ok &= sched.Step("1.qaread", [&] { session->QaRead(kKey, old); });
+    ok &= sched.Step("1.abort", [&] {
+      auto txn = fx.db.Begin();
+      fx.DbApply(*txn, PlusFifty);
+      txn->Rollback();
+      session->Abort();  // releases the Q lease, leaves the old value
+    });
+  });
+  std::thread s2([&] {
+    ok &= sched.Step("2.read", [&] {
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kHit || r.value != "100") ok = false;
+    });
+  });
+  s1.join();
+  s2.join();
+  return fx.Finish(ok);
+}
+
+// ---- Figure 7: snapshot-isolation race with delta ----------------------------
+
+ScenarioResult RunFigure7(bool use_iq) {
+  Fixture fx("A", /*warm_cache=*/false);
+  bool ok = true;
+
+  if (!use_iq) {
+    StepScheduler sched({"2.1", "2.2", "1.rdbms", "1.delta", "2.5"});
+    LeaseToken token = 0;
+    std::string computed;
+    std::thread s2([&] {
+      ok &= sched.Step("2.1", [&] {
+        GetReply r = fx.server.IQget(kKey);
+        if (r.status != GetReply::Status::kMissGrantedI) ok = false;
+        token = r.token;
+      });
+      ok &= sched.Step("2.2", [&] {
+        auto txn = fx.db.Begin();
+        computed = fx.DbValueIn(*txn);  // pre-commit snapshot: "A"
+        txn->Rollback();
+      });
+      ok &= sched.Step("2.5", [&] { fx.server.IQset(kKey, computed, token); });
+    });
+    std::thread s1([&] {
+      ok &= sched.Step("1.rdbms", [&] {
+        auto txn = fx.db.Begin();
+        fx.DbApply(*txn, [](const std::string& v) { return v + "B"; });
+        txn->Commit();
+      });
+      ok &= sched.Step("1.delta", [&] {
+        fx.server.store().Append(kKey, "B");  // miss: the append is lost
+      });
+    });
+    s1.join();
+    s2.join();
+    return fx.Finish(ok);
+  }
+
+  StepScheduler sched({"2.1", "2.2", "1.delta", "1.rdbms", "1.commit", "2.5"});
+  LeaseToken token = 0;
+  std::string computed;
+  std::thread s2([&] {
+    ok &= sched.Step("2.1", [&] {
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kMissGrantedI) ok = false;
+      token = r.token;
+    });
+    ok &= sched.Step("2.2", [&] {
+      auto txn = fx.db.Begin();
+      computed = fx.DbValueIn(*txn);
+      txn->Rollback();
+    });
+    ok &= sched.Step("2.5", [&] {
+      // The IQ-delta voided this I lease: the stale set is dropped.
+      if (fx.server.IQset(kKey, computed, token) == StoreResult::kStored) {
+        ok = false;
+      }
+    });
+  });
+  std::thread s1([&] {
+    SessionId tid = fx.server.GenID();
+    ok &= sched.Step("1.delta", [&] {
+      fx.server.IQDelta(tid, kKey, DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+    });
+    ok &= sched.Step("1.rdbms", [&] {
+      auto txn = fx.db.Begin();
+      fx.DbApply(*txn, [](const std::string& v) { return v + "B"; });
+      txn->Commit();
+    });
+    ok &= sched.Step("1.commit", [&] { fx.server.Commit(tid); });
+  });
+  s1.join();
+  s2.join();
+  return fx.Finish(ok);
+}
+
+// ---- Figure 8: post-commit delta applied twice --------------------------------
+
+ScenarioResult RunFigure8(bool use_iq) {
+  Fixture fx("A", /*warm_cache=*/false);
+  bool ok = true;
+
+  if (!use_iq) {
+    StepScheduler sched({"1.rdbms", "2.1", "2.2", "2.5", "1.delta"});
+    std::thread s1([&] {
+      ok &= sched.Step("1.rdbms", [&] {
+        auto txn = fx.db.Begin();
+        fx.DbApply(*txn, [](const std::string& v) { return v + "B"; });
+        txn->Commit();
+      });
+      ok &= sched.Step("1.delta", [&] {
+        // S2 already installed "AB"; this second append makes "ABB".
+        fx.server.store().Append(kKey, "B");
+      });
+    });
+    std::thread s2([&] {
+      LeaseToken token = 0;
+      std::string computed;
+      ok &= sched.Step("2.1", [&] {
+        GetReply r = fx.server.IQget(kKey);
+        if (r.status != GetReply::Status::kMissGrantedI) ok = false;
+        token = r.token;
+      });
+      ok &= sched.Step("2.2", [&] {
+        auto txn = fx.db.Begin();
+        computed = fx.DbValueIn(*txn);  // post-commit: "AB"
+        txn->Rollback();
+      });
+      ok &= sched.Step("2.5", [&] { fx.server.IQset(kKey, computed, token); });
+    });
+    s1.join();
+    s2.join();
+    return fx.Finish(ok);
+  }
+
+  StepScheduler sched({"1.delta", "1.rdbms", "2.1", "1.commit", "2.2"});
+  std::thread s1([&] {
+    SessionId tid = fx.server.GenID();
+    ok &= sched.Step("1.delta", [&] {
+      fx.server.IQDelta(tid, kKey, DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+    });
+    ok &= sched.Step("1.rdbms", [&] {
+      auto txn = fx.db.Begin();
+      fx.DbApply(*txn, [](const std::string& v) { return v + "B"; });
+      txn->Commit();
+    });
+    ok &= sched.Step("1.commit", [&] { fx.server.Commit(tid); });
+  });
+  std::thread s2([&] {
+    ok &= sched.Step("2.1", [&] {
+      // Quarantined: back off instead of computing a value that would race
+      // with S1's delta.
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kMissBackoff) ok = false;
+    });
+    ok &= sched.Step("2.2", [&] {
+      GetReply r = fx.server.IQget(kKey);
+      if (r.status != GetReply::Status::kMissGrantedI) {
+        ok = false;
+        return;
+      }
+      auto txn = fx.db.Begin();
+      std::string computed = fx.DbValueIn(*txn);
+      txn->Rollback();
+      fx.server.IQset(kKey, computed, r.token);
+    });
+  });
+  s1.join();
+  s2.join();
+  return fx.Finish(ok);
+}
+
+}  // namespace iq::sim

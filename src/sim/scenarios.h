@@ -1,0 +1,46 @@
+// Scripted reproductions of the paper's race-condition figures.
+//
+// Each scenario runs twice: `use_iq=false` executes the vulnerable client
+// (plain memcached ops / cas / read leases, exactly the arrangement the
+// figure depicts) and produces divergent RDBMS/KVS state; `use_iq=true`
+// executes the same logical sessions through the IQ commands and converges.
+//
+//   Figure 2 - compare-and-swap cannot impose the RDBMS serial order on
+//              two R-M-W write sessions (RDBMS 1500 vs KVS 1050).
+//   Figure 3 - snapshot isolation lets a read session install a
+//              pre-update value after a trigger-based invalidation.
+//   Figure 6 - refresh writes the KVS before the RDBMS transaction
+//              aborts: dirty read.
+//   Figure 7 - snapshot isolation + delta: a read session overwrites the
+//              writer's append with a stale computed value.
+//   Figure 8 - delta applied after commit collides with a read session
+//              that already observed the committed data: append twice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iq::sim {
+
+struct ScenarioResult {
+  /// Value of the datum in the relational database after the schedule.
+  std::string rdbms_value;
+  /// Value a fresh read of the KVS key returns after the schedule (the
+  /// cached value, or recomputed on miss - what an application user sees).
+  std::string kvs_value;
+  /// Raw cached value at the end (empty if not resident).
+  std::string kvs_raw;
+  bool kvs_resident = false;
+  /// True when the schedule executed completely (no scheduler abort).
+  bool schedule_ok = false;
+
+  bool Consistent() const { return schedule_ok && rdbms_value == kvs_value; }
+};
+
+ScenarioResult RunFigure2(bool use_iq);
+ScenarioResult RunFigure3(bool use_iq);
+ScenarioResult RunFigure6(bool use_iq);
+ScenarioResult RunFigure7(bool use_iq);
+ScenarioResult RunFigure8(bool use_iq);
+
+}  // namespace iq::sim

@@ -1,0 +1,39 @@
+#include "sim/step_scheduler.h"
+
+#include <chrono>
+
+namespace iq::sim {
+
+StepScheduler::StepScheduler(std::vector<std::string> order, Nanos timeout)
+    : order_(std::move(order)), timeout_(timeout) {}
+
+bool StepScheduler::Step(const std::string& label,
+                         const std::function<void()>& fn) {
+  std::unique_lock lock(mu_);
+  bool ready = cv_.wait_for(lock, std::chrono::nanoseconds(timeout_), [&] {
+    return aborted_ ||
+           (next_ < order_.size() && order_[next_] == label);
+  });
+  if (!ready || aborted_ || next_ >= order_.size()) {
+    aborted_ = true;
+    cv_.notify_all();
+    return false;
+  }
+  fn();
+  ++next_;
+  cv_.notify_all();
+  return true;
+}
+
+void StepScheduler::Abort() {
+  std::lock_guard lock(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool StepScheduler::aborted() const {
+  std::lock_guard lock(mu_);
+  return aborted_;
+}
+
+}  // namespace iq::sim

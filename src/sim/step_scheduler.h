@@ -1,0 +1,54 @@
+// Deterministic interleaving of concurrent sessions.
+//
+// The paper's race conditions (Figures 2, 3, 6, 7, 8) are specific
+// interleavings of steps from two sessions. To reproduce each race 100% of
+// the time, session bodies run on their own threads but every labeled step
+// blocks until the scheduler's global order reaches it:
+//
+//   StepScheduler sched({"1.1", "2.1", "1.2", "2.2"});
+//   std::thread s1([&] { sched.Step("1.1", [...]); sched.Step("1.2", [...]); });
+//   std::thread s2([&] { sched.Step("2.1", [...]); sched.Step("2.2", [...]); });
+//
+// A step that cannot run within the timeout aborts the schedule (all
+// waiters unblock and Step returns false) so a bug cannot hang a test run.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace iq::sim {
+
+class StepScheduler {
+ public:
+  explicit StepScheduler(std::vector<std::string> order,
+                         Nanos timeout = 10 * kNanosPerSec);
+
+  /// Block until `label` is next in the order, run `fn`, advance the order.
+  /// Returns false if the schedule was aborted (timeout or Abort()).
+  bool Step(const std::string& label, const std::function<void()>& fn);
+
+  /// Convenience: a step with no body (a pure ordering point).
+  bool Step(const std::string& label) {
+    return Step(label, [] {});
+  }
+
+  /// Unblock every waiter and fail all future steps.
+  void Abort();
+
+  bool aborted() const;
+
+ private:
+  std::vector<std::string> order_;
+  Nanos timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace iq::sim

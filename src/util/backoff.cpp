@@ -1,0 +1,15 @@
+#include "util/backoff.h"
+
+namespace iq {
+
+void SleepFor(const Clock& clock, Nanos duration) {
+  if (duration <= 0) return;
+  Nanos deadline = clock.Now() + duration;
+  if (duration < 100 * kNanosPerMicro) {
+    while (clock.Now() < deadline) std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+  }
+}
+
+}  // namespace iq

@@ -1,0 +1,59 @@
+// Backoff policies for lease contention.
+//
+// When the IQ-Server answers "back off and retry" (existing I or Q lease on
+// the key, Section 3.2) or aborts a QaRead (Figure 5b), the client waits
+// before retrying. The paper prescribes exponentially increasing backoff
+// with repeated lookups; we also provide a fixed policy for the A3 ablation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace iq {
+
+/// Computes the wait before the i-th retry (0-based attempt index).
+class BackoffPolicy {
+ public:
+  virtual ~BackoffPolicy() = default;
+  virtual Nanos DelayFor(int attempt, Rng& rng) const = 0;
+};
+
+/// delay = min(base * 2^attempt, cap), with +/-50% jitter to avoid
+/// synchronized herds.
+class ExponentialBackoff final : public BackoffPolicy {
+ public:
+  ExponentialBackoff(Nanos base, Nanos cap) : base_(base), cap_(cap) {}
+
+  Nanos DelayFor(int attempt, Rng& rng) const override {
+    attempt = std::min(attempt, 40);
+    Nanos d = base_;
+    for (int i = 0; i < attempt && d < cap_; ++i) d *= 2;
+    d = std::min(d, cap_);
+    // Jitter in [0.5d, 1.5d).
+    return d / 2 + static_cast<Nanos>(rng.NextUint64(static_cast<std::uint64_t>(d) + 1));
+  }
+
+ private:
+  Nanos base_;
+  Nanos cap_;
+};
+
+/// Constant delay regardless of attempt count (ablation baseline).
+class FixedBackoff final : public BackoffPolicy {
+ public:
+  explicit FixedBackoff(Nanos delay) : delay_(delay) {}
+  Nanos DelayFor(int, Rng&) const override { return delay_; }
+
+ private:
+  Nanos delay_;
+};
+
+/// Sleep helper. For sub-100us waits spins on the clock (sleeping would
+/// overshoot badly); otherwise yields to the OS scheduler.
+void SleepFor(const Clock& clock, Nanos duration);
+
+}  // namespace iq

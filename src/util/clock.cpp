@@ -1,0 +1,10 @@
+#include "util/clock.h"
+
+namespace iq {
+
+SteadyClock& SteadyClock::Instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace iq

@@ -1,0 +1,72 @@
+// Clock abstractions.
+//
+// Lease lifetimes and SLA measurement both need a time source. Production
+// code uses SteadyClock (monotonic); unit tests that exercise lease expiry
+// use ManualClock so expiration is deterministic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace iq {
+
+/// Monotonic time in nanoseconds since an arbitrary epoch.
+using Nanos = std::int64_t;
+
+constexpr Nanos kNanosPerMicro = 1'000;
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+/// Abstract monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds. Must be non-decreasing.
+  virtual Nanos Now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  Nanos Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide shared instance.
+  static SteadyClock& Instance();
+};
+
+/// Deterministic clock advanced explicitly by tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  Nanos Now() const override { return now_.load(std::memory_order_acquire); }
+
+  void Advance(Nanos delta) { now_.fetch_add(delta, std::memory_order_acq_rel); }
+  void Set(Nanos t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+/// RAII stopwatch measuring elapsed time against a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(clock), start_(clock.Now()) {}
+
+  Nanos ElapsedNanos() const { return clock_.Now() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / kNanosPerMilli;
+  }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace iq

@@ -1,0 +1,79 @@
+// Latency histogram with percentile queries.
+//
+// SoAR (Section 6.1 of the paper) is defined by an SLA on the 95th
+// percentile of action response times, so the benchmark harness needs an
+// accurate, cheap percentile estimator. We use logarithmic bucketing
+// (HdrHistogram-style): ~1% relative error, O(1) record, O(buckets) query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace iq {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Record one latency observation (nanoseconds, >= 0).
+  void Record(Nanos value);
+
+  /// Merge another histogram into this one (for per-thread aggregation).
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t Count() const { return count_; }
+  Nanos Min() const;
+  Nanos Max() const { return max_; }
+  double MeanNanos() const;
+
+  /// Value at quantile q in [0, 1]. Returns 0 for an empty histogram.
+  Nanos Percentile(double q) const;
+
+  /// Fraction of observations <= threshold. Returns 1 for empty.
+  double FractionBelow(Nanos threshold) const;
+
+  void Reset();
+
+  /// Human-readable one-line summary (ms units).
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 32;  // per power of two
+  static constexpr int kMaxPow = 44;      // covers ~4.8 hours in ns
+
+  static int BucketFor(Nanos value);
+  static Nanos BucketUpperBound(int bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  Nanos min_ = 0;
+  Nanos max_ = 0;
+  double sum_ = 0;
+};
+
+/// Simple counter bundle shared by benchmark workers.
+struct OpCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t backoffs = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t restarts = 0;
+
+  OpCounters& operator+=(const OpCounters& o) {
+    reads += o.reads;
+    writes += o.writes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    backoffs += o.backoffs;
+    aborts += o.aborts;
+    restarts += o.restarts;
+    return *this;
+  }
+};
+
+}  // namespace iq

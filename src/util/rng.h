@@ -1,0 +1,110 @@
+// Seedable pseudo-random number generation and the Zipfian distribution
+// used by BG's workload generator.
+//
+// Benchmarks and the social-graph loader must be reproducible, so every
+// component that needs randomness takes an explicit Rng (or a seed) instead
+// of reaching for a global generator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace iq {
+
+/// splitmix64: tiny, fast, full-period 64-bit generator. Used both as the
+/// main generator and to derive independent streams from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextUint64(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextUint64(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derive an independent stream (e.g. one per worker thread).
+  Rng Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipfian generator over [0, n) following the Gray et al. construction
+/// used by YCSB and BG. The `theta` parameter controls skew; BG's
+/// "70% of requests reference 20% of data" workload corresponds to
+/// theta = 0.27 (paper Section 6.2, citing USC DBLAB TR 2013-02).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  /// Draw the next item id in [0, n).
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// A scrambled Zipfian: spreads the hot items uniformly across the id
+/// space by hashing, so "hot" rows are not clustered at low ids.
+class ScrambledZipfian {
+ public:
+  ScrambledZipfian(std::uint64_t n, double theta) : zipf_(n, theta), n_(n) {}
+
+  std::uint64_t Next(Rng& rng) const {
+    std::uint64_t raw = zipf_.Next(rng);
+    // fmix64 finalizer as the scramble.
+    std::uint64_t h = raw + 0x9E3779B97F4A7C15ULL;
+    h = (h ^ (h >> 33)) * 0xFF51AFD7ED558CCDULL;
+    h = (h ^ (h >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return h % n_;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  std::uint64_t n_;
+};
+
+}  // namespace iq

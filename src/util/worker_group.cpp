@@ -1,0 +1,42 @@
+#include "util/worker_group.h"
+
+#include <memory>
+
+#include "util/backoff.h"
+
+namespace iq {
+
+void WorkerGroup::Start(int n, Body body) {
+  stop_.store(false, std::memory_order_release);
+  ready_.store(0, std::memory_order_release);
+  go_.store(false, std::memory_order_release);
+  threads_.reserve(static_cast<std::size_t>(n));
+  auto shared_body = std::make_shared<Body>(std::move(body));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i, body = shared_body] {
+      ready_.fetch_add(1, std::memory_order_acq_rel);
+      while (!go_.load(std::memory_order_acquire)) std::this_thread::yield();
+      (*body)(i, stop_);
+    });
+  }
+  while (ready_.load(std::memory_order_acquire) < n) std::this_thread::yield();
+  go_.store(true, std::memory_order_release);
+}
+
+void WorkerGroup::StopAndJoin() {
+  stop_.store(true, std::memory_order_release);
+  go_.store(true, std::memory_order_release);  // release workers stuck at the gate
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void WorkerGroup::RunFor(int n, Nanos duration, const Clock& clock, Body body) {
+  WorkerGroup group;
+  group.Start(n, std::move(body));
+  SleepFor(clock, duration);
+  group.StopAndJoin();
+}
+
+}  // namespace iq

@@ -1,0 +1,44 @@
+// WorkerGroup: run N benchmark worker threads with a common start barrier
+// and a cooperative stop flag. Mirrors how BG drives concurrent "sessions":
+// each thread loops issuing actions until the measurement window closes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace iq {
+
+class WorkerGroup {
+ public:
+  /// Worker body: (worker_id, stop_flag). The body should poll stop_flag
+  /// between actions and return promptly when it becomes true.
+  using Body = std::function<void(int, const std::atomic<bool>&)>;
+
+  WorkerGroup() = default;
+  ~WorkerGroup() { StopAndJoin(); }
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  /// Launch n workers. All block until every thread is constructed, then
+  /// run body concurrently.
+  void Start(int n, Body body);
+
+  /// Signal stop and join all workers.
+  void StopAndJoin();
+
+  /// Run n workers for the given duration, then stop. Convenience wrapper.
+  static void RunFor(int n, Nanos duration, const Clock& clock, Body body);
+
+ private:
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> ready_{0};
+  std::atomic<bool> go_{false};
+};
+
+}  // namespace iq

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "kvs/camp.h"
+#include "kvs/kvs.h"
+
+namespace iq {
+namespace {
+
+// ---- the policy object in isolation ----------------------------------------
+
+TEST(CampPolicy, EmptyHasNoVictim) {
+  CampPolicy camp;
+  EXPECT_FALSE(camp.Victim());
+  EXPECT_EQ(camp.Size(), 0u);
+}
+
+TEST(CampPolicy, SingleItemIsTheVictim) {
+  CampPolicy camp;
+  camp.OnInsert("a", 10, 10);
+  EXPECT_EQ(camp.Victim(), "a");
+}
+
+TEST(CampPolicy, CheapItemEvictedBeforeExpensive) {
+  CampPolicy camp;
+  camp.OnInsert("cheap", /*cost=*/1, /*size=*/100);
+  camp.OnInsert("expensive", /*cost=*/100000, /*size=*/100);
+  EXPECT_EQ(camp.Victim(), "cheap");
+}
+
+TEST(CampPolicy, SmallerItemSurvivesAtEqualCost) {
+  CampPolicy camp;
+  camp.OnInsert("big", /*cost=*/1000, /*size=*/1000);  // ratio 1
+  camp.OnInsert("small", /*cost=*/1000, /*size=*/10);  // ratio 100
+  EXPECT_EQ(camp.Victim(), "big");
+}
+
+TEST(CampPolicy, LruWithinEqualRatio) {
+  CampPolicy camp;
+  camp.OnInsert("first", 10, 10);
+  camp.OnInsert("second", 10, 10);
+  EXPECT_EQ(camp.Victim(), "first");
+  camp.OnAccess("first");  // now "second" is the oldest untouched
+  EXPECT_EQ(camp.Victim(), "second");
+}
+
+TEST(CampPolicy, EvictionAdvancesInflation) {
+  CampPolicy camp;
+  camp.OnInsert("a", 64, 1);
+  EXPECT_EQ(camp.inflation(), 0u);
+  camp.OnEvict("a");
+  EXPECT_GT(camp.inflation(), 0u);
+  EXPECT_EQ(camp.Size(), 0u);
+}
+
+TEST(CampPolicy, AgingLetsFreshCheapBeatIdleExpensive) {
+  // Without aging an expensive item could pin its slot forever. After
+  // enough evictions inflate L, a new cheap item outranks the idle
+  // expensive one inserted long "ago".
+  CampPolicy camp;
+  camp.OnInsert("idle_expensive", /*cost=*/1000, /*size=*/1);  // priority 0+1000
+  // Churn: insert/evict cheap items raising L beyond 1000.
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "churn" + std::to_string(i);
+    camp.OnInsert(key, /*cost=*/2, /*size=*/1);
+    auto victim = camp.Victim();
+    ASSERT_TRUE(victim);
+    if (*victim == "idle_expensive") break;  // aged out - success
+    camp.OnEvict(*victim);
+  }
+  // Either the loop broke because the expensive item became the victim, or
+  // inflation rose past its priority.
+  EXPECT_TRUE(camp.Victim() == "idle_expensive" || camp.inflation() >= 1000u);
+}
+
+TEST(CampPolicy, EraseRemovesFromQueues) {
+  CampPolicy camp;
+  camp.OnInsert("a", 10, 10);
+  camp.OnInsert("b", 10, 10);
+  camp.OnErase("a");
+  EXPECT_EQ(camp.Victim(), "b");
+  camp.OnErase("b");
+  EXPECT_FALSE(camp.Victim());
+  EXPECT_EQ(camp.QueueCount(), 0u);
+}
+
+TEST(CampPolicy, ReinsertUpdatesRatio) {
+  CampPolicy camp;
+  camp.OnInsert("a", 1, 100);     // cheap
+  camp.OnInsert("b", 50, 100);    // moderate
+  camp.OnInsert("a", 100000, 1);  // "a" becomes very expensive
+  EXPECT_EQ(camp.Victim(), "b");
+}
+
+TEST(CampPolicy, RoundingBoundsQueueCount) {
+  CampPolicy camp(/*precision=*/2);
+  // 1000 distinct ratios collapse into few rounded classes.
+  for (int i = 1; i <= 1000; ++i) {
+    camp.OnInsert("k" + std::to_string(i), static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_LE(camp.QueueCount(), 24u);  // ~2 live buckets per power of two
+}
+
+// ---- integrated with CacheStore ----------------------------------------------
+
+CacheStore::Config CampConfig(std::size_t budget) {
+  CacheStore::Config cfg;
+  cfg.shard_count = 1;
+  cfg.memory_budget_bytes = budget;
+  cfg.eviction = EvictionPolicy::kCamp;
+  return cfg;
+}
+
+TEST(CacheStoreCamp, EvictsUnderBudget) {
+  CacheStore store(CampConfig(800));
+  for (int i = 0; i < 50; ++i) {
+    store.Set("key" + std::to_string(i), "0123456789");
+  }
+  auto stats = store.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 800u);
+}
+
+TEST(CacheStoreCamp, ExpensiveItemsSurviveChurn) {
+  CacheStore store(CampConfig(1200));
+  // One expensive-to-recompute item among a stream of cheap ones.
+  store.Set("golden", "0123456789", 0, 0, /*cost=*/1000000);
+  for (int i = 0; i < 200; ++i) {
+    store.Set("cheap" + std::to_string(i), "0123456789", 0, 0, /*cost=*/1);
+  }
+  EXPECT_TRUE(store.Get("golden"));
+  EXPECT_GT(store.Stats().evictions, 0u);
+}
+
+TEST(CacheStoreCamp, LruEvictsTheExpensiveItemInstead) {
+  // Contrast: cost-blind LRU drops the golden item once it ages.
+  CacheStore::Config cfg;
+  cfg.shard_count = 1;
+  cfg.memory_budget_bytes = 1200;
+  cfg.eviction = EvictionPolicy::kLru;
+  CacheStore store(cfg);
+  store.Set("golden", "0123456789", 0, 0, /*cost=*/1000000);
+  for (int i = 0; i < 200; ++i) {
+    store.Set("cheap" + std::to_string(i), "0123456789", 0, 0, /*cost=*/1);
+  }
+  EXPECT_FALSE(store.Get("golden"));
+}
+
+TEST(CacheStoreCamp, DeleteKeepsPolicyInSync) {
+  CacheStore store(CampConfig(0));  // no budget: no eviction
+  store.Set("a", "v", 0, 0, 5);
+  store.Set("b", "v", 0, 0, 5);
+  EXPECT_TRUE(store.Delete("a"));
+  store.Set("c", "v", 0, 0, 5);
+  EXPECT_TRUE(store.Get("b"));
+  EXPECT_TRUE(store.Get("c"));
+}
+
+TEST(CacheStoreCamp, AccessRefreshesPriority) {
+  CacheStore store(CampConfig(1000));
+  store.Set("hot", "0123456789", 0, 0, 10);
+  for (int i = 0; i < 100; ++i) {
+    store.Set("filler" + std::to_string(i), "0123456789", 0, 0, 10);
+    store.Get("hot");  // keep touching the hot key
+  }
+  EXPECT_TRUE(store.Get("hot"));
+}
+
+TEST(CacheStoreCamp, WorksWithIncrAndAppend) {
+  CacheStore store(CampConfig(0));
+  store.Set("n", "1", 0, 0, 3);
+  EXPECT_EQ(store.Incr("n", 1), 2u);
+  store.Set("s", "a", 0, 0, 3);
+  EXPECT_EQ(store.Append("s", "b"), StoreResult::kStored);
+  EXPECT_EQ(store.Get("s")->value, "ab");
+}
+
+}  // namespace
+}  // namespace iq

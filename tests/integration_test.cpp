@@ -1,0 +1,400 @@
+// End-to-end concurrency tests: the headline claim of the paper is that the
+// IQ framework drives unpredictable reads to zero under concurrent load
+// while baselines leak stale values. These tests run real multi-threaded
+// workloads over the full stack (RDBMS + IQ-Server + CASQL sessions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/iq_server.h"
+#include "bg/workload.h"
+#include "casql/casql.h"
+#include "util/worker_group.h"
+
+namespace iq {
+namespace {
+
+using casql::CasqlConfig;
+using casql::CasqlSystem;
+using casql::ComputeFn;
+using casql::Consistency;
+using casql::KeyUpdate;
+using casql::LeasePlacement;
+using casql::Technique;
+using casql::WriteSpec;
+using sql::SchemaBuilder;
+using sql::Transaction;
+using sql::TxnResult;
+using sql::V;
+
+/// Single-counter torture: N threads increment one RDBMS row through CASQL
+/// write sessions while readers read through the cache. At the end, the
+/// cached value must equal the RDBMS value.
+class CounterTorture {
+ public:
+  explicit CounterTorture(CasqlConfig cfg) : cfg_(std::move(cfg)) {
+    db_.CreateTable(SchemaBuilder("C")
+                        .AddInt("id")
+                        .AddInt("n")
+                        .PrimaryKey({"id"})
+                        .Build());
+    auto txn = db_.Begin();
+    txn->Insert("C", {V(1), V(0)});
+    txn->Commit();
+    cfg_.client.backoff_base = 20 * kNanosPerMicro;
+    cfg_.client.backoff_cap = 500 * kNanosPerMicro;
+    system_ = std::make_unique<CasqlSystem>(db_, server_, cfg_);
+  }
+
+  static ComputeFn Compute() {
+    return [](Transaction& txn) -> std::optional<std::string> {
+      auto row = txn.SelectByPk("C", {V(1)});
+      if (!row) return std::nullopt;
+      return std::to_string(*sql::AsInt((*row)[1]));
+    };
+  }
+
+  /// `modify_delay` models application compute time between the R and W of
+  /// the R-M-W; widening it makes baseline lost-update races likely.
+  WriteSpec IncrSpec(Nanos modify_delay = 0) {
+    WriteSpec spec;
+    spec.body = [](Transaction& txn) {
+      return txn.UpdateByPk("C", {V(1)}, [](sql::Row& row) {
+               row[1] = V(*sql::AsInt(row[1]) + 1);
+             }) == TxnResult::kOk;
+    };
+    KeyUpdate u;
+    u.key = "K";
+    u.refresh = [modify_delay](const std::optional<std::string>& old)
+        -> std::optional<std::string> {
+      if (!old) return std::nullopt;
+      if (modify_delay > 0) SleepFor(SteadyClock::Instance(), modify_delay);
+      return std::to_string(std::stoll(*old) + 1);
+    };
+    u.delta = DeltaOp{DeltaOp::Kind::kIncr, {}, 1};
+    spec.updates.push_back(std::move(u));
+    return spec;
+  }
+
+  /// Run writers+readers; returns (committed increments, final db, final read).
+  std::tuple<int, std::int64_t, std::int64_t> Run(int writers, int readers,
+                                                  int increments_each,
+                                                  Nanos modify_delay = 0) {
+    std::atomic<int> committed{0};
+    WorkerGroup group;
+    group.Start(writers + readers, [&](int id, const std::atomic<bool>&) {
+      auto conn = system_->Connect();
+      if (id < writers) {
+        for (int i = 0; i < increments_each; ++i) {
+          if (conn->Write(IncrSpec(modify_delay)).committed) {
+            committed.fetch_add(1);
+          }
+        }
+      } else {
+        for (int i = 0; i < increments_each * 2; ++i) {
+          conn->Read("K", Compute());
+        }
+      }
+    });
+    group.StopAndJoin();
+
+    auto txn = db_.Begin();
+    std::int64_t db_value = *sql::AsInt((*txn->SelectByPk("C", {V(1)}))[1]);
+    txn->Rollback();
+    auto conn = system_->Connect();
+    auto read = conn->Read("K", Compute());
+    std::int64_t cached = read.value ? std::stoll(*read.value) : -1;
+    return {committed.load(), db_value, cached};
+  }
+
+  CasqlConfig cfg_;
+  sql::Database db_;
+  IQServer server_;
+  std::unique_ptr<CasqlSystem> system_;
+};
+
+struct TortureCase {
+  const char* name;
+  Technique technique;
+  LeasePlacement placement;
+};
+
+class IQTortureTest : public ::testing::TestWithParam<TortureCase> {};
+
+TEST_P(IQTortureTest, CacheConvergesToRdbmsUnderConcurrency) {
+  CasqlConfig cfg;
+  cfg.technique = GetParam().technique;
+  cfg.consistency = Consistency::kIQ;
+  cfg.placement = GetParam().placement;
+  CounterTorture torture(cfg);
+  auto [committed, db_value, cached] = torture.Run(4, 2, 40);
+  EXPECT_EQ(db_value, committed);
+  EXPECT_EQ(cached, db_value) << "cache diverged from RDBMS";
+  EXPECT_EQ(committed, 4 * 40) << "some sessions never committed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIQDesigns, IQTortureTest,
+    ::testing::Values(
+        TortureCase{"InvalidateInside", Technique::kInvalidate,
+                    LeasePlacement::kInsideTxn},
+        TortureCase{"InvalidatePrior", Technique::kInvalidate,
+                    LeasePlacement::kPriorToTxn},
+        TortureCase{"RefreshInside", Technique::kRefresh,
+                    LeasePlacement::kInsideTxn},
+        TortureCase{"RefreshPrior", Technique::kRefresh,
+                    LeasePlacement::kPriorToTxn},
+        TortureCase{"IncrementalInside", Technique::kIncremental,
+                    LeasePlacement::kInsideTxn},
+        TortureCase{"IncrementalPrior", Technique::kIncremental,
+                    LeasePlacement::kPriorToTxn}),
+    [](const ::testing::TestParamInfo<TortureCase>& info) {
+      return info.param.name;
+    });
+
+// The no-lease refresh baseline loses updates under the same torture: the
+// cache diverges. (Not a flake: with plain set, racing R-M-Ws overwrite.)
+TEST(BaselineTorture, PlainRefreshDivergesEventually) {
+  int diverged = 0;
+  for (int round = 0; round < 5 && diverged == 0; ++round) {
+    CasqlConfig cfg;
+    cfg.technique = Technique::kRefresh;
+    cfg.consistency = Consistency::kNone;
+    CounterTorture torture(cfg);
+    // Seed the cache so the R-M-W path (not the add path) is exercised.
+    torture.system_->Connect()->Read("K", CounterTorture::Compute());
+    auto [committed, db_value, cached] =
+        torture.Run(8, 0, 50, /*modify_delay=*/200 * kNanosPerMicro);
+    (void)committed;
+    if (cached != db_value) ++diverged;
+  }
+  EXPECT_GT(diverged, 0) << "plain refresh should lose updates under load";
+}
+
+// BG end-to-end: IQ yields zero unpredictable reads for every technique
+// (the paper's Table 7 bottom line), exercised with a concurrent mix.
+class BgZeroStaleTest : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(BgZeroStaleTest, IQProducesZeroUnpredictableReads) {
+  sql::Database db;
+  bg::CreateBgTables(db);
+  bg::GraphConfig graph{50, 4, 1, 1};
+  bg::LoadGraph(db, graph);
+  bg::ActionPools pools;
+  pools.SeedFromGraph(graph);
+  IQServer server;
+  CasqlConfig cfg;
+  cfg.technique = GetParam();
+  cfg.consistency = Consistency::kIQ;
+  cfg.client.backoff_base = 20 * kNanosPerMicro;
+  cfg.client.backoff_cap = 500 * kNanosPerMicro;
+  CasqlSystem system(db, server, cfg);
+
+  bg::WorkloadConfig wl;
+  wl.mix = bg::HighWriteMix();
+  wl.threads = 6;
+  wl.duration = 250 * kNanosPerMilli;
+  wl.seed = 11;
+  auto result = bg::RunWorkload(system, pools, graph, wl);
+  EXPECT_GT(result.validation.reads_checked, 50u);
+  EXPECT_EQ(result.validation.unpredictable, 0u)
+      << "stale: " << result.validation.StalePercent() << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, BgZeroStaleTest,
+                         ::testing::Values(Technique::kInvalidate,
+                                           Technique::kRefresh,
+                                           Technique::kIncremental),
+                         [](const ::testing::TestParamInfo<Technique>& info) {
+                           return casql::ToString(info.param);
+                         });
+
+// Deadlock freedom (Section 2: "non-blocking and deadlock free"): sessions
+// acquiring Q leases on the same keys in OPPOSITE orders would deadlock a
+// blocking 2PL lock manager; under IQ the loser aborts, backs off, and
+// retries, so every session eventually commits.
+TEST(DeadlockFreedom, OppositeOrderMultiKeySessionsAllComplete) {
+  sql::Database db;
+  db.CreateTable(
+      SchemaBuilder("D").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("D", {V(1), V(0)});
+    txn->Insert("D", {V(2), V(0)});
+    txn->Commit();
+  }
+  IQServer server;
+  CasqlConfig cfg;
+  cfg.technique = Technique::kRefresh;
+  cfg.consistency = Consistency::kIQ;
+  cfg.placement = LeasePlacement::kPriorToTxn;  // leases held the longest
+  cfg.client.backoff_base = 20 * kNanosPerMicro;
+  cfg.client.backoff_cap = 500 * kNanosPerMicro;
+  CasqlSystem system(db, server, cfg);
+
+  // Warm both keys so QaRead returns values.
+  server.store().Set("A", "0");
+  server.store().Set("B", "0");
+
+  auto incr_update = [](const char* key) {
+    KeyUpdate u;
+    u.key = key;
+    u.refresh = [](const std::optional<std::string>& old)
+        -> std::optional<std::string> {
+      if (!old) return std::nullopt;
+      return std::to_string(std::stoll(*old) + 1);
+    };
+    return u;
+  };
+  auto body = [](Transaction& txn) {
+    return txn.UpdateByPk("D", {V(1)}, [](sql::Row& row) {
+             row[1] = V(*sql::AsInt(row[1]) + 1);
+           }) == TxnResult::kOk;
+  };
+
+  std::atomic<int> committed{0};
+  WorkerGroup group;
+  group.Start(6, [&](int id, const std::atomic<bool>&) {
+    auto conn = system.Connect();
+    for (int i = 0; i < 30; ++i) {
+      WriteSpec spec;
+      spec.body = body;
+      // Half the workers grab A then B, half B then A.
+      if (id % 2 == 0) {
+        spec.updates.push_back(incr_update("A"));
+        spec.updates.push_back(incr_update("B"));
+      } else {
+        spec.updates.push_back(incr_update("B"));
+        spec.updates.push_back(incr_update("A"));
+      }
+      if (conn->Write(spec).committed) committed.fetch_add(1);
+    }
+  });
+  group.StopAndJoin();
+  // No deadlock: everyone finished, and both keys saw every increment.
+  EXPECT_EQ(committed.load(), 6 * 30);
+  EXPECT_EQ(server.store().Get("A")->value, std::to_string(committed.load()));
+  EXPECT_EQ(server.store().Get("B")->value, std::to_string(committed.load()));
+  EXPECT_EQ(server.LeaseCount(), 0u);
+}
+
+// Lease lifetimes make the system robust to failed clients: a session that
+// dies holding a Q lease cannot block others forever.
+TEST(FailureInjection, CrashedSessionLeaseExpiresAndUnblocks) {
+  ManualClock clock;
+  IQServer server(CacheStore::Config{.shard_count = 4,
+                                     .memory_budget_bytes = 0,
+                                     .clock = &clock},
+                  IQServer::Config{.lease_lifetime = kNanosPerSec,
+                                   .deferred_delete = true,
+                                   .clock = &clock});
+  server.store().Set("k", "v");
+  // "Crash": a session takes a Q lease and never commits or aborts.
+  SessionId dead = server.GenID();
+  ASSERT_EQ(server.QaRead("k", dead).status, QaReadReply::Status::kGranted);
+  EXPECT_EQ(server.QaRead("k", server.GenID()).status,
+            QaReadReply::Status::kReject);
+  clock.Advance(kNanosPerSec);
+  // The lease expired; the key was deleted (safe) and new writers proceed.
+  EXPECT_EQ(server.QaRead("k", server.GenID()).status,
+            QaReadReply::Status::kGranted);
+}
+
+TEST(FailureInjection, LateCommitAfterExpiryIsHarmless) {
+  ManualClock clock;
+  IQServer server(CacheStore::Config{.shard_count = 4,
+                                     .memory_budget_bytes = 0,
+                                     .clock = &clock},
+                  IQServer::Config{.lease_lifetime = kNanosPerSec,
+                                   .deferred_delete = true,
+                                   .clock = &clock});
+  server.store().Set("n", "5");
+  SessionId slow = server.GenID();
+  server.IQDelta(slow, "n", DeltaOp{DeltaOp::Kind::kIncr, {}, 1});
+  clock.Advance(kNanosPerSec);
+  server.IQget("n", 999);  // lazily expires the lease, deleting the key
+  // A fresh writer takes over the key.
+  SessionId fresh = server.GenID();
+  server.QaRead("n", fresh);
+  server.SaR("n", "10", server.QaRead("n", fresh).token);
+  // The crashed session's late commit must not corrupt the new value.
+  server.Commit(slow);
+  EXPECT_EQ(server.store().Get("n")->value, "10");
+}
+
+// Atomicity across many keys: a multi-key IQ write session applies either
+// all its updates (commit) or none (abort), from any reader's perspective.
+TEST(MultiKeyAtomicity, CommittedSessionsKeepKeysInSync) {
+  sql::Database db;
+  db.CreateTable(
+      SchemaBuilder("P").AddInt("id").AddInt("a").AddInt("b").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("P", {V(1), V(0), V(0)});
+    txn->Commit();
+  }
+  IQServer server;
+  CasqlConfig cfg;
+  cfg.technique = Technique::kRefresh;
+  cfg.consistency = Consistency::kIQ;
+  cfg.client.backoff_base = 20 * kNanosPerMicro;
+  CasqlSystem system(db, server, cfg);
+
+  // Writers add +1 to both columns and both cache keys; invariant a == b.
+  auto incr_both = [] {
+    WriteSpec spec;
+    spec.body = [](Transaction& txn) {
+      return txn.UpdateByPk("P", {V(1)}, [](sql::Row& row) {
+               row[1] = V(*sql::AsInt(row[1]) + 1);
+               row[2] = V(*sql::AsInt(row[2]) + 1);
+             }) == TxnResult::kOk;
+    };
+    for (const char* key : {"A", "B"}) {
+      KeyUpdate u;
+      u.key = key;
+      u.refresh = [](const std::optional<std::string>& old)
+          -> std::optional<std::string> {
+        if (!old) return std::nullopt;
+        return std::to_string(std::stoll(*old) + 1);
+      };
+      spec.updates.push_back(std::move(u));
+    }
+    return spec;
+  };
+  auto compute_col = [](int col) -> ComputeFn {
+    return [col](Transaction& txn) -> std::optional<std::string> {
+      auto row = txn.SelectByPk("P", {V(1)});
+      if (!row) return std::nullopt;
+      return std::to_string(*sql::AsInt((*row)[static_cast<std::size_t>(col)]));
+    };
+  };
+
+  std::atomic<int> violations{0};
+  WorkerGroup group;
+  group.Start(6, [&](int id, const std::atomic<bool>&) {
+    auto conn = system.Connect();
+    if (id < 3) {
+      for (int i = 0; i < 30; ++i) conn->Write(incr_both());
+    } else {
+      for (int i = 0; i < 60; ++i) {
+        // Reading both keys in one "session": because each key is either
+        // old-version or new-version consistently at commit boundaries,
+        // a==b or they differ by at most the in-flight window. We only
+        // assert the final convergence below; here we just exercise reads.
+        conn->Read("A", compute_col(1));
+        conn->Read("B", compute_col(2));
+      }
+    }
+  });
+  group.StopAndJoin();
+  auto conn = system.Connect();
+  auto a = conn->Read("A", compute_col(1));
+  auto b = conn->Read("B", compute_col(2));
+  ASSERT_TRUE(a.value && b.value);
+  EXPECT_EQ(*a.value, *b.value);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kvs/kvs.h"
+#include "util/clock.h"
+
+namespace iq {
+namespace {
+
+TEST(CacheStore, GetMissesOnEmptyStore) {
+  CacheStore store;
+  EXPECT_FALSE(store.Get("absent"));
+}
+
+TEST(CacheStore, SetThenGetRoundTrips) {
+  CacheStore store;
+  EXPECT_EQ(store.Set("k", "v"), StoreResult::kStored);
+  auto item = store.Get("k");
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->value, "v");
+}
+
+TEST(CacheStore, SetOverwrites) {
+  CacheStore store;
+  store.Set("k", "v1");
+  store.Set("k", "v2");
+  EXPECT_EQ(store.Get("k")->value, "v2");
+}
+
+TEST(CacheStore, SetStoresFlags) {
+  CacheStore store;
+  store.Set("k", "v", 0xBEEF);
+  EXPECT_EQ(store.Get("k")->flags, 0xBEEFu);
+}
+
+TEST(CacheStore, AddOnlyWhenAbsent) {
+  CacheStore store;
+  EXPECT_EQ(store.Add("k", "v1"), StoreResult::kStored);
+  EXPECT_EQ(store.Add("k", "v2"), StoreResult::kNotStored);
+  EXPECT_EQ(store.Get("k")->value, "v1");
+}
+
+TEST(CacheStore, ReplaceOnlyWhenPresent) {
+  CacheStore store;
+  EXPECT_EQ(store.Replace("k", "v"), StoreResult::kNotStored);
+  store.Set("k", "v1");
+  EXPECT_EQ(store.Replace("k", "v2"), StoreResult::kStored);
+  EXPECT_EQ(store.Get("k")->value, "v2");
+}
+
+TEST(CacheStore, DeleteReportsPresence) {
+  CacheStore store;
+  store.Set("k", "v");
+  EXPECT_TRUE(store.Delete("k"));
+  EXPECT_FALSE(store.Delete("k"));
+  EXPECT_FALSE(store.Get("k"));
+}
+
+TEST(CacheStore, CasSucceedsWithMatchingVersion) {
+  CacheStore store;
+  store.Set("k", "v1");
+  auto item = store.Get("k");
+  EXPECT_EQ(store.Cas("k", "v2", item->cas), StoreResult::kStored);
+  EXPECT_EQ(store.Get("k")->value, "v2");
+}
+
+TEST(CacheStore, CasFailsAfterInterveningWrite) {
+  CacheStore store;
+  store.Set("k", "v1");
+  auto item = store.Get("k");
+  store.Set("k", "other");
+  EXPECT_EQ(store.Cas("k", "v2", item->cas), StoreResult::kExists);
+  EXPECT_EQ(store.Get("k")->value, "other");
+}
+
+TEST(CacheStore, CasOnMissingKeyIsNotFound) {
+  CacheStore store;
+  EXPECT_EQ(store.Cas("k", "v", 1), StoreResult::kNotFound);
+}
+
+TEST(CacheStore, CasVersionChangesOnEveryWrite) {
+  CacheStore store;
+  store.Set("k", "a");
+  auto v1 = store.Get("k")->cas;
+  store.Set("k", "b");
+  auto v2 = store.Get("k")->cas;
+  EXPECT_NE(v1, v2);
+}
+
+TEST(CacheStore, AppendPrependExtendValue) {
+  CacheStore store;
+  store.Set("k", "mid");
+  EXPECT_EQ(store.Append("k", ">"), StoreResult::kStored);
+  EXPECT_EQ(store.Prepend("k", "<"), StoreResult::kStored);
+  EXPECT_EQ(store.Get("k")->value, "<mid>");
+}
+
+TEST(CacheStore, AppendPrependMissIsNotStored) {
+  CacheStore store;
+  EXPECT_EQ(store.Append("k", "x"), StoreResult::kNotStored);
+  EXPECT_EQ(store.Prepend("k", "x"), StoreResult::kNotStored);
+  EXPECT_FALSE(store.Get("k"));
+}
+
+TEST(CacheStore, IncrDecrArithmetic) {
+  CacheStore store;
+  store.Set("n", "10");
+  EXPECT_EQ(store.Incr("n", 5), 15u);
+  EXPECT_EQ(store.Decr("n", 3), 12u);
+  EXPECT_EQ(store.Get("n")->value, "12");
+}
+
+TEST(CacheStore, DecrSaturatesAtZero) {
+  CacheStore store;
+  store.Set("n", "3");
+  EXPECT_EQ(store.Decr("n", 10), 0u);
+}
+
+TEST(CacheStore, IncrOnMissingOrNonNumericFails) {
+  CacheStore store;
+  EXPECT_FALSE(store.Incr("absent", 1));
+  store.Set("s", "abc");
+  EXPECT_FALSE(store.Incr("s", 1));
+  store.Set("t", "12x");
+  EXPECT_FALSE(store.Incr("t", 1));
+}
+
+TEST(CacheStore, FlushDropsEverything) {
+  CacheStore store;
+  for (int i = 0; i < 100; ++i) store.Set("k" + std::to_string(i), "v");
+  store.Flush();
+  EXPECT_EQ(store.Stats().item_count, 0u);
+  EXPECT_FALSE(store.Get("k0"));
+}
+
+TEST(CacheStore, TtlExpiresWithManualClock) {
+  ManualClock clock;
+  CacheStore store({.shard_count = 4, .memory_budget_bytes = 0, .clock = &clock});
+  store.Set("k", "v", 0, 100);
+  EXPECT_TRUE(store.Get("k"));
+  clock.Advance(99);
+  EXPECT_TRUE(store.Get("k"));
+  clock.Advance(1);
+  EXPECT_FALSE(store.Get("k"));
+  EXPECT_EQ(store.Stats().expirations, 1u);
+}
+
+TEST(CacheStore, ZeroTtlNeverExpires) {
+  ManualClock clock;
+  CacheStore store({.shard_count = 1, .memory_budget_bytes = 0, .clock = &clock});
+  store.Set("k", "v");
+  clock.Advance(1'000'000'000'000);
+  EXPECT_TRUE(store.Get("k"));
+}
+
+TEST(CacheStore, LruEvictionUnderBudget) {
+  // Budget for roughly 10 items in one shard; insert 50.
+  CacheStore store({.shard_count = 1, .memory_budget_bytes = 800});
+  for (int i = 0; i < 50; ++i) {
+    store.Set("key" + std::to_string(i), "0123456789");
+  }
+  auto stats = store.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 800u);
+  // Most-recent key survives.
+  EXPECT_TRUE(store.Get("key49"));
+}
+
+TEST(CacheStore, LruKeepsRecentlyReadItems) {
+  CacheStore store({.shard_count = 1, .memory_budget_bytes = 1200});
+  for (int i = 0; i < 10; ++i) store.Set("key" + std::to_string(i), "0123456789");
+  // Touch key0 repeatedly so key1 becomes the LRU victim.
+  for (int i = 0; i < 5; ++i) store.Get("key0");
+  for (int i = 10; i < 18; ++i) store.Set("key" + std::to_string(i), "0123456789");
+  if (store.Stats().evictions > 0) {
+    EXPECT_TRUE(store.Get("key0"));
+  }
+}
+
+TEST(CacheStore, StatsCountHitsAndMisses) {
+  CacheStore store;
+  store.Set("k", "v");
+  store.Get("k");
+  store.Get("absent");
+  auto stats = store.Stats();
+  EXPECT_EQ(stats.get_hits, 1u);
+  EXPECT_EQ(stats.get_misses, 1u);
+  EXPECT_EQ(stats.sets, 1u);
+}
+
+TEST(CacheStore, StatsTrackCasMismatches) {
+  CacheStore store;
+  store.Set("k", "v");
+  store.Cas("k", "x", 999999);
+  EXPECT_EQ(store.Stats().cas_mismatches, 1u);
+}
+
+TEST(CacheStore, LockedApiMatchesPublicApi) {
+  CacheStore store;
+  {
+    auto g = store.LockKey("k");
+    EXPECT_FALSE(store.ContainsLocked(g, "k"));
+    store.SetLocked(g, "k", "v");
+    EXPECT_TRUE(store.ContainsLocked(g, "k"));
+    auto item = store.GetLocked(g, "k");
+    ASSERT_TRUE(item);
+    EXPECT_EQ(item->value, "v");
+    EXPECT_TRUE(store.DeleteLocked(g, "k"));
+    EXPECT_FALSE(store.DeleteLocked(g, "k"));
+  }
+  EXPECT_FALSE(store.Get("k"));
+}
+
+TEST(CacheStore, ShardIndexIsStable) {
+  CacheStore store({.shard_count = 8, .memory_budget_bytes = 0});
+  EXPECT_EQ(store.ShardIndexFor("abc"), store.ShardIndexFor("abc"));
+  EXPECT_LT(store.ShardIndexFor("abc"), store.shard_count());
+}
+
+TEST(CacheStore, ConcurrentMixedOpsKeepCountsSane) {
+  CacheStore store({.shard_count = 16, .memory_budget_bytes = 0});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "k" + std::to_string(i % 64);
+        switch ((t + i) % 4) {
+          case 0: store.Set(key, "v"); break;
+          case 1: store.Get(key); break;
+          case 2: store.Delete(key); break;
+          case 3: store.Append(key, "x"); break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto stats = store.Stats();
+  EXPECT_EQ(stats.gets, static_cast<std::uint64_t>(kThreads) * kOps / 4);
+  EXPECT_EQ(stats.deletes, static_cast<std::uint64_t>(kThreads) * kOps / 4);
+}
+
+TEST(CacheStore, ConcurrentIncrementsAreAtomic) {
+  CacheStore store;
+  store.Set("n", "0");
+  constexpr int kThreads = 8;
+  constexpr int kIncrs = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kIncrs; ++i) store.Incr("n", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.Get("n")->value, std::to_string(kThreads * kIncrs));
+}
+
+// Parameterized sweep: every mutating command behaves identically across
+// shard counts (the sharding must be an invisible implementation detail).
+class ShardCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardCountTest, BasicProtocolHoldsForAllShardCounts) {
+  CacheStore store({.shard_count = GetParam(), .memory_budget_bytes = 0});
+  for (int i = 0; i < 100; ++i) {
+    std::string k = "key" + std::to_string(i);
+    EXPECT_EQ(store.Set(k, std::to_string(i)), StoreResult::kStored);
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string k = "key" + std::to_string(i);
+    auto item = store.Get(k);
+    ASSERT_TRUE(item) << k;
+    EXPECT_EQ(item->value, std::to_string(i));
+    EXPECT_EQ(store.Incr(k, 10), static_cast<std::uint64_t>(i) + 10);
+    EXPECT_TRUE(store.Delete(k));
+  }
+  EXPECT_EQ(store.Stats().item_count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardCountTest,
+                         ::testing::Values(1, 2, 3, 8, 64));
+
+}  // namespace
+}  // namespace iq

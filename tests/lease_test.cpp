@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "leases/lease_table.h"
+
+namespace iq {
+namespace {
+
+TEST(LeaseTable, FindOnEmptyIsNull) {
+  LeaseTable table(4);
+  EXPECT_EQ(table.Find(0, "k"), nullptr);
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(LeaseTable, PutThenFind) {
+  LeaseTable table(4);
+  LeaseEntry e;
+  e.kind = LeaseKind::kInhibit;
+  e.token = 42;
+  table.Put(1, "k", e);
+  LeaseEntry* found = table.Find(1, "k");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->token, 42u);
+  EXPECT_EQ(table.Size(), 1u);
+}
+
+TEST(LeaseTable, PutOverwrites) {
+  LeaseTable table(1);
+  LeaseEntry a;
+  a.kind = LeaseKind::kInhibit;
+  a.token = 1;
+  table.Put(0, "k", a);
+  LeaseEntry b;
+  b.kind = LeaseKind::kQRefresh;
+  b.token = 2;
+  table.Put(0, "k", b);
+  EXPECT_EQ(table.Find(0, "k")->kind, LeaseKind::kQRefresh);
+  EXPECT_EQ(table.Size(), 1u);
+}
+
+TEST(LeaseTable, EraseRemoves) {
+  LeaseTable table(2);
+  table.Put(0, "k", LeaseEntry{LeaseKind::kInhibit, 1, 0, {}, 0, {}});
+  table.Erase(0, "k");
+  EXPECT_EQ(table.Find(0, "k"), nullptr);
+}
+
+TEST(LeaseTable, ShardsAreIndependent) {
+  LeaseTable table(2);
+  table.Put(0, "k", LeaseEntry{LeaseKind::kInhibit, 1, 0, {}, 0, {}});
+  EXPECT_EQ(table.Find(1, "k"), nullptr);
+}
+
+TEST(LeaseTable, ExpiryPredicate) {
+  LeaseEntry e;
+  e.expires_at = 100;
+  EXPECT_FALSE(LeaseTable::Expired(e, 99));
+  EXPECT_TRUE(LeaseTable::Expired(e, 100));
+  e.expires_at = 0;  // never expires
+  EXPECT_FALSE(LeaseTable::Expired(e, 1'000'000));
+}
+
+TEST(LeaseTable, ForEachVisitsShardEntries) {
+  LeaseTable table(2);
+  table.Put(0, "a", LeaseEntry{LeaseKind::kInhibit, 1, 0, {}, 0, {}});
+  table.Put(0, "b", LeaseEntry{LeaseKind::kInhibit, 2, 0, {}, 0, {}});
+  table.Put(1, "c", LeaseEntry{LeaseKind::kInhibit, 3, 0, {}, 0, {}});
+  int visited = 0;
+  table.ForEach(0, [&](const std::string&, LeaseEntry&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(LeaseEntry, HeldByChecksKind) {
+  LeaseEntry i_lease;
+  i_lease.kind = LeaseKind::kInhibit;
+  i_lease.holder = 7;
+  EXPECT_TRUE(i_lease.HeldBy(7));
+  EXPECT_FALSE(i_lease.HeldBy(8));
+
+  LeaseEntry q_inv;
+  q_inv.kind = LeaseKind::kQInvalidate;
+  q_inv.inv_holders = {3, 5};
+  EXPECT_TRUE(q_inv.HeldBy(3));
+  EXPECT_TRUE(q_inv.HeldBy(5));
+  EXPECT_FALSE(q_inv.HeldBy(7));
+}
+
+TEST(LeaseKindNames, AreDistinct) {
+  EXPECT_STREQ(ToString(LeaseKind::kInhibit), "I");
+  EXPECT_STREQ(ToString(LeaseKind::kQInvalidate), "Q-inv");
+  EXPECT_STREQ(ToString(LeaseKind::kQRefresh), "Q-ref");
+}
+
+TEST(SessionRegistry, AddAndRetrieveKeys) {
+  SessionRegistry reg;
+  reg.AddKey(1, "a");
+  reg.AddKey(1, "b");
+  reg.AddKey(2, "c");
+  EXPECT_EQ(reg.Keys(1), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(reg.Keys(2), (std::vector<std::string>{"c"}));
+  EXPECT_EQ(reg.SessionCount(), 2u);
+}
+
+TEST(SessionRegistry, AddIsIdempotentPerKey) {
+  SessionRegistry reg;
+  reg.AddKey(1, "a");
+  reg.AddKey(1, "a");
+  EXPECT_EQ(reg.Keys(1).size(), 1u);
+}
+
+TEST(SessionRegistry, RemoveKeyDropsEmptySession) {
+  SessionRegistry reg;
+  reg.AddKey(1, "a");
+  reg.RemoveKey(1, "a");
+  EXPECT_TRUE(reg.Keys(1).empty());
+  EXPECT_EQ(reg.SessionCount(), 0u);
+}
+
+TEST(SessionRegistry, RemoveUnknownIsNoop) {
+  SessionRegistry reg;
+  reg.RemoveKey(9, "nope");
+  EXPECT_EQ(reg.SessionCount(), 0u);
+}
+
+TEST(SessionRegistry, DropClearsSession) {
+  SessionRegistry reg;
+  reg.AddKey(1, "a");
+  reg.AddKey(1, "b");
+  reg.Drop(1);
+  EXPECT_TRUE(reg.Keys(1).empty());
+}
+
+TEST(SessionRegistry, KeysPreserveRegistrationOrder) {
+  SessionRegistry reg;
+  reg.AddKey(1, "z");
+  reg.AddKey(1, "a");
+  reg.AddKey(1, "m");
+  EXPECT_EQ(reg.Keys(1), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/channel.h"
+#include "util/backoff.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace iq::net {
+namespace {
+
+// ---- request parser ---------------------------------------------------------
+
+TEST(RequestParser, ParsesGet) {
+  RequestParser p;
+  p.Feed("get somekey\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kGet);
+  EXPECT_EQ(r.key, "somekey");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RequestParser, ParsesSetWithPayload) {
+  RequestParser p;
+  p.Feed("set k 7 60 5\r\nhello\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kSet);
+  EXPECT_EQ(r.key, "k");
+  EXPECT_EQ(r.flags, 7u);
+  EXPECT_EQ(r.exptime, 60);
+  EXPECT_EQ(r.data, "hello");
+}
+
+TEST(RequestParser, PayloadMayContainNewlines) {
+  RequestParser p;
+  p.Feed("set k 0 0 5\r\na\r\nb!\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.data, "a\r\nb!");
+}
+
+TEST(RequestParser, HandlesSplitFeeds) {
+  RequestParser p;
+  Request r;
+  std::string err;
+  p.Feed("se");
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kNeedMore);
+  p.Feed("t k 0 0 4\r\nda");
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kNeedMore);
+  p.Feed("ta\r\n");
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.data, "data");
+}
+
+TEST(RequestParser, ParsesPipelinedRequests) {
+  RequestParser p;
+  p.Feed("get a\r\nget b\r\ndelete c\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.key, "a");
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.key, "b");
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kDelete);
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kNeedMore);
+}
+
+TEST(RequestParser, ParsesCas) {
+  RequestParser p;
+  p.Feed("cas k 1 0 3 999\r\nabc\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kCas);
+  EXPECT_EQ(r.cas_unique, 999u);
+}
+
+TEST(RequestParser, ParsesIncrDecr) {
+  RequestParser p;
+  p.Feed("incr n 5\r\ndecr n 2\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kIncr);
+  EXPECT_EQ(r.amount, 5u);
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kDecr);
+}
+
+TEST(RequestParser, ParsesIQCommands) {
+  RequestParser p;
+  p.Feed(
+      "iqget profile 42\r\n"
+      "iqset profile 7 3\r\nabc\r\n"
+      "qaread friends 42\r\n"
+      "sar friends 9 2\r\nxy\r\n"
+      "sarnull friends 9\r\n"
+      "genid\r\n"
+      "qareg 11 pending\r\n"
+      "dar 11\r\n"
+      "iqappend 12 list 2\r\n,z\r\n"
+      "iqincr 12 count 3\r\n"
+      "commit 12\r\n"
+      "abort 13\r\n");
+  Request r;
+  std::string err;
+  Command expect[] = {Command::kIQGet,   Command::kIQSet,    Command::kQaRead,
+                      Command::kSaR,     Command::kSaRNull,  Command::kGenId,
+                      Command::kQaReg,   Command::kDaR,      Command::kIQAppend,
+                      Command::kIQIncr,  Command::kCommit,   Command::kAbort};
+  for (Command c : expect) {
+    ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk) << ToString(c);
+    EXPECT_EQ(r.command, c);
+  }
+}
+
+TEST(RequestParser, ReportsUnknownCommand) {
+  RequestParser p;
+  p.Feed("frobnicate k\r\nget ok\r\n");
+  Request r;
+  std::string err;
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kError);
+  EXPECT_NE(err.find("frobnicate"), std::string::npos);
+  // Recovers and parses the next request.
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.key, "ok");
+}
+
+TEST(RequestParser, ReportsBadArity) {
+  RequestParser p;
+  p.Feed("get\r\n");
+  Request r;
+  std::string err;
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kError);
+}
+
+TEST(RequestParser, ReportsBadChunkTerminator) {
+  RequestParser p;
+  p.Feed("set k 0 0 3\r\nabcXX");
+  Request r;
+  std::string err;
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kError);
+}
+
+// Round-trip property: Serialize(request) parses back to an identical
+// request, for every command kind.
+class RoundTripTest : public ::testing::TestWithParam<Command> {};
+
+TEST_P(RoundTripTest, SerializeThenParseIsIdentity) {
+  Request original;
+  original.command = GetParam();
+  original.key = "some_key";
+  original.data = "payload bytes";
+  original.flags = 3;
+  original.exptime = 120;
+  original.cas_unique = 77;
+  original.amount = 5;
+  original.token = 91;
+  original.session = 1234;
+
+  RequestParser p;
+  p.Feed(Serialize(original));
+  Request parsed;
+  std::string err;
+  ASSERT_EQ(p.Next(&parsed, &err), RequestParser::Status::kOk) << err;
+  EXPECT_EQ(parsed.command, original.command);
+  // Only compare the fields the command actually carries.
+  switch (original.command) {
+    case Command::kSet:
+    case Command::kAdd:
+    case Command::kReplace:
+    case Command::kAppend:
+    case Command::kPrepend:
+      EXPECT_EQ(parsed.data, original.data);
+      EXPECT_EQ(parsed.flags, original.flags);
+      EXPECT_EQ(parsed.exptime, original.exptime);
+      break;
+    case Command::kCas:
+      EXPECT_EQ(parsed.cas_unique, original.cas_unique);
+      EXPECT_EQ(parsed.data, original.data);
+      break;
+    case Command::kIncr:
+    case Command::kDecr:
+    case Command::kIQIncr:
+    case Command::kIQDecr:
+      EXPECT_EQ(parsed.amount, original.amount);
+      break;
+    case Command::kIQSet:
+    case Command::kSaR:
+      EXPECT_EQ(parsed.token, original.token);
+      EXPECT_EQ(parsed.data, original.data);
+      break;
+    default:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCommands, RoundTripTest,
+    ::testing::Values(Command::kGet, Command::kGets, Command::kSet,
+                      Command::kAdd, Command::kReplace, Command::kCas,
+                      Command::kAppend, Command::kPrepend, Command::kDelete,
+                      Command::kIncr, Command::kDecr, Command::kFlushAll,
+                      Command::kStats, Command::kQuit, Command::kIQGet,
+                      Command::kIQSet, Command::kQaRead, Command::kSaR,
+                      Command::kSaRNull, Command::kGenId, Command::kQaReg,
+                      Command::kDaR, Command::kIQAppend, Command::kIQPrepend,
+                      Command::kIQIncr, Command::kIQDecr, Command::kCommit,
+                      Command::kAbort),
+    [](const ::testing::TestParamInfo<Command>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '_') c = 'X';
+      }
+      return name;
+    });
+
+// ---- response serialization --------------------------------------------------
+
+TEST(ResponseCodec, ValueRoundTrip) {
+  Response r;
+  r.type = ResponseType::kValue;
+  r.key = "k";
+  r.data = "some data";
+  r.flags = 5;
+  r.with_cas = true;
+  r.cas_unique = 42;
+  std::size_t consumed = 0;
+  auto parsed = ParseResponse(Serialize(r), &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kValue);
+  EXPECT_EQ(parsed->data, "some data");
+  EXPECT_EQ(parsed->cas_unique, 42u);
+}
+
+TEST(ResponseCodec, SimpleResponsesRoundTrip) {
+  for (ResponseType t :
+       {ResponseType::kEnd, ResponseType::kStored, ResponseType::kNotStored,
+        ResponseType::kExists, ResponseType::kNotFound, ResponseType::kDeleted,
+        ResponseType::kOk, ResponseType::kMissBackoff,
+        ResponseType::kMissNoLease, ResponseType::kReject,
+        ResponseType::kGranted}) {
+    Response r;
+    r.type = t;
+    std::size_t consumed = 0;
+    auto parsed = ParseResponse(Serialize(r), &consumed);
+    ASSERT_TRUE(parsed) << static_cast<int>(t);
+    EXPECT_EQ(parsed->type, t);
+  }
+}
+
+TEST(ResponseCodec, NumberedResponsesCarryPayload) {
+  for (ResponseType t : {ResponseType::kMissToken, ResponseType::kQMiss,
+                         ResponseType::kId, ResponseType::kNumber}) {
+    Response r;
+    r.type = t;
+    r.number = 987654;
+    std::size_t consumed = 0;
+    auto parsed = ParseResponse(Serialize(r), &consumed);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->type, t);
+    EXPECT_EQ(parsed->number, 987654u);
+  }
+}
+
+TEST(ResponseCodec, QValueCarriesTokenAndData) {
+  Response r;
+  r.type = ResponseType::kQValue;
+  r.number = 55;
+  r.data = "old value";
+  std::size_t consumed = 0;
+  auto parsed = ParseResponse(Serialize(r), &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kQValue);
+  EXPECT_EQ(parsed->number, 55u);
+  EXPECT_EQ(parsed->data, "old value");
+}
+
+TEST(ResponseCodec, IncompleteBytesReturnNullopt) {
+  std::size_t consumed = 0;
+  EXPECT_FALSE(ParseResponse("VALUE k 0 100\r\nshort", &consumed));
+  EXPECT_FALSE(ParseResponse("STO", &consumed));
+}
+
+// ---- dispatcher over a loopback channel ----------------------------------------
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  RemoteTest() : channel_(server_), client_(channel_) {}
+  IQServer server_;
+  LoopbackChannel channel_;
+  RemoteCacheClient client_;
+};
+
+TEST_F(RemoteTest, SetGetDeleteOverTheWire) {
+  EXPECT_EQ(client_.Set("k", "v"), StoreResult::kStored);
+  auto item = client_.Get("k");
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->value, "v");
+  EXPECT_TRUE(client_.Delete("k"));
+  EXPECT_FALSE(client_.Get("k"));
+}
+
+TEST_F(RemoteTest, GetsReturnsCasAndCasWorks) {
+  client_.Set("k", "v1");
+  auto item = client_.Gets("k");
+  ASSERT_TRUE(item);
+  EXPECT_EQ(client_.Cas("k", "v2", item->cas), StoreResult::kStored);
+  EXPECT_EQ(client_.Cas("k", "v3", item->cas), StoreResult::kExists);
+}
+
+TEST_F(RemoteTest, IncrDecrOverTheWire) {
+  client_.Set("n", "10");
+  EXPECT_EQ(client_.Incr("n", 5), 15u);
+  EXPECT_EQ(client_.Decr("n", 1), 14u);
+  EXPECT_FALSE(client_.Incr("absent", 1));
+}
+
+TEST_F(RemoteTest, FullIQReadProtocol) {
+  SessionId session = client_.GenID();
+  EXPECT_NE(session, 0u);
+  GetReply miss = client_.IQget("k", session);
+  ASSERT_EQ(miss.status, GetReply::Status::kMissGrantedI);
+  EXPECT_EQ(client_.IQset("k", "computed", miss.token), StoreResult::kStored);
+  GetReply hit = client_.IQget("k", session);
+  EXPECT_EQ(hit.status, GetReply::Status::kHit);
+  EXPECT_EQ(hit.value, "computed");
+}
+
+TEST_F(RemoteTest, FullRefreshProtocol) {
+  client_.Set("k", "old");
+  SessionId session = client_.GenID();
+  QaReadReply q = client_.QaRead("k", session);
+  ASSERT_EQ(q.status, QaReadReply::Status::kGranted);
+  EXPECT_EQ(q.value, "old");
+  // Second writer rejected over the wire.
+  SessionId other = client_.GenID();
+  EXPECT_EQ(client_.QaRead("k", other).status, QaReadReply::Status::kReject);
+  EXPECT_EQ(client_.SaR("k", std::optional<std::string>("new"), q.token),
+            StoreResult::kStored);
+  EXPECT_EQ(client_.Get("k")->value, "new");
+}
+
+TEST_F(RemoteTest, FullInvalidateProtocol) {
+  client_.Set("k", "v");
+  SessionId tid = client_.GenID();
+  client_.QaReg(tid, "k");
+  EXPECT_TRUE(client_.Get("k"));  // deferred delete
+  client_.DaR(tid);
+  EXPECT_FALSE(client_.Get("k"));
+}
+
+TEST_F(RemoteTest, FullDeltaProtocol) {
+  client_.Set("list", "a");
+  client_.Set("count", "10");
+  SessionId tid = client_.GenID();
+  EXPECT_EQ(client_.IQDelta(tid, "list", DeltaOp{DeltaOp::Kind::kAppend, ",b", 0}),
+            QuarantineResult::kGranted);
+  EXPECT_EQ(client_.IQDelta(tid, "count", DeltaOp{DeltaOp::Kind::kIncr, {}, 2}),
+            QuarantineResult::kGranted);
+  client_.Commit(tid);
+  EXPECT_EQ(client_.Get("list")->value, "a,b");
+  EXPECT_EQ(client_.Get("count")->value, "12");
+}
+
+TEST_F(RemoteTest, AbortOverTheWire) {
+  client_.Set("k", "keep");
+  SessionId tid = client_.GenID();
+  client_.IQDelta(tid, "k", DeltaOp{DeltaOp::Kind::kAppend, "X", 0});
+  client_.Abort(tid);
+  EXPECT_EQ(client_.Get("k")->value, "keep");
+}
+
+TEST_F(RemoteTest, StatsExposeLeaseCounters) {
+  SessionId session = client_.GenID();
+  client_.IQget("missing", session);
+  std::string stats = client_.Stats();
+  EXPECT_NE(stats.find("STAT i_leases_granted 1"), std::string::npos);
+  EXPECT_NE(stats.find("STAT get_misses"), std::string::npos);
+}
+
+TEST_F(RemoteTest, MalformedRequestYieldsError) {
+  std::string reply = channel_.RoundTrip("bogus nonsense\r\n");
+  EXPECT_NE(reply.find("CLIENT_ERROR"), std::string::npos);
+}
+
+TEST(LoopbackLatency, InjectedLatencySlowsRoundTrip) {
+  IQServer server;
+  LoopbackChannel channel(server, /*one_way_latency=*/kNanosPerMilli);
+  RemoteCacheClient client(channel);
+  Nanos t0 = SteadyClock::Instance().Now();
+  client.Set("k", "v");
+  EXPECT_GE(SteadyClock::Instance().Now() - t0, 2 * kNanosPerMilli);
+}
+
+TEST(RemoteConcurrency, RefreshProtocolSerializesOverTheWire) {
+  // Several remote clients run the full QaRead/SaR protocol on one counter
+  // concurrently; rejections force retries. The counter must equal the
+  // number of successful sessions (no lost updates over the wire).
+  IQServer server;
+  LoopbackChannel channel(server);
+  {
+    RemoteCacheClient setup(channel);
+    setup.Set("n", "0");
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &channel, &committed] {
+      RemoteCacheClient client(channel);
+      for (int i = 0; i < kIncrements; ++i) {
+        SessionId session = client.GenID();
+        QaReadReply q = client.QaRead("n", session);
+        if (q.status != QaReadReply::Status::kGranted) {
+          client.Abort(session);
+          --i;  // retry
+          SleepFor(server.clock(), 20 * kNanosPerMicro);
+          continue;
+        }
+        std::string next = std::to_string(std::stoll(*q.value) + 1);
+        client.SaR("n", std::optional<std::string>(next), q.token);
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  RemoteCacheClient check(channel);
+  EXPECT_EQ(check.Get("n")->value, std::to_string(committed.load()));
+  EXPECT_EQ(committed.load(), kThreads * kIncrements);
+}
+
+TEST(LoopbackPipelining, MultipleRequestsInOneRoundTrip) {
+  IQServer server;
+  LoopbackChannel channel(server);
+  std::string reply =
+      channel.RoundTrip("set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a\r\n");
+  EXPECT_NE(reply.find("STORED\r\nSTORED\r\nVALUE a"), std::string::npos);
+  EXPECT_EQ(channel.requests(), 3u);
+}
+
+}  // namespace
+}  // namespace iq::net

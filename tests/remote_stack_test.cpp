@@ -1,0 +1,157 @@
+// The full CASQL stack over the wire: the casql session layer and the BG
+// benchmark drive a RemoteBackend that reaches the IQ-Server only through
+// the memcached/IQ text protocol (serialize -> parse -> dispatch ->
+// serialize -> parse per operation) - the paper's actual deployment shape.
+#include <gtest/gtest.h>
+
+#include "bg/workload.h"
+#include "casql/casql.h"
+#include "casql/query_cache.h"
+#include "net/remote_backend.h"
+
+namespace iq {
+namespace {
+
+using casql::CasqlConfig;
+using casql::CasqlSystem;
+using casql::Consistency;
+using casql::Technique;
+using sql::SchemaBuilder;
+using sql::Transaction;
+using sql::TxnResult;
+using sql::V;
+
+class RemoteStackTest : public ::testing::Test {
+ protected:
+  RemoteStackTest() : channel_(server_), backend_(channel_) {}
+
+  CasqlConfig Config(Technique t) {
+    CasqlConfig cfg;
+    cfg.technique = t;
+    cfg.consistency = Consistency::kIQ;
+    cfg.client.backoff_base = 20 * kNanosPerMicro;
+    cfg.client.backoff_cap = kNanosPerMilli;
+    return cfg;
+  }
+
+  IQServer server_;
+  net::LoopbackChannel channel_;
+  net::RemoteBackend backend_;
+};
+
+TEST_F(RemoteStackTest, ReadThroughSessionOverTheWire) {
+  sql::Database db;
+  db.CreateTable(SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("T", {V(1), V(7)});
+    txn->Commit();
+  }
+  CasqlSystem system(db, backend_, Config(Technique::kRefresh));
+  auto conn = system.Connect();
+  auto compute = [](Transaction& txn) -> std::optional<std::string> {
+    auto row = txn.SelectByPk("T", {V(1)});
+    if (!row) return std::nullopt;
+    return std::to_string(*sql::AsInt((*row)[1]));
+  };
+  auto miss = conn->Read("K", compute);
+  EXPECT_TRUE(miss.computed);
+  EXPECT_EQ(miss.value, "7");
+  auto hit = conn->Read("K", compute);
+  EXPECT_TRUE(hit.hit);
+  // The value really lives in the remote server's store.
+  EXPECT_EQ(server_.store().Get("K")->value, "7");
+  EXPECT_GT(channel_.requests(), 2u);  // every op crossed the wire
+}
+
+TEST_F(RemoteStackTest, WriteSessionsWorkForEveryTechnique) {
+  for (Technique t : {Technique::kInvalidate, Technique::kRefresh,
+                      Technique::kIncremental}) {
+    sql::Database db;
+    db.CreateTable(
+        SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+    {
+      auto txn = db.Begin();
+      txn->Insert("T", {V(1), V(0)});
+      txn->Commit();
+    }
+    server_.store().Flush();
+    CasqlSystem system(db, backend_, Config(t));
+    auto conn = system.Connect();
+    auto compute = [](Transaction& txn) -> std::optional<std::string> {
+      auto row = txn.SelectByPk("T", {V(1)});
+      if (!row) return std::nullopt;
+      return std::to_string(*sql::AsInt((*row)[1]));
+    };
+    conn->Read("K", compute);
+    casql::WriteSpec spec;
+    spec.body = [](Transaction& txn) {
+      return txn.UpdateByPk("T", {V(1)}, [](sql::Row& row) {
+               row[1] = V(*sql::AsInt(row[1]) + 1);
+             }) == TxnResult::kOk;
+    };
+    casql::KeyUpdate u;
+    u.key = "K";
+    u.refresh = [](const std::optional<std::string>& old)
+        -> std::optional<std::string> {
+      if (!old) return std::nullopt;
+      return std::to_string(std::stoll(*old) + 1);
+    };
+    u.delta = DeltaOp{DeltaOp::Kind::kIncr, {}, 1};
+    spec.updates.push_back(std::move(u));
+    EXPECT_TRUE(conn->Write(spec).committed) << casql::ToString(t);
+    auto read = conn->Read("K", compute);
+    ASSERT_TRUE(read.value) << casql::ToString(t);
+    EXPECT_EQ(*read.value, "1") << casql::ToString(t);
+  }
+}
+
+TEST_F(RemoteStackTest, QueryCacheRunsOverTheWire) {
+  sql::Database db;
+  db.CreateTable(SchemaBuilder("Users")
+                     .AddInt("id")
+                     .AddInt("score")
+                     .PrimaryKey({"id"})
+                     .Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("Users", {V(1), V(10)});
+    txn->Commit();
+  }
+  casql::QueryCache cache(db, backend_);
+  auto r1 = cache.Select("SELECT score FROM Users WHERE id = ?", {V(1)});
+  EXPECT_EQ(r1.rows[0][0], V(10));
+  auto r2 = cache.Select("SELECT score FROM Users WHERE id = ?", {V(1)});
+  EXPECT_EQ(r2.rows[0][0], V(10));
+  EXPECT_EQ(cache.GetStats().result_hits, 1u);
+  ASSERT_TRUE(cache.Write({"Users"}, [](Transaction& txn) {
+    return sql::Query(txn, "UPDATE Users SET score = 99 WHERE id = 1").ok();
+  }));
+  auto r3 = cache.Select("SELECT score FROM Users WHERE id = ?", {V(1)});
+  EXPECT_EQ(r3.rows[0][0], V(99));
+}
+
+TEST_F(RemoteStackTest, BgWorkloadOverTheWireHasZeroUnpredictableReads) {
+  sql::Database db;
+  bg::CreateBgTables(db);
+  bg::GraphConfig graph{40, 4, 1, 1};
+  bg::LoadGraph(db, graph);
+  bg::ActionPools pools;
+  pools.SeedFromGraph(graph);
+  CasqlSystem system(db, backend_, Config(Technique::kRefresh));
+
+  bg::WorkloadConfig wl;
+  wl.mix = bg::HighWriteMix();
+  wl.threads = 4;
+  wl.duration = 150 * kNanosPerMilli;
+  wl.seed = 3;
+  auto result = bg::RunWorkload(system, pools, graph, wl);
+  EXPECT_GT(result.actions, 50u);
+  EXPECT_GT(result.validation.reads_checked, 0u);
+  EXPECT_EQ(result.validation.unpredictable, 0u)
+      << result.validation.StalePercent() << "% stale over the wire";
+  EXPECT_GT(channel_.requests(), result.actions);  // wire traffic happened
+}
+
+}  // namespace
+}  // namespace iq

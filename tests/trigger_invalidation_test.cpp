@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/iq_server.h"
+#include "casql/trigger_invalidation.h"
+#include "rdbms/sql.h"
+#include "util/worker_group.h"
+
+namespace iq::casql {
+namespace {
+
+using sql::DmlOp;
+using sql::SchemaBuilder;
+using sql::TriggerEvent;
+using sql::V;
+
+class TriggerInvalidationTest : public ::testing::Test {
+ protected:
+  TriggerInvalidationTest() : invalidator_(db_, server_) {
+    db_.CreateTable(SchemaBuilder("Users")
+                        .AddInt("id")
+                        .AddInt("score")
+                        .PrimaryKey({"id"})
+                        .Build());
+    auto txn = db_.Begin();
+    txn->Insert("Users", {V(1), V(10)});
+    txn->Insert("Users", {V(2), V(20)});
+    txn->Commit();
+    invalidator_.Register("Users", DmlOp::kUpdate, ProfileMapper());
+    invalidator_.Register("Users", DmlOp::kDelete, ProfileMapper());
+    invalidator_.Register("Users", DmlOp::kInsert, ProfileMapper());
+  }
+
+  static KeyMapper ProfileMapper() {
+    return [](const TriggerEvent& e) {
+      const sql::Row* row = e.new_row != nullptr ? e.new_row : e.old_row;
+      return std::vector<std::string>{
+          "Profile:" + std::to_string(*sql::AsInt((*row)[0]))};
+    };
+  }
+
+  static std::string Key(int id) { return "Profile:" + std::to_string(id); }
+
+  sql::Database db_;
+  IQServer server_;
+  TriggerInvalidator invalidator_;
+};
+
+TEST_F(TriggerInvalidationTest, CommitDeletesImpactedKeys) {
+  server_.store().Set(Key(1), "cached");
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "UPDATE Users SET score = score + 1 WHERE id = 1");
+  // Deferred delete: the old value is still visible mid-session.
+  EXPECT_TRUE(server_.store().Get(Key(1)));
+  EXPECT_TRUE(session->Commit());
+  EXPECT_FALSE(server_.store().Get(Key(1)));
+}
+
+TEST_F(TriggerInvalidationTest, UncoveredKeysUntouched) {
+  server_.store().Set(Key(2), "other");
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "UPDATE Users SET score = 0 WHERE id = 1");
+  session->Commit();
+  EXPECT_TRUE(server_.store().Get(Key(2)));
+}
+
+TEST_F(TriggerInvalidationTest, AbortLeavesValues) {
+  server_.store().Set(Key(1), "cached");
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "UPDATE Users SET score = 0 WHERE id = 1");
+  session->Abort();
+  EXPECT_EQ(server_.store().Get(Key(1))->value, "cached");
+  EXPECT_FALSE(server_.LeaseOn(Key(1)));
+  // The rollback really happened.
+  auto txn = db_.Begin();
+  EXPECT_EQ(*sql::AsInt((*txn->SelectByPk("Users", {V(1)}))[1]), 10);
+}
+
+TEST_F(TriggerInvalidationTest, DestructionActsAsAbort) {
+  server_.store().Set(Key(1), "cached");
+  {
+    auto session = invalidator_.BeginSession();
+    sql::Query(session->txn(), "UPDATE Users SET score = 0 WHERE id = 1");
+  }
+  EXPECT_EQ(server_.store().Get(Key(1))->value, "cached");
+  EXPECT_FALSE(server_.LeaseOn(Key(1)));
+}
+
+TEST_F(TriggerInvalidationTest, QuarantineVoidsRacingReaderLease) {
+  // The Figure 3 race, trigger-style, now prevented: a reader that took an
+  // I lease before the trigger fired cannot install its stale value.
+  GetReply reader = server_.IQget(Key(1), 999);
+  ASSERT_EQ(reader.status, GetReply::Status::kMissGrantedI);
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "UPDATE Users SET score = 99 WHERE id = 1");
+  // Reader computed "score=10" from a pre-commit snapshot; its install is
+  // dropped because the trigger's QaReg voided the I lease.
+  EXPECT_EQ(server_.IQset(Key(1), "score=10", reader.token),
+            StoreResult::kNotStored);
+  session->Commit();
+  EXPECT_FALSE(server_.store().Get(Key(1)));
+}
+
+TEST_F(TriggerInvalidationTest, MultiRowDmlQuarantinesEachRow) {
+  server_.store().Set(Key(1), "a");
+  server_.store().Set(Key(2), "b");
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "UPDATE Users SET score = 0 WHERE score > 0");
+  session->Commit();
+  EXPECT_FALSE(server_.store().Get(Key(1)));
+  EXPECT_FALSE(server_.store().Get(Key(2)));
+}
+
+TEST_F(TriggerInvalidationTest, InsertAndDeleteCovered) {
+  server_.store().Set(Key(3), "phantom");
+  auto session = invalidator_.BeginSession();
+  sql::Query(session->txn(), "INSERT INTO Users VALUES (3, 30)");
+  session->Commit();
+  EXPECT_FALSE(server_.store().Get(Key(3)));
+
+  server_.store().Set(Key(3), "cached");
+  auto session2 = invalidator_.BeginSession();
+  sql::Query(session2->txn(), "DELETE FROM Users WHERE id = 3");
+  session2->Commit();
+  EXPECT_FALSE(server_.store().Get(Key(3)));
+}
+
+TEST_F(TriggerInvalidationTest, DmlOutsideManagedSessionSkipsQuarantine) {
+  server_.store().Set(Key(1), "cached");
+  auto txn = db_.Begin();
+  sql::Query(*txn, "UPDATE Users SET score = 5 WHERE id = 1");
+  txn->Commit();
+  // No managed session: the trigger had nothing to attach to.
+  EXPECT_TRUE(server_.store().Get(Key(1)));
+  EXPECT_FALSE(server_.LeaseOn(Key(1)));
+}
+
+TEST_F(TriggerInvalidationTest, ActiveTidScopedToSession) {
+  EXPECT_EQ(TriggerInvalidator::ActiveTid(), 0u);
+  {
+    auto session = invalidator_.BeginSession();
+    EXPECT_NE(TriggerInvalidator::ActiveTid(), 0u);
+    session->Commit();
+    EXPECT_EQ(TriggerInvalidator::ActiveTid(), 0u);
+  }
+}
+
+TEST_F(TriggerInvalidationTest, ActiveTidIsPerThread) {
+  auto session = invalidator_.BeginSession();
+  SessionId here = TriggerInvalidator::ActiveTid();
+  EXPECT_NE(here, 0u);
+  SessionId elsewhere = 1;
+  std::thread other([&] { elsewhere = TriggerInvalidator::ActiveTid(); });
+  other.join();
+  EXPECT_EQ(elsewhere, 0u);
+  session->Abort();
+}
+
+TEST_F(TriggerInvalidationTest, ConcurrentManagedSessionsStayConsistent) {
+  // Writers bump scores through managed sessions; readers read through the
+  // cache with I leases. The cache must always converge to the database.
+  auto compute = [&](int id) {
+    auto txn = db_.Begin();
+    auto row = txn->SelectByPk("Users", {V(id)});
+    return std::to_string(*sql::AsInt((*row)[1]));
+  };
+  WorkerGroup group;
+  group.Start(4, [&](int worker, const std::atomic<bool>&) {
+    if (worker < 2) {
+      for (int i = 0; i < 50; ++i) {
+        auto session = invalidator_.BeginSession();
+        auto r = sql::Query(session->txn(),
+                            "UPDATE Users SET score = score + 1 WHERE id = 1");
+        if (r.ok()) {
+          session->Commit();
+        } else {
+          session->Abort();
+        }
+      }
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        GetReply r = server_.IQget(Key(1), 5000 + static_cast<SessionId>(worker));
+        if (r.status == GetReply::Status::kMissGrantedI) {
+          server_.IQset(Key(1), compute(1), r.token);
+        }
+      }
+    }
+  });
+  group.StopAndJoin();
+  // Converged: a fresh read-through returns the final database value.
+  auto final_txn = db_.Begin();
+  std::string db_value =
+      std::to_string(*sql::AsInt((*final_txn->SelectByPk("Users", {V(1)}))[1]));
+  auto cached = server_.store().Get(Key(1));
+  if (cached) EXPECT_EQ(cached->value, db_value);
+}
+
+}  // namespace
+}  // namespace iq::casql

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "rdbms/sql.h"
+#include "util/rng.h"
+#include "rdbms/wal.h"
+
+namespace iq::sql {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() {
+    path_ = ::testing::TempDir() + "wal_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  ~WalTest() override { std::remove(path_.c_str()); }
+
+  static void CreateSchema(Database& db) {
+    db.CreateTable(SchemaBuilder("T")
+                       .AddInt("id")
+                       .AddText("v")
+                       .AddInt("n")
+                       .PrimaryKey({"id"})
+                       .Build());
+  }
+
+  std::string path_;
+};
+
+// ---- record codec -------------------------------------------------------------
+
+TEST_F(WalTest, RecordRoundTrips) {
+  std::vector<RedoOp> ops;
+  ops.push_back({RedoOp::Kind::kPut, "T", {V(1), V("hello"), V(5)}});
+  ops.push_back({RedoOp::Kind::kDelete, "T", {V(2)}});
+  std::string record = WriteAheadLog::EncodeRecord(42, ops);
+  std::size_t pos = 0;
+  Timestamp ts = 0;
+  std::vector<RedoOp> decoded;
+  ASSERT_TRUE(WriteAheadLog::DecodeRecord(record, &pos, &ts, &decoded));
+  EXPECT_EQ(pos, record.size());
+  EXPECT_EQ(ts, 42u);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].kind, RedoOp::Kind::kPut);
+  EXPECT_EQ(decoded[0].row, (Row{V(1), V("hello"), V(5)}));
+  EXPECT_EQ(decoded[1].kind, RedoOp::Kind::kDelete);
+}
+
+TEST_F(WalTest, RecordSurvivesHostileBytes) {
+  std::vector<RedoOp> ops;
+  ops.push_back({RedoOp::Kind::kPut, "T", {V(1), V("a\nb;COMMIT\nTXN 9 "), V()}});
+  std::string record = WriteAheadLog::EncodeRecord(7, ops);
+  std::size_t pos = 0;
+  Timestamp ts = 0;
+  std::vector<RedoOp> decoded;
+  ASSERT_TRUE(WriteAheadLog::DecodeRecord(record, &pos, &ts, &decoded));
+  EXPECT_EQ(decoded[0].row[1], V("a\nb;COMMIT\nTXN 9 "));
+  EXPECT_TRUE(IsNull(decoded[0].row[2]));
+}
+
+TEST_F(WalTest, TornRecordRejectedWithoutAdvancing) {
+  std::vector<RedoOp> ops;
+  ops.push_back({RedoOp::Kind::kPut, "T", {V(1), V("x"), V(0)}});
+  std::string record = WriteAheadLog::EncodeRecord(1, ops);
+  for (std::size_t cut = 1; cut < record.size(); ++cut) {
+    std::string torn = record.substr(0, cut);
+    std::size_t pos = 0;
+    Timestamp ts = 0;
+    std::vector<RedoOp> decoded;
+    EXPECT_FALSE(WriteAheadLog::DecodeRecord(torn, &pos, &ts, &decoded))
+        << "cut at " << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+// ---- end-to-end durability -------------------------------------------------------
+
+TEST_F(WalTest, CommitsReplayIntoFreshDatabase) {
+  {
+    WriteAheadLog wal(path_);
+    Database::Config cfg;
+    cfg.wal = &wal;
+    Database db(cfg);
+    CreateSchema(db);
+    auto t1 = db.Begin();
+    t1->Insert("T", {V(1), V("one"), V(10)});
+    t1->Insert("T", {V(2), V("two"), V(20)});
+    ASSERT_EQ(t1->Commit(), TxnResult::kOk);
+    auto t2 = db.Begin();
+    t2->UpdateByPk("T", {V(1)}, {{"n", V(11)}});
+    t2->DeleteByPk("T", {V(2)});
+    ASSERT_EQ(t2->Commit(), TxnResult::kOk);
+    EXPECT_EQ(wal.records_written(), 2u);
+  }  // "crash": the database object dies; only the log survives
+
+  Database recovered;
+  CreateSchema(recovered);
+  EXPECT_EQ(WriteAheadLog::Replay(path_, recovered), 2u);
+  auto txn = recovered.Begin();
+  auto row1 = txn->SelectByPk("T", {V(1)});
+  ASSERT_TRUE(row1);
+  EXPECT_EQ((*row1)[1], V("one"));
+  EXPECT_EQ((*row1)[2], V(11));
+  EXPECT_FALSE(txn->SelectByPk("T", {V(2)}));
+}
+
+TEST_F(WalTest, AbortedTransactionsLeaveNoRecord) {
+  WriteAheadLog wal(path_);
+  Database::Config cfg;
+  cfg.wal = &wal;
+  Database db(cfg);
+  CreateSchema(db);
+  auto txn = db.Begin();
+  txn->Insert("T", {V(1), V("x"), V(0)});
+  txn->Rollback();
+  EXPECT_EQ(wal.records_written(), 0u);
+  Database recovered;
+  CreateSchema(recovered);
+  EXPECT_EQ(WriteAheadLog::Replay(path_, recovered), 0u);
+}
+
+TEST_F(WalTest, ReadOnlyCommitsLogNothing) {
+  WriteAheadLog wal(path_);
+  Database::Config cfg;
+  cfg.wal = &wal;
+  Database db(cfg);
+  CreateSchema(db);
+  auto txn = db.Begin();
+  txn->SelectAll("T");
+  txn->Commit();
+  EXPECT_EQ(wal.records_written(), 0u);
+}
+
+TEST_F(WalTest, TornTailIsDiscardedOnReplay) {
+  {
+    WriteAheadLog wal(path_);
+    Database::Config cfg;
+    cfg.wal = &wal;
+    Database db(cfg);
+    CreateSchema(db);
+    for (int i = 0; i < 3; ++i) {
+      auto txn = db.Begin();
+      txn->Insert("T", {V(i), V("v"), V(i)});
+      txn->Commit();
+    }
+  }
+  // Crash mid-write: chop bytes off the tail.
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 9));
+  }
+  Database recovered;
+  CreateSchema(recovered);
+  EXPECT_EQ(WriteAheadLog::Replay(path_, recovered), 2u);  // third txn torn
+  auto txn = recovered.Begin();
+  EXPECT_TRUE(txn->SelectByPk("T", {V(0)}));
+  EXPECT_TRUE(txn->SelectByPk("T", {V(1)}));
+  EXPECT_FALSE(txn->SelectByPk("T", {V(2)}));
+}
+
+TEST_F(WalTest, ConcurrentCommitsAllRecoverable) {
+  constexpr int kThreads = 4;
+  constexpr int kRowsEach = 30;
+  {
+    WriteAheadLog wal(path_);
+    Database::Config cfg;
+    cfg.wal = &wal;
+    Database db(cfg);
+    CreateSchema(db);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&db, t] {
+        for (int i = 0; i < kRowsEach; ++i) {
+          auto txn = db.Begin();
+          txn->Insert("T", {V(t * 1000 + i), V("w"), V(t)});
+          txn->Commit();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wal.records_written(),
+              static_cast<std::uint64_t>(kThreads) * kRowsEach);
+  }
+  Database recovered;
+  CreateSchema(recovered);
+  EXPECT_EQ(WriteAheadLog::Replay(path_, recovered),
+            static_cast<std::size_t>(kThreads) * kRowsEach);
+  auto txn = recovered.Begin();
+  EXPECT_EQ(txn->SelectAll("T").size(),
+            static_cast<std::size_t>(kThreads) * kRowsEach);
+}
+
+TEST_F(WalTest, RecoveredStateMatchesLiveStateExactly) {
+  Row live_row;
+  {
+    WriteAheadLog wal(path_);
+    Database::Config cfg;
+    cfg.wal = &wal;
+    Database db(cfg);
+    CreateSchema(db);
+    // A little history: inserts, updates, deletes, re-insert.
+    iq::Rng rng(99);
+    for (int i = 0; i < 50; ++i) {
+      auto txn = db.Begin();
+      auto id = static_cast<std::int64_t>(rng.NextUint64(10));
+      if (txn->SelectByPk("T", {V(id)})) {
+        if (rng.NextBool(0.3)) {
+          txn->DeleteByPk("T", {V(id)});
+        } else {
+          txn->UpdateByPk("T", {V(id)}, [&](Row& row) {
+            row[2] = V(*AsInt(row[2]) + 1);
+          });
+        }
+      } else {
+        txn->Insert("T", {V(id), V("r" + std::to_string(i)), V(0)});
+      }
+      txn->Commit();
+    }
+    auto txn = db.Begin();
+    auto rows = txn->SelectAll("T");
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return *AsInt(a[0]) < *AsInt(b[0]);
+    });
+    live_row = rows.empty() ? Row{} : rows[0];
+
+    Database recovered;
+    CreateSchema(recovered);
+    WriteAheadLog::Replay(path_, recovered);
+    auto rtxn = recovered.Begin();
+    auto rrows = rtxn->SelectAll("T");
+    std::sort(rrows.begin(), rrows.end(), [](const Row& a, const Row& b) {
+      return *AsInt(a[0]) < *AsInt(b[0]);
+    });
+    EXPECT_EQ(rows, rrows);
+  }
+}
+
+}  // namespace
+}  // namespace iq::sql

@@ -1,0 +1,103 @@
+#include "core/iq_server.h"
+#include <gtest/gtest.h>
+
+#include "bg/workload.h"
+
+namespace iq::bg {
+namespace {
+
+class WorkloadHelperTest : public ::testing::Test {
+ protected:
+  WorkloadHelperTest() : graph_{30, 4, 1, 1} {
+    CreateBgTables(db_);
+    LoadGraph(db_, graph_);
+    pools_.SeedFromGraph(graph_);
+    cfg_.technique = casql::Technique::kRefresh;
+    cfg_.consistency = casql::Consistency::kIQ;
+  }
+
+  GraphConfig graph_;
+  sql::Database db_;
+  IQServer server_;
+  ActionPools pools_;
+  casql::CasqlConfig cfg_;
+};
+
+TEST_F(WorkloadHelperTest, WarmCachePopulatesEveryMemberKey) {
+  casql::CasqlSystem system(db_, server_, cfg_);
+  WarmCache(system, graph_);
+  for (MemberId id = 0; id < graph_.members; ++id) {
+    EXPECT_TRUE(server_.store().Get(ProfileKey(id))) << id;
+    EXPECT_TRUE(server_.store().Get(FriendsKey(id))) << id;
+    EXPECT_TRUE(server_.store().Get(PendingKey(id))) << id;
+  }
+  // No leases left dangling by the warm-up pass.
+  EXPECT_EQ(server_.LeaseCount(), 0u);
+}
+
+TEST_F(WorkloadHelperTest, SeedValidatorFromDbMatchesLoaderFormula) {
+  // On a pristine graph, DB-snapshot seeding must agree with the loader's
+  // closed-form initial state: identical validation outcomes.
+  casql::CasqlSystem system(db_, server_, cfg_);
+  for (bool from_db : {false, true}) {
+    WorkloadConfig wl;
+    wl.mix = HighWriteMix();
+    wl.threads = 2;
+    wl.duration = 60 * kNanosPerMilli;
+    wl.seed = 5;
+    wl.seed_validator_from_db = from_db;
+    IQServer fresh_server;
+    sql::Database fresh_db;
+    CreateBgTables(fresh_db);
+    LoadGraph(fresh_db, graph_);
+    ActionPools fresh_pools;
+    fresh_pools.SeedFromGraph(graph_);
+    casql::CasqlSystem fresh_system(fresh_db, fresh_server, cfg_);
+    auto result = RunWorkload(fresh_system, fresh_pools, graph_, wl);
+    EXPECT_EQ(result.validation.unpredictable, 0u)
+        << "seed_from_db=" << from_db;
+    EXPECT_GT(result.validation.reads_checked, 0u);
+  }
+}
+
+TEST_F(WorkloadHelperTest, SeedValidatorFromDbTracksMutations) {
+  // Mutate the graph, then seed from the DB: a run on the mutated graph
+  // must still validate clean (a formula-based seeding would flag every
+  // read of the mutated member as stale).
+  casql::CasqlSystem system(db_, server_, cfg_);
+  {
+    auto txn = db_.Begin();
+    txn->UpdateByPk("Users", {sql::V(3)}, {{"pendingCount", sql::V(5)}});
+    txn->Commit();
+  }
+  Validator validator;
+  SeedValidatorFromDb(validator, db_, graph_);
+  ThreadLog log;
+  log.LogCounterRead("pc:3", 1, 2, 5);  // the mutated value
+  validator.Absorb(std::move(log));
+  EXPECT_EQ(validator.Validate().unpredictable, 0u);
+
+  Validator formula_validator;
+  SeedValidator(formula_validator, graph_);
+  ThreadLog log2;
+  log2.LogCounterRead("pc:3", 1, 2, 5);  // formula says pc=0: flagged
+  formula_validator.Absorb(std::move(log2));
+  EXPECT_EQ(formula_validator.Validate().unpredictable, 1u);
+}
+
+TEST_F(WorkloadHelperTest, ResultAccountingIsConsistent) {
+  casql::CasqlSystem system(db_, server_, cfg_);
+  WorkloadConfig wl;
+  wl.mix = VeryLowWriteMix();
+  wl.threads = 3;
+  wl.duration = 80 * kNanosPerMilli;
+  auto result = RunWorkload(system, pools_, graph_, wl);
+  EXPECT_GT(result.actions, 0u);
+  EXPECT_LE(result.failed_actions, result.actions);
+  EXPECT_EQ(result.latency.Count(), result.actions);
+  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.Throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace iq::bg

@@ -1,0 +1,214 @@
+// iqbench: command-line driver for the BG workload over any client design.
+//
+//   iqbench [--technique=invalidate|refresh|incremental]
+//           [--consistency=none|cas|read-lease|iq]
+//           [--placement=prior|inside]
+//           [--members=N] [--friends=N] [--threads=N] [--seconds=S]
+//           [--mix=0.1|1|10] [--seed=N] [--warm] [--no-validate]
+//           [--db-read-us=N] [--db-write-us=N] [--db-commit-us=N]
+//           [--lease-ms=N] [--eager-delete]
+//
+// Prints a one-screen report: throughput, latency percentiles, restart
+// statistics, unpredictable-read percentage, and cache-server counters.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/iq_server.h"
+#include "bg/workload.h"
+#include "casql/casql.h"
+#include "net/server.h"
+
+using namespace iq;
+
+namespace {
+
+struct Options {
+  casql::Technique technique = casql::Technique::kRefresh;
+  casql::Consistency consistency = casql::Consistency::kIQ;
+  casql::LeasePlacement placement = casql::LeasePlacement::kInsideTxn;
+  bg::MemberId members = 1000;
+  int friends = 10;
+  int threads = 16;
+  double seconds = 3.0;
+  double mix = 1.0;
+  std::uint64_t seed = 42;
+  bool warm = false;
+  bool validate = true;
+  Nanos db_read = 30 * kNanosPerMicro;
+  Nanos db_write = 60 * kNanosPerMicro;
+  Nanos db_commit = 60 * kNanosPerMicro;
+  Nanos lease_lifetime = 10 * kNanosPerSec;
+  bool deferred_delete = true;
+};
+
+bool StartsWith(const char* arg, const char* prefix, const char** value) {
+  std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *value = arg + n;
+  return true;
+}
+
+[[noreturn]] void Usage(const char* bad) {
+  std::fprintf(stderr, "iqbench: bad argument '%s'\n", bad);
+  std::fprintf(stderr,
+               "usage: iqbench [--technique=invalidate|refresh|incremental]\n"
+               "               [--consistency=none|cas|read-lease|iq]\n"
+               "               [--placement=prior|inside] [--members=N]\n"
+               "               [--friends=N] [--threads=N] [--seconds=S]\n"
+               "               [--mix=0.1|1|10] [--seed=N] [--warm]\n"
+               "               [--no-validate] [--db-read-us=N]\n"
+               "               [--db-write-us=N] [--db-commit-us=N]\n"
+               "               [--lease-ms=N] [--eager-delete]\n");
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    const char* arg = argv[i];
+    if (StartsWith(arg, "--technique=", &v)) {
+      if (std::strcmp(v, "invalidate") == 0) {
+        opt.technique = casql::Technique::kInvalidate;
+      } else if (std::strcmp(v, "refresh") == 0) {
+        opt.technique = casql::Technique::kRefresh;
+      } else if (std::strcmp(v, "incremental") == 0) {
+        opt.technique = casql::Technique::kIncremental;
+      } else {
+        Usage(arg);
+      }
+    } else if (StartsWith(arg, "--consistency=", &v)) {
+      if (std::strcmp(v, "none") == 0) {
+        opt.consistency = casql::Consistency::kNone;
+      } else if (std::strcmp(v, "cas") == 0) {
+        opt.consistency = casql::Consistency::kCas;
+      } else if (std::strcmp(v, "read-lease") == 0) {
+        opt.consistency = casql::Consistency::kReadLease;
+      } else if (std::strcmp(v, "iq") == 0) {
+        opt.consistency = casql::Consistency::kIQ;
+      } else {
+        Usage(arg);
+      }
+    } else if (StartsWith(arg, "--placement=", &v)) {
+      if (std::strcmp(v, "prior") == 0) {
+        opt.placement = casql::LeasePlacement::kPriorToTxn;
+      } else if (std::strcmp(v, "inside") == 0) {
+        opt.placement = casql::LeasePlacement::kInsideTxn;
+      } else {
+        Usage(arg);
+      }
+    } else if (StartsWith(arg, "--members=", &v)) {
+      opt.members = std::atoll(v);
+    } else if (StartsWith(arg, "--friends=", &v)) {
+      opt.friends = std::atoi(v);
+    } else if (StartsWith(arg, "--threads=", &v)) {
+      opt.threads = std::atoi(v);
+    } else if (StartsWith(arg, "--seconds=", &v)) {
+      opt.seconds = std::atof(v);
+    } else if (StartsWith(arg, "--mix=", &v)) {
+      opt.mix = std::atof(v);
+    } else if (StartsWith(arg, "--seed=", &v)) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (std::strcmp(arg, "--warm") == 0) {
+      opt.warm = true;
+    } else if (std::strcmp(arg, "--no-validate") == 0) {
+      opt.validate = false;
+    } else if (StartsWith(arg, "--db-read-us=", &v)) {
+      opt.db_read = std::atoll(v) * kNanosPerMicro;
+    } else if (StartsWith(arg, "--db-write-us=", &v)) {
+      opt.db_write = std::atoll(v) * kNanosPerMicro;
+    } else if (StartsWith(arg, "--db-commit-us=", &v)) {
+      opt.db_commit = std::atoll(v) * kNanosPerMicro;
+    } else if (StartsWith(arg, "--lease-ms=", &v)) {
+      opt.lease_lifetime = std::atoll(v) * kNanosPerMilli;
+    } else if (std::strcmp(arg, "--eager-delete") == 0) {
+      opt.deferred_delete = false;
+    } else {
+      Usage(arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Parse(argc, argv);
+
+  std::printf("iqbench: %s / %s / %s | %lld members, %d threads, %.1fs, %.1f%% writes\n",
+              casql::ToString(opt.technique), casql::ToString(opt.consistency),
+              casql::ToString(opt.placement),
+              static_cast<long long>(opt.members), opt.threads, opt.seconds,
+              opt.mix);
+
+  sql::Database::Config db_cfg;
+  db_cfg.read_delay = opt.db_read;
+  db_cfg.write_delay = opt.db_write;
+  db_cfg.commit_delay = opt.db_commit;
+  sql::Database db(db_cfg);
+
+  bg::GraphConfig graph;
+  graph.members = opt.members;
+  graph.friends_per_member = opt.friends;
+  graph.resources_per_member = 2;
+  graph.comments_per_resource = 2;
+
+  std::printf("loading social graph...\n");
+  bg::CreateBgTables(db);
+  std::size_t rows = bg::LoadGraph(db, graph);
+  std::printf("  %zu rows loaded\n", rows);
+  bg::ActionPools pools;
+  pools.SeedFromGraph(graph);
+
+  IQServer::Config server_cfg;
+  server_cfg.lease_lifetime = opt.lease_lifetime;
+  server_cfg.deferred_delete = opt.deferred_delete;
+  IQServer server(CacheStore::Config{}, server_cfg);
+
+  casql::CasqlConfig cfg;
+  cfg.technique = opt.technique;
+  cfg.consistency = opt.consistency;
+  cfg.placement = opt.placement;
+  casql::CasqlSystem system(db, server, cfg);
+
+  if (opt.warm) {
+    std::printf("warming the cache...\n");
+    bg::WarmCache(system, graph);
+  }
+
+  bg::WorkloadConfig wl;
+  wl.mix = bg::MixForWritePercent(opt.mix);
+  wl.threads = opt.threads;
+  wl.duration = static_cast<Nanos>(opt.seconds * kNanosPerSec);
+  wl.seed = opt.seed;
+  wl.validate = opt.validate;
+  wl.seed_validator_from_db = true;
+
+  std::printf("running...\n\n");
+  bg::WorkloadResult result = bg::RunWorkload(system, pools, graph, wl);
+
+  std::printf("throughput     %12.0f actions/sec (%llu actions, %llu no-ops)\n",
+              result.Throughput(),
+              static_cast<unsigned long long>(result.actions),
+              static_cast<unsigned long long>(result.failed_actions));
+  std::printf("latency        %s\n", result.latency.Summary().c_str());
+  std::printf("SLA (95%%<100ms) %s\n",
+              result.latency.FractionBelow(100 * kNanosPerMilli) >= 0.95
+                  ? "met"
+                  : "MISSED");
+  if (opt.validate) {
+    std::printf("unpredictable  %llu of %llu reads (%.3f%%)\n",
+                static_cast<unsigned long long>(result.validation.unpredictable),
+                static_cast<unsigned long long>(result.validation.reads_checked),
+                result.validation.StalePercent());
+  }
+  std::printf("write sessions %llu (avg %.2f Q-restarts among %llu restarted, max %llu)\n",
+              static_cast<unsigned long long>(result.restarts.write_sessions),
+              result.restarts.AvgRestarts(),
+              static_cast<unsigned long long>(result.restarts.restarted_sessions),
+              static_cast<unsigned long long>(result.restarts.max_q_restarts));
+  std::printf("\ncache server:\n%s", net::FormatStats(server).c_str());
+  return 0;
+}
