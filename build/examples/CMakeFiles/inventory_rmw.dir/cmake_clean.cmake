@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_rmw.dir/inventory_rmw.cpp.o"
+  "CMakeFiles/inventory_rmw.dir/inventory_rmw.cpp.o.d"
+  "inventory_rmw"
+  "inventory_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_anatomy.dir/race_anatomy.cpp.o"
+  "CMakeFiles/race_anatomy.dir/race_anatomy.cpp.o.d"
+  "race_anatomy"
+  "race_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_site.dir/social_site.cpp.o"
+  "CMakeFiles/social_site.dir/social_site.cpp.o.d"
+  "social_site"
+  "social_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

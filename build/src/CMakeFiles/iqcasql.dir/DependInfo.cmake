@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bg/actions.cpp" "src/CMakeFiles/iqcasql.dir/bg/actions.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/bg/actions.cpp.o.d"
+  "/root/repo/src/bg/codec.cpp" "src/CMakeFiles/iqcasql.dir/bg/codec.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/bg/codec.cpp.o.d"
+  "/root/repo/src/bg/social_graph.cpp" "src/CMakeFiles/iqcasql.dir/bg/social_graph.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/bg/social_graph.cpp.o.d"
+  "/root/repo/src/bg/validation.cpp" "src/CMakeFiles/iqcasql.dir/bg/validation.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/bg/validation.cpp.o.d"
+  "/root/repo/src/bg/workload.cpp" "src/CMakeFiles/iqcasql.dir/bg/workload.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/bg/workload.cpp.o.d"
+  "/root/repo/src/casql/casql.cpp" "src/CMakeFiles/iqcasql.dir/casql/casql.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/casql/casql.cpp.o.d"
+  "/root/repo/src/casql/multi_txn.cpp" "src/CMakeFiles/iqcasql.dir/casql/multi_txn.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/casql/multi_txn.cpp.o.d"
+  "/root/repo/src/casql/query_cache.cpp" "src/CMakeFiles/iqcasql.dir/casql/query_cache.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/casql/query_cache.cpp.o.d"
+  "/root/repo/src/casql/trigger_invalidation.cpp" "src/CMakeFiles/iqcasql.dir/casql/trigger_invalidation.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/casql/trigger_invalidation.cpp.o.d"
+  "/root/repo/src/core/iq_client.cpp" "src/CMakeFiles/iqcasql.dir/core/iq_client.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/core/iq_client.cpp.o.d"
+  "/root/repo/src/core/iq_server.cpp" "src/CMakeFiles/iqcasql.dir/core/iq_server.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/core/iq_server.cpp.o.d"
+  "/root/repo/src/kvs/camp.cpp" "src/CMakeFiles/iqcasql.dir/kvs/camp.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/kvs/camp.cpp.o.d"
+  "/root/repo/src/kvs/kvs.cpp" "src/CMakeFiles/iqcasql.dir/kvs/kvs.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/kvs/kvs.cpp.o.d"
+  "/root/repo/src/leases/lease_table.cpp" "src/CMakeFiles/iqcasql.dir/leases/lease_table.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/leases/lease_table.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/iqcasql.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/CMakeFiles/iqcasql.dir/net/protocol.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/net/protocol.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/CMakeFiles/iqcasql.dir/net/server.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/net/server.cpp.o.d"
+  "/root/repo/src/rdbms/database.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/database.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/database.cpp.o.d"
+  "/root/repo/src/rdbms/sql_executor.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/sql_executor.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/sql_executor.cpp.o.d"
+  "/root/repo/src/rdbms/sql_parser.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/sql_parser.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/sql_parser.cpp.o.d"
+  "/root/repo/src/rdbms/table.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/table.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/table.cpp.o.d"
+  "/root/repo/src/rdbms/value.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/value.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/value.cpp.o.d"
+  "/root/repo/src/rdbms/wal.cpp" "src/CMakeFiles/iqcasql.dir/rdbms/wal.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/rdbms/wal.cpp.o.d"
+  "/root/repo/src/sim/scenarios.cpp" "src/CMakeFiles/iqcasql.dir/sim/scenarios.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/sim/scenarios.cpp.o.d"
+  "/root/repo/src/sim/step_scheduler.cpp" "src/CMakeFiles/iqcasql.dir/sim/step_scheduler.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/sim/step_scheduler.cpp.o.d"
+  "/root/repo/src/util/backoff.cpp" "src/CMakeFiles/iqcasql.dir/util/backoff.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/util/backoff.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/CMakeFiles/iqcasql.dir/util/clock.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/util/clock.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/iqcasql.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/iqcasql.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/worker_group.cpp" "src/CMakeFiles/iqcasql.dir/util/worker_group.cpp.o" "gcc" "src/CMakeFiles/iqcasql.dir/util/worker_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_test.dir/camp_test.cpp.o"
+  "CMakeFiles/camp_test.dir/camp_test.cpp.o.d"
+  "camp_test"
+  "camp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

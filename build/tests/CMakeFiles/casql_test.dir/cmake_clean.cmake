@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casql_test.dir/casql_test.cpp.o"
+  "CMakeFiles/casql_test.dir/casql_test.cpp.o.d"
+  "casql_test"
+  "casql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

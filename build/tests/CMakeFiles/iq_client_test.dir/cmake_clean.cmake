@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_client_test.dir/iq_client_test.cpp.o"
+  "CMakeFiles/iq_client_test.dir/iq_client_test.cpp.o.d"
+  "iq_client_test"
+  "iq_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_server_test.dir/iq_server_test.cpp.o"
+  "CMakeFiles/iq_server_test.dir/iq_server_test.cpp.o.d"
+  "iq_server_test"
+  "iq_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_table_test.dir/rdbms_table_test.cpp.o"
+  "CMakeFiles/rdbms_table_test.dir/rdbms_table_test.cpp.o.d"
+  "rdbms_table_test"
+  "rdbms_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_txn_test.dir/rdbms_txn_test.cpp.o"
+  "CMakeFiles/rdbms_txn_test.dir/rdbms_txn_test.cpp.o.d"
+  "rdbms_txn_test"
+  "rdbms_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

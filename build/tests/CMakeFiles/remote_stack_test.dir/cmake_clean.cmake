@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_stack_test.dir/remote_stack_test.cpp.o"
+  "CMakeFiles/remote_stack_test.dir/remote_stack_test.cpp.o.d"
+  "remote_stack_test"
+  "remote_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_invalidation_test.dir/trigger_invalidation_test.cpp.o"
+  "CMakeFiles/trigger_invalidation_test.dir/trigger_invalidation_test.cpp.o.d"
+  "trigger_invalidation_test"
+  "trigger_invalidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_invalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqbench.dir/iqbench.cpp.o"
+  "CMakeFiles/iqbench.dir/iqbench.cpp.o.d"
+  "iqbench"
+  "iqbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
