@@ -84,6 +84,81 @@ void BM_ILeaseGrantInstall(benchmark::State& state) {
 }
 BENCHMARK(BM_ILeaseGrantInstall);
 
+// ---- contended IQ lease paths ------------------------------------------------
+// These run with ->Threads(): one shared server, per-thread keyspaces, so
+// the only cross-thread sharing is whatever the server itself imposes. The
+// original implementation serialized every lease grant/backoff/commit on a
+// process-global stats mutex; with per-shard counters the threads should
+// scale with the shard count.
+
+void BM_IQgetHitThreaded(benchmark::State& state) {
+  static IQServer* server = nullptr;
+  if (state.thread_index() == 0) {
+    server = new IQServer;
+    for (int t = 0; t < state.threads(); ++t) {
+      for (int i = 0; i < 256; ++i) {
+        server->store().Set("t" + std::to_string(t) + "-" + std::to_string(i),
+                            "value");
+      }
+    }
+  }
+  std::string prefix = "t" + std::to_string(state.thread_index()) + "-";
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server->IQget(prefix + std::to_string(i++ % 256), 1));
+  }
+  if (state.thread_index() == 0) {
+    delete server;
+    server = nullptr;
+  }
+}
+BENCHMARK(BM_IQgetHitThreaded)->Threads(8)->UseRealTime();
+
+void BM_ILeaseGrantInstallThreaded(benchmark::State& state) {
+  // Full I-lease lifecycle per iteration: miss -> grant -> install ->
+  // delete. Every grant bumps a server counter, so this was the worst case
+  // for the global stats mutex.
+  static IQServer* server = nullptr;
+  if (state.thread_index() == 0) server = new IQServer;
+  std::string prefix = "g" + std::to_string(state.thread_index()) + "-";
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key = prefix + std::to_string(i++ % 256);
+    GetReply r = server->IQget(key, 1);
+    if (r.status == GetReply::Status::kMissGrantedI) {
+      server->IQset(key, "value", r.token);
+    }
+    server->store().Delete(key);
+  }
+  if (state.thread_index() == 0) {
+    delete server;
+    server = nullptr;
+  }
+}
+BENCHMARK(BM_ILeaseGrantInstallThreaded)->Threads(8)->UseRealTime();
+
+void BM_QaReadSaRThreaded(benchmark::State& state) {
+  static IQServer* server = nullptr;
+  if (state.thread_index() == 0) {
+    server = new IQServer;
+    for (int t = 0; t < state.threads(); ++t) {
+      server->store().Set("q" + std::to_string(t), "value");
+    }
+  }
+  std::string key = "q" + std::to_string(state.thread_index());
+  SessionId session = static_cast<SessionId>(state.thread_index()) + 1;
+  for (auto _ : state) {
+    QaReadReply q = server->QaRead(key, session);
+    server->SaR(key, "value", q.token);
+  }
+  if (state.thread_index() == 0) {
+    delete server;
+    server = nullptr;
+  }
+}
+BENCHMARK(BM_QaReadSaRThreaded)->Threads(8)->UseRealTime();
+
 void BM_QaReadSaR(benchmark::State& state) {
   IQServer server;
   server.store().Set("key", "value");

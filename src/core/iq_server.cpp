@@ -37,6 +37,26 @@ void ApplyDeltaToValue(std::string& value, const DeltaOp& delta) {
 
 }  // namespace
 
+const char* ToString(CommandClass c) {
+  switch (c) {
+    case CommandClass::kGet: return "get";
+    case CommandClass::kStore: return "store";
+    case CommandClass::kDelete: return "delete";
+    case CommandClass::kIncrDecr: return "incr_decr";
+    case CommandClass::kIQget: return "iqget";
+    case CommandClass::kIQset: return "iqset";
+    case CommandClass::kQaRead: return "qaread";
+    case CommandClass::kSaR: return "sar";
+    case CommandClass::kQaReg: return "qareg";
+    case CommandClass::kDaR: return "dar";
+    case CommandClass::kIQDelta: return "iqdelta";
+    case CommandClass::kCommit: return "commit";
+    case CommandClass::kAbort: return "abort";
+    case CommandClass::kOther: return "other";
+  }
+  return "?";
+}
+
 IQServer::IQServer(CacheStore::Config store_config, Config config)
     : config_(config),
       store_([&] {
@@ -44,7 +64,8 @@ IQServer::IQServer(CacheStore::Config store_config, Config config)
         return store_config;
       }()),
       clock_(config.clock != nullptr ? *config.clock : SteadyClock::Instance()),
-      leases_(store_.shard_count()) {}
+      leases_(store_.shard_count()),
+      shard_stats_(store_.shard_count()) {}
 
 IQServer::IQServer() : IQServer(CacheStore::Config{}, Config{}) {}
 
@@ -67,9 +88,9 @@ bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
     registry_.RemoveKey(entry->holder, key);
   }
   leases_.Erase(g.shard_index(), key);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.leases_expired;
-  if (deleted) ++stats_.expiry_deletes;
+  IQShardStats& st = StatsFor(g);
+  st.leases_expired.fetch_add(1, std::memory_order_relaxed);
+  if (deleted) st.expiry_deletes.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -94,8 +115,7 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
           auto item = store_.GetLocked(g, key);
           if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
         }
-        std::lock_guard lock(stats_mu_);
-        ++stats_.backoffs;
+        StatsFor(g).backoffs.fetch_add(1, std::memory_order_relaxed);
         return {GetReply::Status::kMissBackoff, {}, 0};
       }
       case LeaseKind::kQRefresh: {
@@ -114,15 +134,13 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
           auto item = store_.GetLocked(g, key);
           if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
         }
-        std::lock_guard lock(stats_mu_);
-        ++stats_.backoffs;
+        StatsFor(g).backoffs.fetch_add(1, std::memory_order_relaxed);
         return {GetReply::Status::kMissBackoff, {}, 0};
       }
       case LeaseKind::kInhibit: {
         auto item = store_.GetLocked(g, key);
         if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
-        std::lock_guard lock(stats_mu_);
-        ++stats_.backoffs;
+        StatsFor(g).backoffs.fetch_add(1, std::memory_order_relaxed);
         return {GetReply::Status::kMissBackoff, {}, 0};
       }
     }
@@ -140,10 +158,7 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
   lease.expires_at = Deadline();
   LeaseToken token = lease.token;
   leases_.Put(g.shard_index(), skey, std::move(lease));
-  {
-    std::lock_guard lock(stats_mu_);
-    ++stats_.i_granted;
-  }
+  StatsFor(g).i_granted.fetch_add(1, std::memory_order_relaxed);
   return {GetReply::Status::kMissGrantedI, {}, token};
 }
 
@@ -161,8 +176,7 @@ StoreResult IQServer::IQset(std::string_view key, std::string_view value,
   }
   // The I lease was voided by a Q request, expired, or never existed: the
   // computed value may be stale, so the set is ignored (Section 3.2).
-  std::lock_guard lock(stats_mu_);
-  ++stats_.stale_sets_dropped;
+  StatsFor(g).stale_sets_dropped.fetch_add(1, std::memory_order_relaxed);
   return StoreResult::kNotStored;
 }
 
@@ -178,8 +192,7 @@ QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
       // them is unknown, so the reader's eventual IQset must be dropped.
       leases_.Erase(g.shard_index(), skey);
       entry = nullptr;
-      std::lock_guard lock(stats_mu_);
-      ++stats_.i_voided;
+      StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
     } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == session) {
       // Idempotent re-acquisition by the same session.
       auto item = store_.GetLocked(g, key);
@@ -190,8 +203,7 @@ QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
     } else {
       // Another write session holds Q (Figure 5b): reject; the caller
       // releases everything, rolls back its RDBMS transaction, retries.
-      std::lock_guard lock(stats_mu_);
-      ++stats_.q_rejected;
+      StatsFor(g).q_rejected.fetch_add(1, std::memory_order_relaxed);
       return {QaReadReply::Status::kReject, std::nullopt, 0};
     }
   }
@@ -204,10 +216,7 @@ QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
   LeaseToken token = lease.token;
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(session, skey);
-  {
-    std::lock_guard lock(stats_mu_);
-    ++stats_.q_ref_granted;
-  }
+  StatsFor(g).q_ref_granted.fetch_add(1, std::memory_order_relaxed);
   auto item = store_.GetLocked(g, key);
   return {QaReadReply::Status::kGranted,
           item ? std::optional<std::string>(std::move(item->value)) : std::nullopt,
@@ -225,8 +234,7 @@ StoreResult IQServer::SaR(std::string_view key,
       entry->token != token || token == 0) {
     // Voided (by a QaReg) or expired lease: swap is ignored; the key is (or
     // will be) deleted, which is always safe.
-    std::lock_guard lock(stats_mu_);
-    ++stats_.stale_sets_dropped;
+    StatsFor(g).stale_sets_dropped.fetch_add(1, std::memory_order_relaxed);
     return StoreResult::kNotFound;
   }
   if (v_new) store_.SetLocked(g, key, *v_new);
@@ -247,8 +255,7 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
       case LeaseKind::kInhibit: {
         leases_.Erase(g.shard_index(), skey);
         entry = nullptr;
-        std::lock_guard lock(stats_mu_);
-        ++stats_.i_voided;
+        StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case LeaseKind::kQInvalidate:
@@ -256,10 +263,7 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
         entry->inv_holders.insert(tid);
         registry_.AddKey(tid, skey);
         if (!config_.deferred_delete) store_.DeleteLocked(g, key);
-        {
-          std::lock_guard lock(stats_mu_);
-          ++stats_.q_inv_granted;
-        }
+        StatsFor(g).q_inv_granted.fetch_add(1, std::memory_order_relaxed);
         return QuarantineResult::kGranted;
       case LeaseKind::kQRefresh: {
         // Cross-technique collision: invalidation always wins because a
@@ -268,8 +272,7 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
         registry_.RemoveKey(entry->holder, skey);
         leases_.Erase(g.shard_index(), skey);
         entry = nullptr;
-        std::lock_guard lock(stats_mu_);
-        ++stats_.i_voided;
+        StatsFor(g).q_ref_voided.fetch_add(1, std::memory_order_relaxed);
         break;
       }
     }
@@ -282,8 +285,7 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(tid, skey);
   if (!config_.deferred_delete) store_.DeleteLocked(g, key);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.q_inv_granted;
+  StatsFor(g).q_inv_granted.fetch_add(1, std::memory_order_relaxed);
   return QuarantineResult::kGranted;
 }
 
@@ -298,14 +300,12 @@ QuarantineResult IQServer::IQDelta(SessionId tid, std::string_view key,
     if (entry->kind == LeaseKind::kInhibit) {
       leases_.Erase(g.shard_index(), skey);
       entry = nullptr;
-      std::lock_guard lock(stats_mu_);
-      ++stats_.i_voided;
+      StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
     } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == tid) {
       entry->pending_deltas.push_back(std::move(delta));
       return QuarantineResult::kGranted;
     } else {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.q_rejected;
+      StatsFor(g).q_rejected.fetch_add(1, std::memory_order_relaxed);
       return QuarantineResult::kReject;
     }
   }
@@ -318,8 +318,7 @@ QuarantineResult IQServer::IQDelta(SessionId tid, std::string_view key,
   lease.pending_deltas.push_back(std::move(delta));
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(tid, skey);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.q_ref_granted;
+  StatsFor(g).q_ref_granted.fetch_add(1, std::memory_order_relaxed);
   return QuarantineResult::kGranted;
 }
 
@@ -352,8 +351,7 @@ void IQServer::Commit(SessionId tid) {
     }
   }
   registry_.Drop(tid);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.commits;
+  StatsFor(tid).commits.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IQServer::DaR(SessionId tid) { Commit(tid); }
@@ -377,8 +375,7 @@ void IQServer::Abort(SessionId tid) {
     }
   }
   registry_.Drop(tid);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.aborts;
+  StatsFor(tid).aborts.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IQServer::ReleaseKey(SessionId tid, std::string_view key) {
@@ -402,15 +399,41 @@ bool IQServer::DeleteVoid(std::string_view key) {
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry != nullptr && entry->kind == LeaseKind::kInhibit) {
     leases_.Erase(g.shard_index(), skey);
-    std::lock_guard lock(stats_mu_);
-    ++stats_.i_voided;
+    StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
   }
   return store_.DeleteLocked(g, key);
 }
 
 IQServerStats IQServer::Stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+  IQServerStats total;
+  for (const IQShardStats& s : shard_stats_) {
+    total.i_granted += s.i_granted.load(std::memory_order_relaxed);
+    total.i_voided += s.i_voided.load(std::memory_order_relaxed);
+    total.q_ref_voided += s.q_ref_voided.load(std::memory_order_relaxed);
+    total.backoffs += s.backoffs.load(std::memory_order_relaxed);
+    total.stale_sets_dropped +=
+        s.stale_sets_dropped.load(std::memory_order_relaxed);
+    total.q_inv_granted += s.q_inv_granted.load(std::memory_order_relaxed);
+    total.q_ref_granted += s.q_ref_granted.load(std::memory_order_relaxed);
+    total.q_rejected += s.q_rejected.load(std::memory_order_relaxed);
+    total.leases_expired += s.leases_expired.load(std::memory_order_relaxed);
+    total.expiry_deletes += s.expiry_deletes.load(std::memory_order_relaxed);
+    total.commits += s.commits.load(std::memory_order_relaxed);
+    total.aborts += s.aborts.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t IQServer::LeaseCount() const {
+  // Aggregate one shard at a time under that shard's lock: concurrent
+  // commands stay serialized against each shard we read, so the per-shard
+  // sizes are consistent even though the total is a moving target.
+  std::size_t n = 0;
+  for (std::size_t shard = 0; shard < store_.shard_count(); ++shard) {
+    auto g = store_.LockShard(shard);
+    n += leases_.ShardSize(shard);
+  }
+  return n;
 }
 
 std::size_t IQServer::SweepExpired() {

@@ -26,19 +26,24 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/kvs_backend.h"
 #include "kvs/kvs.h"
 #include "leases/lease_table.h"
+#include "util/histogram.h"
 
 namespace iq {
 
-/// Server-side counters for the evaluation harness.
+/// Server-side counters for the evaluation harness. This is the aggregated
+/// snapshot returned by IQServer::Stats(); the live counters are sharded
+/// (see IQShardStats) so the hot path never takes a statistics lock.
 struct IQServerStats {
   std::uint64_t i_granted = 0;
   std::uint64_t i_voided = 0;       // I leases preempted by Q requests
+  std::uint64_t q_ref_voided = 0;   // Q(refresh) leases voided by QaReg
   std::uint64_t backoffs = 0;       // IQget told a session to back off
-  std::uint64_t stale_sets_dropped = 0;  // IQset with invalid token ignored
+  std::uint64_t stale_sets_dropped = 0;  // IQset/SaR with invalid token ignored
   std::uint64_t q_inv_granted = 0;
   std::uint64_t q_ref_granted = 0;
   std::uint64_t q_rejected = 0;     // QaRead/IQDelta aborted a requester
@@ -47,6 +52,53 @@ struct IQServerStats {
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
 };
+
+/// Live counters for one CacheStore shard. Commands increment these while
+/// already holding that shard's lock, so distinct shards never contend; the
+/// counters are still relaxed atomics because Stats() aggregates without
+/// taking any lock (and Commit/Abort account outside a shard lock). The
+/// alignment keeps adjacent shards' blocks off each other's cache lines.
+struct alignas(64) IQShardStats {
+  std::atomic<std::uint64_t> i_granted{0};
+  std::atomic<std::uint64_t> i_voided{0};
+  std::atomic<std::uint64_t> q_ref_voided{0};
+  std::atomic<std::uint64_t> backoffs{0};
+  std::atomic<std::uint64_t> stale_sets_dropped{0};
+  std::atomic<std::uint64_t> q_inv_granted{0};
+  std::atomic<std::uint64_t> q_ref_granted{0};
+  std::atomic<std::uint64_t> q_rejected{0};
+  std::atomic<std::uint64_t> leases_expired{0};
+  std::atomic<std::uint64_t> expiry_deletes{0};
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+};
+
+/// Coarse command classes for server-side latency accounting. The wire
+/// dispatcher (net/server.h) records one observation per request into the
+/// server's StripedLatencyRecorder under the matching class; FormatStats
+/// renders the percentiles as "STAT cmd_*" lines. Defined here (not in net/)
+/// so the recorder can live on the IQServer and be shared by every
+/// connection's dispatcher.
+enum class CommandClass : std::size_t {
+  kGet,       // get/gets
+  kStore,     // set/add/replace/cas/append/prepend
+  kDelete,
+  kIncrDecr,
+  kIQget,
+  kIQset,
+  kQaRead,
+  kSaR,
+  kQaReg,
+  kDaR,
+  kIQDelta,   // iqappend/iqprepend/iqincr/iqdecr
+  kCommit,
+  kAbort,
+  kOther,     // stats/flush_all/genid/quit/...
+};
+inline constexpr std::size_t kCommandClassCount =
+    static_cast<std::size_t>(CommandClass::kOther) + 1;
+
+const char* ToString(CommandClass c);
 
 class IQServer final : public KvsBackend {
  public:
@@ -150,10 +202,19 @@ class IQServer final : public KvsBackend {
 
   // ---- introspection ------------------------------------------------------
 
+  /// Aggregated counter snapshot (relaxed reads; no lock taken).
   IQServerStats Stats() const;
   /// Live (unexpired) lease on `key`, if any (testing).
   std::optional<LeaseKind> LeaseOn(std::string_view key);
-  std::size_t LeaseCount() const { return leases_.Size(); }
+  /// Live lease entries, aggregated shard by shard under each shard's lock
+  /// (safe against concurrent commands; momentarily stale as a total).
+  std::size_t LeaseCount() const;
+
+  /// Per-command latency recorder shared by all connection dispatchers.
+  StripedLatencyRecorder& command_latencies() { return cmd_latencies_; }
+  const StripedLatencyRecorder& command_latencies() const {
+    return cmd_latencies_;
+  }
 
   /// Proactively expire overdue leases across all shards (expiry is
   /// otherwise enforced lazily on access). Returns the number of leases
@@ -175,6 +236,16 @@ class IQServer final : public KvsBackend {
     return config_.lease_lifetime == 0 ? 0 : clock_.Now() + config_.lease_lifetime;
   }
 
+  /// Counter block for the shard whose lock `g` holds.
+  IQShardStats& StatsFor(const CacheStore::ShardGuard& g) {
+    return shard_stats_[g.shard_index()];
+  }
+  /// Counter block for session-scoped commands (Commit/Abort) that hold no
+  /// single shard lock; spread by session id to keep contention low.
+  IQShardStats& StatsFor(SessionId tid) {
+    return shard_stats_[tid % shard_stats_.size()];
+  }
+
   Config config_;
   CacheStore store_;
   const Clock& clock_;
@@ -183,8 +254,9 @@ class IQServer final : public KvsBackend {
   std::atomic<LeaseToken> next_token_{1};
   std::atomic<SessionId> next_session_{1};
 
-  mutable std::mutex stats_mu_;
-  IQServerStats stats_;
+  /// One counter block per CacheStore shard; see IQShardStats.
+  std::vector<IQShardStats> shard_stats_;
+  StripedLatencyRecorder cmd_latencies_{kCommandClassCount};
 };
 
 }  // namespace iq

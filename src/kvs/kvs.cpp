@@ -43,7 +43,7 @@ CacheStore::ShardGuard CacheStore::LockKey(std::string_view key) {
   return ShardGuard(std::unique_lock(shards_[idx].mu), idx);
 }
 
-CacheStore::ShardGuard CacheStore::LockShard(std::size_t index) {
+CacheStore::ShardGuard CacheStore::LockShard(std::size_t index) const {
   return ShardGuard(std::unique_lock(shards_[index].mu), index);
 }
 

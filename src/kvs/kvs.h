@@ -150,8 +150,9 @@ class CacheStore {
   };
 
   ShardGuard LockKey(std::string_view key);
-  /// Lock a shard directly by index (maintenance sweeps).
-  ShardGuard LockShard(std::size_t index);
+  /// Lock a shard directly by index (maintenance sweeps, stats
+  /// aggregation). const: locking mutates only the mutable shard mutex.
+  ShardGuard LockShard(std::size_t index) const;
   std::size_t ShardIndexFor(std::string_view key) const;
   std::size_t shard_count() const { return shards_.size(); }
 

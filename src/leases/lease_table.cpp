@@ -43,36 +43,44 @@ std::size_t LeaseTable::Size() const {
 }
 
 void SessionRegistry::AddKey(SessionId session, const std::string& key) {
-  std::lock_guard lock(mu_);
-  auto& keys = sessions_[session];
+  Stripe& s = StripeFor(session);
+  std::lock_guard lock(s.mu);
+  auto& keys = s.sessions[session];
   if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
     keys.push_back(key);
   }
 }
 
 void SessionRegistry::RemoveKey(SessionId session, const std::string& key) {
-  std::lock_guard lock(mu_);
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) return;
+  Stripe& s = StripeFor(session);
+  std::lock_guard lock(s.mu);
+  auto it = s.sessions.find(session);
+  if (it == s.sessions.end()) return;
   auto& keys = it->second;
   keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
-  if (keys.empty()) sessions_.erase(it);
+  if (keys.empty()) s.sessions.erase(it);
 }
 
 std::vector<std::string> SessionRegistry::Keys(SessionId session) const {
-  std::lock_guard lock(mu_);
-  auto it = sessions_.find(session);
-  return it == sessions_.end() ? std::vector<std::string>{} : it->second;
+  const Stripe& s = StripeFor(session);
+  std::lock_guard lock(s.mu);
+  auto it = s.sessions.find(session);
+  return it == s.sessions.end() ? std::vector<std::string>{} : it->second;
 }
 
 void SessionRegistry::Drop(SessionId session) {
-  std::lock_guard lock(mu_);
-  sessions_.erase(session);
+  Stripe& s = StripeFor(session);
+  std::lock_guard lock(s.mu);
+  s.sessions.erase(session);
 }
 
 std::size_t SessionRegistry::SessionCount() const {
-  std::lock_guard lock(mu_);
-  return sessions_.size();
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    n += s.sessions.size();
+  }
+  return n;
 }
 
 }  // namespace iq

@@ -87,8 +87,14 @@ class LeaseTable {
     return e.expires_at != 0 && now >= e.expires_at;
   }
 
-  /// Count of live entries (testing/stats; caller must not hold shard locks
-  /// unevenly — intended for quiescent inspection).
+  /// Entries in one shard. Caller must hold that shard's CacheStore lock
+  /// when commands may be running concurrently.
+  std::size_t ShardSize(std::size_t shard) const { return shards_[shard].size(); }
+
+  /// Count of live entries across all shards WITHOUT locking: safe only on
+  /// a quiescent table (single-threaded tests). Concurrent use must
+  /// aggregate ShardSize() under each shard's lock instead — see
+  /// IQServer::LeaseCount().
   std::size_t Size() const;
 
   std::size_t shard_count() const { return shards_.size(); }
@@ -104,23 +110,38 @@ class LeaseTable {
 };
 
 /// Per-session registry of quarantined keys, needed so Commit/Abort/DaR can
-/// find everything a session holds. Thread-safe with an internal mutex.
+/// find everything a session holds. Thread-safe; striped by session id so
+/// concurrent write sessions do not funnel through one mutex (every QaRead/
+/// QaReg touches the registry while holding a CacheStore shard lock).
 ///
-/// Lock order: CacheStore shard lock, then this registry's mutex. Never
-/// acquire a shard lock while holding the registry mutex.
+/// Lock order: CacheStore shard lock, then a registry stripe mutex. Never
+/// acquire a shard lock while holding a stripe mutex.
 class SessionRegistry {
  public:
+  explicit SessionRegistry(std::size_t stripe_count = 16)
+      : stripes_(stripe_count > 0 ? stripe_count : 1) {}
+
   void AddKey(SessionId session, const std::string& key);
   void RemoveKey(SessionId session, const std::string& key);
   /// All keys registered to `session` (copy), in registration order.
   std::vector<std::string> Keys(SessionId session) const;
   /// Drop the whole session entry.
   void Drop(SessionId session);
+  /// Sessions currently registered, aggregated stripe by stripe.
   std::size_t SessionCount() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<SessionId, std::vector<std::string>> sessions_;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, std::vector<std::string>> sessions;
+  };
+
+  Stripe& StripeFor(SessionId s) { return stripes_[s % stripes_.size()]; }
+  const Stripe& StripeFor(SessionId s) const {
+    return stripes_[s % stripes_.size()];
+  }
+
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace iq

@@ -29,7 +29,7 @@ std::string LoopbackChannel::RoundTrip(const std::string& request_bytes) {
         reply += Serialize(err);
         continue;
       }
-      ++requests_;
+      requests_.fetch_add(1, std::memory_order_relaxed);
       reply += Serialize(dispatcher_.Dispatch(request));
     }
   }

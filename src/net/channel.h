@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/iq_server.h"
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -37,8 +38,11 @@ class LoopbackChannel final : public Channel {
 
   std::string RoundTrip(const std::string& request_bytes) override;
 
-  /// Requests served so far.
-  std::uint64_t requests() const { return requests_; }
+  /// Requests served so far. Safe to call while other threads are inside
+  /// RoundTrip (monitoring reads race with increments, hence the atomic).
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
 
  private:
   CommandDispatcher dispatcher_;
@@ -46,7 +50,7 @@ class LoopbackChannel final : public Channel {
   const Clock& clock_;
   std::mutex mu_;  // one outstanding request per connection, like memcached
   RequestParser parser_;
-  std::uint64_t requests_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
 };
 
 /// A memcached/IQ client that talks through a Channel - the remote

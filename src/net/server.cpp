@@ -24,7 +24,46 @@ Nanos ExptimeToTtl(std::int64_t exptime) {
 
 }  // namespace
 
+CommandClass ClassOf(Command c) {
+  switch (c) {
+    case Command::kGet:
+    case Command::kGets: return CommandClass::kGet;
+    case Command::kSet:
+    case Command::kAdd:
+    case Command::kReplace:
+    case Command::kCas:
+    case Command::kAppend:
+    case Command::kPrepend: return CommandClass::kStore;
+    case Command::kDelete: return CommandClass::kDelete;
+    case Command::kIncr:
+    case Command::kDecr: return CommandClass::kIncrDecr;
+    case Command::kIQGet: return CommandClass::kIQget;
+    case Command::kIQSet: return CommandClass::kIQset;
+    case Command::kQaRead: return CommandClass::kQaRead;
+    case Command::kSaR:
+    case Command::kSaRNull: return CommandClass::kSaR;
+    case Command::kQaReg: return CommandClass::kQaReg;
+    case Command::kDaR: return CommandClass::kDaR;
+    case Command::kIQAppend:
+    case Command::kIQPrepend:
+    case Command::kIQIncr:
+    case Command::kIQDecr: return CommandClass::kIQDelta;
+    case Command::kCommit: return CommandClass::kCommit;
+    case Command::kAbort: return CommandClass::kAbort;
+    default: return CommandClass::kOther;
+  }
+}
+
 Response CommandDispatcher::Dispatch(const Request& request) {
+  const Clock& clock = server_.clock();
+  Nanos start = clock.Now();
+  Response resp = DispatchCommand(request);
+  server_.command_latencies().Record(
+      static_cast<std::size_t>(ClassOf(request.command)), clock.Now() - start);
+  return resp;
+}
+
+Response CommandDispatcher::DispatchCommand(const Request& request) {
   switch (request.command) {
     case Command::kGet:
     case Command::kGets: {
@@ -239,6 +278,7 @@ std::string FormatStats(const IQServer& server) {
   stat("item_count", store.item_count);
   stat("i_leases_granted", iq.i_granted);
   stat("i_leases_voided", iq.i_voided);
+  stat("q_ref_voided", iq.q_ref_voided);
   stat("backoffs", iq.backoffs);
   stat("stale_sets_dropped", iq.stale_sets_dropped);
   stat("q_inv_granted", iq.q_inv_granted);
@@ -248,6 +288,24 @@ std::string FormatStats(const IQServer& server) {
   stat("expiry_deletes", iq.expiry_deletes);
   stat("commits", iq.commits);
   stat("aborts", iq.aborts);
+  // Per-command service-time percentiles, recorded by the dispatcher.
+  // Classes with no observations are omitted (a fresh server emits none).
+  const StripedLatencyRecorder& lat = server.command_latencies();
+  for (std::size_t cls = 0; cls < lat.num_classes(); ++cls) {
+    LatencyHistogram h = lat.Merged(cls);
+    if (h.Count() == 0) continue;
+    std::string prefix = "cmd_";
+    prefix += ToString(static_cast<CommandClass>(cls));
+    stat((prefix + "_count").c_str(), h.Count());
+    stat((prefix + "_mean_us").c_str(),
+         static_cast<std::uint64_t>(h.MeanNanos() / kNanosPerMicro));
+    stat((prefix + "_p95_us").c_str(),
+         static_cast<std::uint64_t>(h.Percentile(0.95) / kNanosPerMicro));
+    stat((prefix + "_p99_us").c_str(),
+         static_cast<std::uint64_t>(h.Percentile(0.99) / kNanosPerMicro));
+    stat((prefix + "_max_us").c_str(),
+         static_cast<std::uint64_t>(h.Max() / kNanosPerMicro));
+  }
   return out.str();
 }
 

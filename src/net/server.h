@@ -14,18 +14,26 @@ class CommandDispatcher {
  public:
   explicit CommandDispatcher(IQServer& server) : server_(server) {}
 
-  /// Execute one request against the server. kQuit returns kOk; transport
-  /// teardown is the channel's business.
+  /// Execute one request against the server, recording its service time
+  /// into the server's per-command latency histograms. kQuit returns kOk;
+  /// transport teardown is the channel's business.
   Response Dispatch(const Request& request);
 
  private:
+  Response DispatchCommand(const Request& request);
   Response DispatchStorage(const Request& request);
   Response DispatchIQ(const Request& request);
 
   IQServer& server_;
 };
 
-/// Render the server's statistics as memcached "STAT name value" lines.
+/// Latency-accounting class for a wire command.
+CommandClass ClassOf(Command c);
+
+/// Render the server's statistics as memcached "STAT name value" lines:
+/// the CacheStore counters, the IQ lease counters, and per-command latency
+/// percentiles ("cmd_<class>_{count,mean_us,p95_us,p99_us,max_us}") for
+/// every command class observed so far.
 std::string FormatStats(const IQServer& server);
 
 }  // namespace iq::net

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <functional>
 #include <limits>
+#include <thread>
 
 namespace iq {
 
@@ -97,6 +99,36 @@ std::string LatencyHistogram::Summary() const {
                 static_cast<double>(Percentile(0.99)) / kNanosPerMilli,
                 static_cast<double>(Max()) / kNanosPerMilli);
   return buf;
+}
+
+StripedLatencyRecorder::StripedLatencyRecorder(std::size_t num_classes,
+                                               std::size_t num_stripes)
+    : num_classes_(num_classes), stripes_(num_stripes > 0 ? num_stripes : 1) {
+  for (auto& s : stripes_) s.per_class.resize(num_classes_);
+}
+
+StripedLatencyRecorder::Stripe& StripedLatencyRecorder::StripeForThisThread() {
+  std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % stripes_.size()];
+}
+
+void StripedLatencyRecorder::Record(std::size_t cls, Nanos value) {
+  if (cls >= num_classes_) return;
+  Stripe& s = StripeForThisThread();
+  std::lock_guard lock(s.mu);
+  auto& slot = s.per_class[cls];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  slot->Record(value);
+}
+
+LatencyHistogram StripedLatencyRecorder::Merged(std::size_t cls) const {
+  LatencyHistogram out;
+  if (cls >= num_classes_) return out;
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    if (s.per_class[cls]) out.Merge(*s.per_class[cls]);
+  }
+  return out;
 }
 
 }  // namespace iq

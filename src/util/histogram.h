@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,37 @@ class LatencyHistogram {
   Nanos min_ = 0;
   Nanos max_ = 0;
   double sum_ = 0;
+};
+
+/// Thread-striped latency histograms keyed by a small class index (e.g. one
+/// class per server command). Record() locks only the calling thread's
+/// stripe, so concurrent recorders from different threads rarely contend;
+/// Merged() folds every stripe's histogram for one class into a snapshot.
+/// Histograms are allocated lazily, so an idle recorder costs a few pointers.
+class StripedLatencyRecorder {
+ public:
+  explicit StripedLatencyRecorder(std::size_t num_classes,
+                                  std::size_t num_stripes = 16);
+
+  /// Record one observation for `cls` (< num_classes).
+  void Record(std::size_t cls, Nanos value);
+
+  /// Snapshot of all observations for `cls` across stripes.
+  LatencyHistogram Merged(std::size_t cls) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    /// Lazily allocated, one slot per class.
+    std::vector<std::unique_ptr<LatencyHistogram>> per_class;
+  };
+
+  Stripe& StripeForThisThread();
+
+  std::size_t num_classes_;
+  std::vector<Stripe> stripes_;
 };
 
 /// Simple counter bundle shared by benchmark workers.

@@ -387,6 +387,21 @@ TEST_F(RemoteTest, StatsExposeLeaseCounters) {
   EXPECT_NE(stats.find("STAT get_misses"), std::string::npos);
 }
 
+TEST_F(RemoteTest, StatsExposeCommandLatencies) {
+  SessionId session = client_.GenID();
+  client_.IQget("missing", session);
+  client_.Set("k", "v");
+  std::string stats = client_.Stats();
+  // The dispatcher records one observation per request, keyed by command
+  // class, and FormatStats renders count/mean/p95/p99/max per class.
+  EXPECT_NE(stats.find("STAT cmd_iqget_count 1"), std::string::npos);
+  EXPECT_NE(stats.find("STAT cmd_store_count 1"), std::string::npos);
+  EXPECT_NE(stats.find("STAT cmd_iqget_p95_us"), std::string::npos);
+  EXPECT_NE(stats.find("STAT cmd_store_max_us"), std::string::npos);
+  // No delete was issued, so its class is omitted entirely.
+  EXPECT_EQ(stats.find("STAT cmd_delete_"), std::string::npos);
+}
+
 TEST_F(RemoteTest, MalformedRequestYieldsError) {
   std::string reply = channel_.RoundTrip("bogus nonsense\r\n");
   EXPECT_NE(reply.find("CLIENT_ERROR"), std::string::npos);
