@@ -68,6 +68,28 @@ std::optional<CacheItem> RemoteCacheClient::Gets(const std::string& key) {
   return CacheItem{std::move(resp.data), resp.flags, resp.cas_unique};
 }
 
+std::vector<std::optional<CacheItem>> RemoteCacheClient::MultiGet(
+    const std::vector<std::string>& keys, bool with_cas) {
+  std::vector<std::optional<CacheItem>> out(keys.size());
+  if (keys.empty()) return out;
+  Request r;
+  r.command = with_cas ? Command::kGets : Command::kGet;
+  r.key = keys.front();
+  r.keys = keys;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kValue) return out;
+  // The server omits misses, so match returned VALUE blocks back to the
+  // requested keys (duplicates each consume one block, in order).
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < keys.size() && next < resp.values.size(); ++i) {
+    ValueEntry& v = resp.values[next];
+    if (v.key != keys[i]) continue;
+    out[i] = CacheItem{std::move(v.data), v.flags, v.cas_unique};
+    ++next;
+  }
+  return out;
+}
+
 namespace {
 
 StoreResult ToStoreResult(const Response& resp) {

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/protocol.h"
 #include "net/server.h"
@@ -63,6 +64,10 @@ class RemoteCacheClient {
   // -- standard commands --
   std::optional<CacheItem> Get(const std::string& key);
   std::optional<CacheItem> Gets(const std::string& key);
+  /// Fetch N keys in one round trip (`get k1 k2 ... kn`). Result is aligned
+  /// with `keys`; misses are nullopt. `with_cas` issues `gets` instead.
+  std::vector<std::optional<CacheItem>> MultiGet(
+      const std::vector<std::string>& keys, bool with_cas = false);
   StoreResult Set(const std::string& key, const std::string& value,
                   std::uint32_t flags = 0, std::int64_t exptime = 0);
   StoreResult Add(const std::string& key, const std::string& value);

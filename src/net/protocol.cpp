@@ -20,6 +20,20 @@ std::optional<std::int64_t> ParseI64(std::string_view s) {
   return v;
 }
 
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[20];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, p - buf);
+}
+
+void AppendI64(std::string* out, std::int64_t v) {
+  char buf[21];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, p - buf);
+}
+
 std::vector<std::string_view> SplitTokens(std::string_view line) {
   std::vector<std::string_view> out;
   std::size_t i = 0;
@@ -84,6 +98,15 @@ std::optional<std::size_t> ParseCommandLine(
   switch (info.command) {
     case Command::kGet:
     case Command::kGets:
+      // Multi-key retrieval per the real memcached protocol: one request
+      // line, N keys, one END-terminated response.
+      if (tok.size() < 2) return fail("bad argument count");
+      req->key = std::string(tok[1]);
+      req->keys.reserve(tok.size() - 1);
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        req->keys.emplace_back(tok[i]);
+      }
+      return 0;
     case Command::kDelete:
       if (tok.size() != 2) return fail("bad argument count");
       req->key = std::string(tok[1]);
@@ -236,26 +259,37 @@ const char* ToString(Command c) {
   return "?";
 }
 
+void RequestParser::ConsumeTo(std::size_t end) {
+  pos_ = end;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);  // one memmove of the unconsumed tail
+    pos_ = 0;
+  }
+}
+
 RequestParser::Status RequestParser::Next(Request* out, std::string* error) {
-  std::size_t eol = buffer_.find("\r\n");
+  std::size_t eol = buffer_.find("\r\n", pos_);
   if (eol == std::string::npos) return Status::kNeedMore;
-  std::string_view line(buffer_.data(), eol);
+  std::string_view line(buffer_.data() + pos_, eol - pos_);
   auto tokens = SplitTokens(line);
   if (tokens.empty()) {
     *error = "empty command line";
-    buffer_.erase(0, eol + 2);
+    ConsumeTo(eol + 2);
     return Status::kError;
   }
   auto it = CommandTable().find(tokens[0]);
   if (it == CommandTable().end()) {
     *error = "unknown command '" + std::string(tokens[0]) + "'";
-    buffer_.erase(0, eol + 2);
+    ConsumeTo(eol + 2);
     return Status::kError;
   }
   Request req;
   auto payload = ParseCommandLine(tokens, it->second, &req, error);
   if (!payload) {
-    buffer_.erase(0, eol + 2);
+    ConsumeTo(eol + 2);
     return Status::kError;
   }
   std::size_t need = *payload;
@@ -265,124 +299,256 @@ RequestParser::Status RequestParser::Next(Request* out, std::string* error) {
     if (buffer_.size() < total) return Status::kNeedMore;
     if (buffer_[eol + 2 + need] != '\r' || buffer_[eol + 2 + need + 1] != '\n') {
       *error = "bad data chunk terminator";
-      buffer_.erase(0, total);
+      ConsumeTo(total);
       return Status::kError;
     }
     req.data = buffer_.substr(eol + 2, need);
-    buffer_.erase(0, total);
+    ConsumeTo(total);
   } else {
-    buffer_.erase(0, eol + 2);
+    ConsumeTo(eol + 2);
   }
   *out = std::move(req);
   return Status::kOk;
 }
 
-std::string Serialize(const Request& r) {
-  auto line_and_data = [&](std::string line) {
-    line += " " + std::to_string(r.data.size()) + "\r\n";
-    line += r.data;
-    line += "\r\n";
-    return line;
+void AppendTo(const Request& r, std::string* out) {
+  auto data_block = [&] {
+    out->push_back(' ');
+    AppendU64(out, r.data.size());
+    out->append("\r\n");
+    out->append(r.data);
+    out->append("\r\n");
+  };
+  auto keyed_line = [&](const char* verb) {
+    out->append(verb);
+    out->push_back(' ');
+    out->append(r.key);
+    out->append("\r\n");
   };
   switch (r.command) {
-    case Command::kGet: return "get " + r.key + "\r\n";
-    case Command::kGets: return "gets " + r.key + "\r\n";
+    case Command::kGet:
+    case Command::kGets:
+      out->append(ToString(r.command));
+      if (r.keys.empty()) {
+        out->push_back(' ');
+        out->append(r.key);
+      } else {
+        for (const std::string& k : r.keys) {
+          out->push_back(' ');
+          out->append(k);
+        }
+      }
+      out->append("\r\n");
+      return;
     case Command::kSet:
     case Command::kAdd:
     case Command::kReplace:
     case Command::kAppend:
     case Command::kPrepend:
-      return line_and_data(std::string(ToString(r.command)) + " " + r.key +
-                           " " + std::to_string(r.flags) + " " +
-                           std::to_string(r.exptime));
-    case Command::kCas: {
-      std::string line = "cas " + r.key + " " + std::to_string(r.flags) +
-                         " " + std::to_string(r.exptime) + " " +
-                         std::to_string(r.data.size()) + " " +
-                         std::to_string(r.cas_unique) + "\r\n";
-      line += r.data;
-      line += "\r\n";
-      return line;
-    }
-    case Command::kDelete: return "delete " + r.key + "\r\n";
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.flags);
+      out->push_back(' ');
+      AppendI64(out, r.exptime);
+      data_block();
+      return;
+    case Command::kCas:
+      out->append("cas ");
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.flags);
+      out->push_back(' ');
+      AppendI64(out, r.exptime);
+      out->push_back(' ');
+      AppendU64(out, r.data.size());
+      out->push_back(' ');
+      AppendU64(out, r.cas_unique);
+      out->append("\r\n");
+      out->append(r.data);
+      out->append("\r\n");
+      return;
+    case Command::kDelete:
+      keyed_line("delete");
+      return;
     case Command::kIncr:
-      return "incr " + r.key + " " + std::to_string(r.amount) + "\r\n";
     case Command::kDecr:
-      return "decr " + r.key + " " + std::to_string(r.amount) + "\r\n";
-    case Command::kFlushAll: return "flush_all\r\n";
-    case Command::kStats: return "stats\r\n";
-    case Command::kQuit: return "quit\r\n";
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.amount);
+      out->append("\r\n");
+      return;
+    case Command::kFlushAll: out->append("flush_all\r\n"); return;
+    case Command::kStats: out->append("stats\r\n"); return;
+    case Command::kQuit: out->append("quit\r\n"); return;
     case Command::kIQGet:
-      return "iqget " + r.key + " " + std::to_string(r.session) + "\r\n";
-    case Command::kIQSet:
-      return line_and_data("iqset " + r.key + " " + std::to_string(r.token));
     case Command::kQaRead:
-      return "qaread " + r.key + " " + std::to_string(r.session) + "\r\n";
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.session);
+      out->append("\r\n");
+      return;
+    case Command::kIQSet:
     case Command::kSaR:
-      return line_and_data("sar " + r.key + " " + std::to_string(r.token));
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.token);
+      data_block();
+      return;
     case Command::kSaRNull:
-      return "sarnull " + r.key + " " + std::to_string(r.token) + "\r\n";
-    case Command::kGenId: return "genid\r\n";
+      out->append("sarnull ");
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.token);
+      out->append("\r\n");
+      return;
+    case Command::kGenId: out->append("genid\r\n"); return;
     case Command::kQaReg:
-      return "qareg " + std::to_string(r.session) + " " + r.key + "\r\n";
-    case Command::kDaR: return "dar " + std::to_string(r.session) + "\r\n";
+      out->append("qareg ");
+      AppendU64(out, r.session);
+      out->push_back(' ');
+      out->append(r.key);
+      out->append("\r\n");
+      return;
+    case Command::kDaR:
+    case Command::kCommit:
+    case Command::kAbort:
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      AppendU64(out, r.session);
+      out->append("\r\n");
+      return;
     case Command::kIQAppend:
-      return line_and_data("iqappend " + std::to_string(r.session) + " " + r.key);
     case Command::kIQPrepend:
-      return line_and_data("iqprepend " + std::to_string(r.session) + " " + r.key);
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      AppendU64(out, r.session);
+      out->push_back(' ');
+      out->append(r.key);
+      data_block();
+      return;
     case Command::kIQIncr:
-      return "iqincr " + std::to_string(r.session) + " " + r.key + " " +
-             std::to_string(r.amount) + "\r\n";
     case Command::kIQDecr:
-      return "iqdecr " + std::to_string(r.session) + " " + r.key + " " +
-             std::to_string(r.amount) + "\r\n";
-    case Command::kCommit: return "commit " + std::to_string(r.session) + "\r\n";
-    case Command::kAbort: return "abort " + std::to_string(r.session) + "\r\n";
+      out->append(ToString(r.command));
+      out->push_back(' ');
+      AppendU64(out, r.session);
+      out->push_back(' ');
+      out->append(r.key);
+      out->push_back(' ');
+      AppendU64(out, r.amount);
+      out->append("\r\n");
+      return;
   }
-  return "";
+}
+
+std::string Serialize(const Request& r) {
+  std::string out;
+  AppendTo(r, &out);
+  return out;
+}
+
+namespace {
+
+void AppendValueBlock(std::string* out, const std::string& key,
+                      const std::string& data, std::uint32_t flags,
+                      bool with_cas, std::uint64_t cas_unique) {
+  out->append("VALUE ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(out, flags);
+  out->push_back(' ');
+  AppendU64(out, data.size());
+  if (with_cas) {
+    out->push_back(' ');
+    AppendU64(out, cas_unique);
+  }
+  out->append("\r\n");
+  out->append(data);
+  out->append("\r\n");
+}
+
+}  // namespace
+
+void AppendTo(const Response& r, std::string* out) {
+  switch (r.type) {
+    case ResponseType::kValue:
+      if (!r.values.empty()) {
+        for (const ValueEntry& v : r.values) {
+          AppendValueBlock(out, v.key, v.data, v.flags, r.with_cas,
+                           v.cas_unique);
+        }
+      } else {
+        AppendValueBlock(out, r.key, r.data, r.flags, r.with_cas,
+                         r.cas_unique);
+      }
+      out->append("END\r\n");
+      return;
+    case ResponseType::kEnd: out->append("END\r\n"); return;
+    case ResponseType::kStored: out->append("STORED\r\n"); return;
+    case ResponseType::kNotStored: out->append("NOT_STORED\r\n"); return;
+    case ResponseType::kExists: out->append("EXISTS\r\n"); return;
+    case ResponseType::kNotFound: out->append("NOT_FOUND\r\n"); return;
+    case ResponseType::kDeleted: out->append("DELETED\r\n"); return;
+    case ResponseType::kNumber:
+      AppendU64(out, r.number);
+      out->append("\r\n");
+      return;
+    case ResponseType::kError:
+      if (r.message.empty()) {
+        out->append("ERROR\r\n");
+      } else {
+        out->append("CLIENT_ERROR ");
+        out->append(r.message);
+        out->append("\r\n");
+      }
+      return;
+    case ResponseType::kOk: out->append("OK\r\n"); return;
+    case ResponseType::kStats:
+      out->append(r.message);
+      out->append("END\r\n");
+      return;
+    case ResponseType::kMissToken:
+      out->append("MISS_TOKEN ");
+      AppendU64(out, r.number);
+      out->append("\r\n");
+      return;
+    case ResponseType::kMissBackoff: out->append("MISS_BACKOFF\r\n"); return;
+    case ResponseType::kMissNoLease: out->append("MISS_NOLEASE\r\n"); return;
+    case ResponseType::kQValue:
+      out->append("QVALUE ");
+      AppendU64(out, r.number);
+      out->push_back(' ');
+      AppendU64(out, r.data.size());
+      out->append("\r\n");
+      out->append(r.data);
+      out->append("\r\n");
+      return;
+    case ResponseType::kQMiss:
+      out->append("QMISS ");
+      AppendU64(out, r.number);
+      out->append("\r\n");
+      return;
+    case ResponseType::kReject: out->append("REJECT\r\n"); return;
+    case ResponseType::kGranted: out->append("GRANTED\r\n"); return;
+    case ResponseType::kId:
+      out->append("ID ");
+      AppendU64(out, r.number);
+      out->append("\r\n");
+      return;
+  }
 }
 
 std::string Serialize(const Response& r) {
-  switch (r.type) {
-    case ResponseType::kValue: {
-      std::string out = "VALUE " + r.key + " " + std::to_string(r.flags) +
-                        " " + std::to_string(r.data.size());
-      if (r.with_cas) out += " " + std::to_string(r.cas_unique);
-      out += "\r\n";
-      out += r.data;
-      out += "\r\nEND\r\n";
-      return out;
-    }
-    case ResponseType::kEnd: return "END\r\n";
-    case ResponseType::kStored: return "STORED\r\n";
-    case ResponseType::kNotStored: return "NOT_STORED\r\n";
-    case ResponseType::kExists: return "EXISTS\r\n";
-    case ResponseType::kNotFound: return "NOT_FOUND\r\n";
-    case ResponseType::kDeleted: return "DELETED\r\n";
-    case ResponseType::kNumber: return std::to_string(r.number) + "\r\n";
-    case ResponseType::kError:
-      return r.message.empty() ? "ERROR\r\n"
-                               : "CLIENT_ERROR " + r.message + "\r\n";
-    case ResponseType::kOk: return "OK\r\n";
-    case ResponseType::kStats: return r.message + "END\r\n";
-    case ResponseType::kMissToken:
-      return "MISS_TOKEN " + std::to_string(r.number) + "\r\n";
-    case ResponseType::kMissBackoff: return "MISS_BACKOFF\r\n";
-    case ResponseType::kMissNoLease: return "MISS_NOLEASE\r\n";
-    case ResponseType::kQValue: {
-      std::string out = "QVALUE " + std::to_string(r.number) + " " +
-                        std::to_string(r.data.size()) + "\r\n";
-      out += r.data;
-      out += "\r\n";
-      return out;
-    }
-    case ResponseType::kQMiss:
-      return "QMISS " + std::to_string(r.number) + "\r\n";
-    case ResponseType::kReject: return "REJECT\r\n";
-    case ResponseType::kGranted: return "GRANTED\r\n";
-    case ResponseType::kId: return "ID " + std::to_string(r.number) + "\r\n";
-  }
-  return "";
+  std::string out;
+  AppendTo(r, &out);
+  return out;
 }
 
 std::optional<Response> ParseResponse(std::string_view bytes,
@@ -429,24 +595,42 @@ std::optional<Response> ParseResponse(std::string_view bytes,
     return resp;
   }
   if (head == "VALUE") {
-    if (tokens.size() < 4) return std::nullopt;
-    auto flags = ParseU64(tokens[2]);
-    auto size = ParseU64(tokens[3]);
-    if (!flags || !size) return std::nullopt;
-    std::size_t total = eol + 2 + *size + 2 + 5;  // data + \r\n + "END\r\n"
-    if (bytes.size() < total) return std::nullopt;
+    // One or more VALUE blocks (multi-key get), terminated by END.
     resp.type = ResponseType::kValue;
-    resp.key = std::string(tokens[1]);
-    resp.flags = static_cast<std::uint32_t>(*flags);
-    resp.data = std::string(bytes.substr(eol + 2, *size));
-    if (tokens.size() >= 5) {
-      auto cas = ParseU64(tokens[4]);
-      if (cas) {
-        resp.cas_unique = *cas;
-        resp.with_cas = true;
+    std::size_t off = 0;
+    while (true) {
+      if (bytes.size() - off >= 5 && bytes.compare(off, 5, "END\r\n") == 0) {
+        *consumed = off + 5;
+        break;
       }
+      std::size_t block_eol = bytes.find("\r\n", off);
+      if (block_eol == std::string_view::npos) return std::nullopt;
+      auto btok = SplitTokens(bytes.substr(off, block_eol - off));
+      if (btok.size() < 4 || btok[0] != "VALUE") return std::nullopt;
+      auto flags = ParseU64(btok[2]);
+      auto size = ParseU64(btok[3]);
+      if (!flags || !size) return std::nullopt;
+      std::size_t data_end = block_eol + 2 + *size + 2;
+      if (bytes.size() < data_end) return std::nullopt;
+      ValueEntry entry;
+      entry.key = std::string(btok[1]);
+      entry.flags = static_cast<std::uint32_t>(*flags);
+      entry.data = std::string(bytes.substr(block_eol + 2, *size));
+      if (btok.size() >= 5) {
+        if (auto cas = ParseU64(btok[4])) {
+          entry.cas_unique = *cas;
+          resp.with_cas = true;
+        }
+      }
+      resp.values.push_back(std::move(entry));
+      off = data_end;
     }
-    *consumed = total;
+    // Mirror the first hit into the single-value fields so single-key
+    // callers (get/gets/iqget) keep reading resp.data as before.
+    resp.key = resp.values.front().key;
+    resp.flags = resp.values.front().flags;
+    resp.cas_unique = resp.values.front().cas_unique;
+    resp.data = resp.values.front().data;
     return resp;
   }
   if (head == "QVALUE") {

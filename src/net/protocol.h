@@ -1,8 +1,8 @@
 // The memcached text protocol, extended with the IQ commands of Section 5.
 //
 // Standard commands (memcached 1.4 text protocol subset):
-//   get <key>\r\n
-//   gets <key>\r\n                                   (returns cas unique)
+//   get <key> [<key> ...]\r\n                        (multi-key: one round trip)
+//   gets <key> [<key> ...]\r\n                       (returns cas unique)
 //   set|add|replace <key> <flags> <exptime> <bytes>\r\n<data>\r\n
 //   cas <key> <flags> <exptime> <bytes> <unique>\r\n<data>\r\n
 //   append|prepend <key> <flags> <exptime> <bytes>\r\n<data>\r\n
@@ -77,6 +77,7 @@ const char* ToString(Command c);
 struct Request {
   Command command;
   std::string key;
+  std::vector<std::string> keys;  // multi-key get/gets; key == keys[0] then
   std::string data;            // payload of storage commands
   std::uint32_t flags = 0;
   std::int64_t exptime = 0;    // seconds, memcached-style
@@ -102,20 +103,32 @@ class RequestParser {
 
   Status Next(Request* out, std::string* error);
 
-  /// Bytes currently buffered (testing).
-  std::size_t buffered() const { return buffer_.size(); }
+  /// Bytes buffered but not yet consumed by Next().
+  std::size_t buffered() const { return buffer_.size() - pos_; }
 
  private:
+  /// Advance the read cursor to absolute offset `end`. The consumed prefix
+  /// is only memmoved out (compacted) once it exceeds half the buffer, so
+  /// a stream of small pipelined requests costs O(bytes) total instead of
+  /// O(bytes * requests) front-erase churn.
+  void ConsumeTo(std::size_t end);
+
   std::string buffer_;
+  std::size_t pos_ = 0;  // start of unconsumed bytes within buffer_
 };
 
 /// Serialize a request to protocol bytes (client side).
 std::string Serialize(const Request& request);
 
+/// Append the wire form of `request` to *out without intermediate strings —
+/// the zero-copy-ish path used by pipelined clients to batch many requests
+/// into one reused buffer. Serialize() is a thin wrapper over this.
+void AppendTo(const Request& request, std::string* out);
+
 // ---- responses ----------------------------------------------------------------
 
 enum class ResponseType {
-  kValue,        // VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\nEND\r\n
+  kValue,        // (VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n)+END\r\n
   kEnd,          // END (get miss)
   kStored,
   kNotStored,
@@ -137,6 +150,14 @@ enum class ResponseType {
   kId,           // ID <session>
 };
 
+/// One VALUE block of a (possibly multi-key) get/gets response.
+struct ValueEntry {
+  std::string key;
+  std::string data;
+  std::uint32_t flags = 0;
+  std::uint64_t cas_unique = 0;
+};
+
 struct Response {
   ResponseType type;
   std::string key;
@@ -146,10 +167,19 @@ struct Response {
   bool with_cas = false;       // gets vs get
   std::uint64_t number = 0;    // incr/decr result, token, or session id
   std::string message;         // error text / stats payload
+  /// kValue responses with multiple hits (multi-key get) carry one entry
+  /// per hit here; when non-empty it takes precedence over the single-value
+  /// fields above for serialization, and ParseResponse mirrors entry 0 into
+  /// them so single-key callers keep working unchanged.
+  std::vector<ValueEntry> values;
 };
 
 /// Serialize a response to protocol bytes (server side).
 std::string Serialize(const Response& response);
+
+/// Append the wire form of `response` to *out without intermediate strings
+/// (server hot path: one reused output buffer per connection).
+void AppendTo(const Response& response, std::string* out);
 
 /// Parse exactly one response from `bytes` (client side). Returns nullopt
 /// when the buffer does not yet hold a complete response; on success,

@@ -68,19 +68,30 @@ Response CommandDispatcher::DispatchCommand(const Request& request) {
     case Command::kGet:
     case Command::kGets: {
       Response resp;
-      auto item = server_.store().Get(request.key);
-      if (!item) {
+      // Multi-key get: one VALUE block per hit, misses silently omitted
+      // (memcached semantics). Requests built in-process may carry only
+      // `key`; the wire parser always fills `keys`.
+      auto lookup = [&](const std::string& k) {
+        auto item = server_.store().Get(k);
+        if (!item) return;
+        ValueEntry entry;
+        entry.key = k;
+        entry.data = std::move(item->value);
+        entry.flags = item->flags;
+        entry.cas_unique = item->cas;
+        resp.values.push_back(std::move(entry));
+      };
+      if (request.keys.empty()) {
+        lookup(request.key);
+      } else {
+        for (const std::string& k : request.keys) lookup(k);
+      }
+      if (resp.values.empty()) {
         resp.type = ResponseType::kEnd;
         return resp;
       }
       resp.type = ResponseType::kValue;
-      resp.key = request.key;
-      resp.data = std::move(item->value);
-      resp.flags = item->flags;
-      if (request.command == Command::kGets) {
-        resp.with_cas = true;
-        resp.cas_unique = item->cas;
-      }
+      resp.with_cas = request.command == Command::kGets;
       return resp;
     }
     case Command::kSet:
@@ -98,6 +109,7 @@ Response CommandDispatcher::DispatchCommand(const Request& request) {
       Response resp;
       resp.type = ResponseType::kStats;
       resp.message = FormatStats(server_);
+      if (stats_augmenter_) stats_augmenter_(resp.message);
       return resp;
     }
     case Command::kQuit: {

@@ -3,6 +3,7 @@
 // real IQ-Twemcached, minus the sockets (see channel.h for the transport).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "core/iq_server.h"
@@ -19,12 +20,22 @@ class CommandDispatcher {
   /// transport teardown is the channel's business.
   Response Dispatch(const Request& request);
 
+  /// Extra "STAT name value\r\n" lines appended to every `stats` response —
+  /// how a transport (e.g. TcpServer) surfaces its wire counters without
+  /// the dispatcher knowing about sockets. Must be safe to call from the
+  /// dispatching thread at any time.
+  using StatsAugmenter = std::function<void(std::string&)>;
+  void set_stats_augmenter(StatsAugmenter fn) {
+    stats_augmenter_ = std::move(fn);
+  }
+
  private:
   Response DispatchCommand(const Request& request);
   Response DispatchStorage(const Request& request);
   Response DispatchIQ(const Request& request);
 
   IQServer& server_;
+  StatsAugmenter stats_augmenter_;
 };
 
 /// Latency-accounting class for a wire command.

@@ -1,0 +1,215 @@
+#include "net/tcp_channel.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace iq::net {
+
+namespace {
+
+/// Read attempts with EAGAIN before falling back to a blocking poll().
+/// The server answers small requests in a few microseconds; spinning that
+/// long beats eating a scheduler wakeup on every round trip. Only worth it
+/// with a spare core — on a single CPU spinning just delays the server's
+/// timeslice, so there the socket stays blocking and this path is unused.
+constexpr int kReadSpins = 400;
+
+bool SpinWorthwhile() { return std::thread::hardware_concurrency() > 1; }
+
+void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace
+
+std::unique_ptr<TcpChannel> TcpChannel::Connect(const std::string& host,
+                                                std::uint16_t port,
+                                                std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "getaddrinfo " + host + ": " + gai_strerror(rc);
+    }
+    return nullptr;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "connect " + host + ":" + service + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  if (SpinWorthwhile()) {
+    // Non-blocking + spin-then-poll reads (see FillReadBuffer).
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TcpChannel::WriteAll(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t w = ::write(fd_, data + sent, size - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) break;
+      continue;
+    }
+    break;
+  }
+  if (sent == size) return true;
+  ::close(fd_);
+  fd_ = -1;
+  return false;
+}
+
+bool TcpChannel::FillReadBuffer() {
+  char buf[64 * 1024];
+  int spins = kReadSpins;
+  while (true) {
+    ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(r));
+      return true;
+    }
+    if (r == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (spins-- > 0) {
+        CpuRelax();
+        continue;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) break;
+      spins = 0;  // poll said readable (or EINTR): retry the read
+      continue;
+    }
+    break;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return false;
+}
+
+void TcpChannel::MarkConsumed(std::size_t n) {
+  rpos_ += n;
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > rbuf_.size() / 2) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+}
+
+std::string TcpChannel::RoundTrip(const std::string& request_bytes) {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return {};
+  // The caller may pipeline several requests into one RoundTrip (the
+  // LoopbackChannel contract), so count how many responses to await.
+  std::size_t expected = 0;
+  {
+    RequestParser counter;
+    counter.Feed(request_bytes);
+    Request request;
+    std::string error;
+    while (true) {
+      auto status = counter.Next(&request, &error);
+      if (status == RequestParser::Status::kNeedMore) break;
+      if (status == RequestParser::Status::kOk &&
+          request.command == Command::kQuit) {
+        continue;  // server closes without replying
+      }
+      ++expected;  // kError also draws one CLIENT_ERROR response
+    }
+  }
+  if (!WriteAll(request_bytes.data(), request_bytes.size())) return {};
+  std::string reply;
+  for (std::size_t i = 0; i < expected;) {
+    std::size_t consumed = 0;
+    if (auto response = ParseResponse(Unread(), &consumed)) {
+      (void)response;
+      reply.append(Unread().substr(0, consumed));
+      MarkConsumed(consumed);
+      ++i;
+      continue;
+    }
+    if (!FillReadBuffer()) break;
+  }
+  return reply;
+}
+
+void TcpChannel::SendNoWait(const Request& request) {
+  std::lock_guard lock(mu_);
+  AppendTo(request, &wbuf_);
+  if (request.command != Command::kQuit) ++outstanding_;
+}
+
+bool TcpChannel::Flush() {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return false;
+  if (wbuf_.empty()) return true;
+  bool ok = WriteAll(wbuf_.data(), wbuf_.size());
+  wbuf_.clear();
+  return ok;
+}
+
+std::vector<Response> TcpChannel::Drain() {
+  std::lock_guard lock(mu_);
+  std::vector<Response> responses;
+  responses.reserve(outstanding_);
+  while (outstanding_ > 0) {
+    std::size_t consumed = 0;
+    if (auto response = ParseResponse(Unread(), &consumed)) {
+      MarkConsumed(consumed);
+      responses.push_back(std::move(*response));
+      --outstanding_;
+      continue;
+    }
+    if (fd_ < 0 || !FillReadBuffer()) {
+      outstanding_ = 0;  // transport gone; report what we have
+      break;
+    }
+  }
+  return responses;
+}
+
+}  // namespace iq::net

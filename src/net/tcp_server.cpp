@@ -1,0 +1,389 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sched.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/protocol.h"
+
+namespace iq::net {
+
+// One accepted socket, owned by exactly one worker. The parser holds the
+// unconsumed request bytes; `out` holds the unsent response bytes (reused
+// across requests, compacted only when fully drained).
+struct TcpServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  int fd;
+  RequestParser parser;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool want_write = false;  // EPOLLOUT currently registered
+  bool closing = false;     // quit seen / fatal error: flush, then close
+};
+
+struct alignas(64) TcpServer::Worker {
+  explicit Worker(IQServer& server) : dispatcher(server) {}
+
+  int epoll_fd = -1;
+  int wake_fd = -1;  // eventfd: shutdown + connection-handoff wakeups
+  std::thread thread;
+  CommandDispatcher dispatcher;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+
+  // Mailbox for connections accepted by worker 0 on this worker's behalf.
+  std::mutex handoff_mu;
+  std::vector<int> handoff;
+
+  // Wire counters: relaxed atomics in a worker-private cache line, summed
+  // lock-free by Stats() — the IQShardStats discipline.
+  std::atomic<std::uint64_t> conn_accepted{0};
+  std::atomic<std::uint64_t> conn_active{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> requests{0};
+};
+
+namespace {
+
+void AddEpoll(int epoll_fd, int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void WakeWorker(int wake_fd) {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(IQServer& server, Config config)
+    : server_(server), config_(std::move(config)) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.spin_polls < 0) {
+    config_.spin_polls =
+        std::thread::hardware_concurrency() > 1 ? 400 : 0;
+  }
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+bool TcpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    for (auto& w : workers_) {
+      if (w->wake_fd >= 0) ::close(w->wake_fd);
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    }
+    workers_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    auto w = std::make_unique<Worker>(server_);
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->wake_fd < 0) return fail("epoll/eventfd");
+    AddEpoll(w->epoll_fd, w->wake_fd, EPOLLIN);
+    w->dispatcher.set_stats_augmenter(
+        [this](std::string& out) { AppendWireStats(out); });
+    workers_.push_back(std::move(w));
+  }
+  // Only worker 0 watches the listener; it distributes accepted sockets
+  // round-robin, so there is no accept thundering herd across epolls.
+  AddEpoll(workers_[0]->epoll_fd, listen_fd_, EPOLLIN);
+
+  running_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(*worker); });
+  }
+  return true;
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped): still release any bound listener.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  for (auto& w : workers_) WakeWorker(w->wake_fd);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    for (auto& [fd, conn] : w->conns) ::close(fd);
+    w->conns.clear();
+    // Connections handed off but never adopted.
+    for (int fd : w->handoff) ::close(fd);
+    w->handoff.clear();
+    ::close(w->wake_fd);
+    ::close(w->epoll_fd);
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+TcpServerStats TcpServer::Stats() const {
+  TcpServerStats total;
+  for (const auto& w : workers_) {
+    total.conn_accepted += w->conn_accepted.load(std::memory_order_relaxed);
+    total.conn_active += w->conn_active.load(std::memory_order_relaxed);
+    total.bytes_read += w->bytes_read.load(std::memory_order_relaxed);
+    total.bytes_written += w->bytes_written.load(std::memory_order_relaxed);
+    total.requests += w->requests.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void TcpServer::AppendWireStats(std::string& out) const {
+  TcpServerStats s = Stats();
+  auto stat = [&out](const char* name, std::uint64_t v) {
+    out += "STAT ";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += "\r\n";
+  };
+  stat("conn_accepted", s.conn_accepted);
+  stat("conn_active", s.conn_active);
+  stat("bytes_read", s.bytes_read);
+  stat("bytes_written", s.bytes_written);
+  stat("net_requests", s.requests);
+}
+
+void TcpServer::WorkerLoop(Worker& worker) {
+  // SCHED_BATCH turns off wakeup preemption for this thread: on a busy
+  // host, synchronous clients get to finish their timeslice and several
+  // requests pile up per epoll wakeup instead of the worker preempting the
+  // first writer immediately. Unprivileged; ignore failure (non-Linux CI).
+  sched_param sp{};
+  (void)::sched_setscheduler(0, SCHED_BATCH, &sp);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  int spin_left = 0;  // zero-timeout polls remaining before we block
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(worker.epoll_fd, events, kMaxEvents,
+                         spin_left > 0 ? 0 : -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      --spin_left;
+      continue;
+    }
+    spin_left = config_.spin_polls;  // activity: stay hot for a bit
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == worker.wake_fd) {
+        std::uint64_t drained;
+        while (::read(worker.wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        AdoptPending(worker);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady(worker);
+        continue;
+      }
+      auto it = worker.conns.find(fd);
+      if (it == worker.conns.end()) continue;  // closed earlier this batch
+      HandleEvent(worker, *it->second, events[i].events);
+    }
+  }
+  for (auto& [fd, conn] : worker.conns) ::close(fd);
+  worker.conns.clear();
+}
+
+void TcpServer::AcceptReady(Worker& w0) {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or the listener went away during shutdown
+    }
+    int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    Worker& target = *workers_[next_worker_++ % workers_.size()];
+    target.conn_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (&target == &w0) {
+      AdoptConnection(w0, fd);
+    } else {
+      {
+        std::lock_guard lock(target.handoff_mu);
+        target.handoff.push_back(fd);
+      }
+      WakeWorker(target.wake_fd);
+    }
+  }
+}
+
+void TcpServer::AdoptPending(Worker& worker) {
+  std::vector<int> fds;
+  {
+    std::lock_guard lock(worker.handoff_mu);
+    fds.swap(worker.handoff);
+  }
+  for (int fd : fds) AdoptConnection(worker, fd);
+}
+
+void TcpServer::AdoptConnection(Worker& worker, int fd) {
+  worker.conn_active.fetch_add(1, std::memory_order_relaxed);
+  worker.conns.emplace(fd, std::make_unique<Connection>(fd));
+  AddEpoll(worker.epoll_fd, fd, EPOLLIN);
+}
+
+void TcpServer::HandleEvent(Worker& worker, Connection& conn,
+                            std::uint32_t events) {
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConnection(worker, conn);
+    return;
+  }
+  bool peer_closed = false;
+  if ((events & EPOLLIN) != 0) {
+    char buf[64 * 1024];
+    while (true) {
+      ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+      if (r > 0) {
+        worker.bytes_read.fetch_add(static_cast<std::uint64_t>(r),
+                                    std::memory_order_relaxed);
+        conn.parser.Feed(std::string_view(buf, static_cast<std::size_t>(r)));
+        if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+        continue;
+      }
+      if (r == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_closed = true;
+      break;
+    }
+    DrainRequests(worker, conn);
+  }
+  FlushOutput(worker, conn);
+  if (peer_closed || (conn.closing && conn.out_pos == conn.out.size())) {
+    CloseConnection(worker, conn);
+    return;
+  }
+  UpdateInterest(worker, conn);
+}
+
+void TcpServer::DrainRequests(Worker& worker, Connection& conn) {
+  Request request;
+  std::string error;
+  while (!conn.closing) {
+    auto status = conn.parser.Next(&request, &error);
+    if (status == RequestParser::Status::kNeedMore) break;
+    if (status == RequestParser::Status::kError) {
+      Response err;
+      err.type = ResponseType::kError;
+      err.message = error;
+      AppendTo(err, &conn.out);
+      continue;  // parser resynced past the bad line; keep the connection
+    }
+    worker.requests.fetch_add(1, std::memory_order_relaxed);
+    if (request.command == Command::kQuit) {
+      // memcached closes without a reply; flush what's pending first.
+      conn.closing = true;
+      break;
+    }
+    AppendTo(worker.dispatcher.Dispatch(request), &conn.out);
+  }
+  if (!conn.closing && conn.parser.buffered() > config_.max_request_bytes) {
+    Response err;
+    err.type = ResponseType::kError;
+    err.message = "request exceeds server limit";
+    AppendTo(err, &conn.out);
+    conn.closing = true;
+  }
+}
+
+void TcpServer::FlushOutput(Worker& worker, Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    ssize_t w = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                        conn.out.size() - conn.out_pos);
+    if (w > 0) {
+      worker.bytes_written.fetch_add(static_cast<std::uint64_t>(w),
+                                     std::memory_order_relaxed);
+      conn.out_pos += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer is gone; drop what's left so the close path runs.
+    conn.out_pos = conn.out.size();
+    conn.closing = true;
+    return;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+}
+
+void TcpServer::UpdateInterest(Worker& worker, Connection& conn) {
+  bool want_write = conn.out_pos < conn.out.size();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void TcpServer::CloseConnection(Worker& worker, Connection& conn) {
+  int fd = conn.fd;
+  ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  worker.conns.erase(fd);  // destroys conn
+  worker.conn_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace iq::net

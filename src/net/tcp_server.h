@@ -1,0 +1,107 @@
+// The networked front end of IQ-Twemcached: a multi-threaded TCP server
+// speaking the memcached/IQ text protocol over real sockets.
+//
+// Thread model (one epoll instance per worker, level-triggered):
+//   - worker 0 owns the listening socket; it accept4()s non-blocking
+//     connections and hands them round-robin to all workers through a small
+//     mutex-guarded mailbox + eventfd wakeup;
+//   - each worker owns its connections outright (parser state, output
+//     buffer, epoll registration) and its own CommandDispatcher, so request
+//     handling never takes a cross-worker lock — all sharing happens inside
+//     IQServer, which is already shard-locked;
+//   - a readable event drains *every* complete pipelined request in the
+//     input buffer before returning to epoll_wait, and the responses are
+//     appended to one reused output buffer written with a single write().
+//
+// Per-worker wire counters (conn_accepted, conn_active, bytes_read,
+// bytes_written, requests) are cache-line-aligned relaxed atomics, the same
+// discipline as IQShardStats; `stats` over any connection includes them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/iq_server.h"
+#include "net/server.h"
+
+namespace iq::net {
+
+/// Aggregate of the per-worker wire counters.
+struct TcpServerStats {
+  std::uint64_t conn_accepted = 0;
+  std::uint64_t conn_active = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t requests = 0;
+};
+
+class TcpServer {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral; see port()
+    int workers = 4;
+    /// A connection whose buffered, still-incomplete request grows past
+    /// this is answered with CLIENT_ERROR and closed (memory guard).
+    std::size_t max_request_bytes = 8u << 20;
+    /// After serving events, a worker keeps polling epoll with a zero
+    /// timeout this many times before blocking again. For request/response
+    /// ping-pong the next request lands microseconds after the reply, so a
+    /// short spin dodges the scheduler wakeup that otherwise dominates
+    /// small-request round trips. 0 = always block immediately; -1 = auto
+    /// (spin on multicore hosts, block on a single CPU where spinning only
+    /// starves the peer).
+    int spin_polls = -1;
+  };
+
+  explicit TcpServer(IQServer& server) : TcpServer(server, Config{}) {}
+  TcpServer(IQServer& server, Config config);
+  ~TcpServer();  // implies Stop()
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind + listen + spawn the workers. False (with *error) on failure.
+  bool Start(std::string* error = nullptr);
+
+  /// Close the listener, wake every worker, drop all connections, join.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port, valid after a successful Start().
+  std::uint16_t port() const { return port_; }
+
+  TcpServerStats Stats() const;
+
+  /// Append the wire counters as "STAT name value\r\n" lines — installed
+  /// into each worker's dispatcher as the stats augmenter.
+  void AppendWireStats(std::string& out) const;
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void WorkerLoop(Worker& worker);
+  void AcceptReady(Worker& w0);
+  void AdoptPending(Worker& worker);
+  void AdoptConnection(Worker& worker, int fd);
+  void HandleEvent(Worker& worker, Connection& conn, std::uint32_t events);
+  void DrainRequests(Worker& worker, Connection& conn);
+  void FlushOutput(Worker& worker, Connection& conn);
+  void UpdateInterest(Worker& worker, Connection& conn);
+  void CloseConnection(Worker& worker, Connection& conn);
+
+  IQServer& server_;
+  Config config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::size_t next_worker_ = 0;  // round-robin handoff cursor (worker 0 only)
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace iq::net

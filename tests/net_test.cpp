@@ -463,5 +463,123 @@ TEST(LoopbackPipelining, MultipleRequestsInOneRoundTrip) {
   EXPECT_EQ(channel.requests(), 3u);
 }
 
+// ---- multi-key get ----------------------------------------------------------
+
+TEST(RequestParser, ParsesMultiKeyGet) {
+  RequestParser p;
+  p.Feed("get a b c\r\ngets x y\r\n");
+  Request r;
+  std::string err;
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kGet);
+  EXPECT_EQ(r.key, "a");
+  ASSERT_EQ(r.keys.size(), 3u);
+  EXPECT_EQ(r.keys[1], "b");
+  EXPECT_EQ(r.keys[2], "c");
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kGets);
+  ASSERT_EQ(r.keys.size(), 2u);
+  EXPECT_EQ(r.keys[0], "x");
+  EXPECT_EQ(r.keys[1], "y");
+}
+
+TEST(ResponseCodec, MultiValueRoundTrip) {
+  Response r;
+  r.type = ResponseType::kValue;
+  r.values.push_back({"a", "one", 1, 0});
+  r.values.push_back({"c", "three", 3, 0});
+  std::string bytes = Serialize(r);
+  std::size_t consumed = 0;
+  auto parsed = ParseResponse(bytes, &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  ASSERT_EQ(parsed->values.size(), 2u);
+  EXPECT_EQ(parsed->values[0].key, "a");
+  EXPECT_EQ(parsed->values[0].data, "one");
+  EXPECT_EQ(parsed->values[1].key, "c");
+  EXPECT_EQ(parsed->values[1].data, "three");
+  // The first entry mirrors into the legacy single-value fields.
+  EXPECT_EQ(parsed->key, "a");
+  EXPECT_EQ(parsed->data, "one");
+}
+
+TEST(LoopbackMultiGet, MissesAreOmittedAndOrderIsPreserved) {
+  IQServer server;
+  LoopbackChannel channel(server);
+  RemoteCacheClient client(channel);
+  client.Set("a", "one");
+  client.Set("c", "three");
+  auto hits = client.MultiGet({"a", "missing", "c"});
+  ASSERT_EQ(hits.size(), 3u);
+  ASSERT_TRUE(hits[0].has_value());
+  EXPECT_EQ(hits[0]->value, "one");
+  EXPECT_FALSE(hits[1].has_value());
+  ASSERT_TRUE(hits[2].has_value());
+  EXPECT_EQ(hits[2]->value, "three");
+  EXPECT_EQ(channel.requests(), 3u);  // 2 sets + 1 multi-get round trip
+}
+
+TEST(LoopbackMultiGet, GetsCarriesCasPerValue) {
+  IQServer server;
+  LoopbackChannel channel(server);
+  RemoteCacheClient client(channel);
+  client.Set("a", "one");
+  client.Set("b", "two");
+  auto hits = client.MultiGet({"a", "b"}, /*with_cas=*/true);
+  ASSERT_EQ(hits.size(), 2u);
+  ASSERT_TRUE(hits[0].has_value());
+  ASSERT_TRUE(hits[1].has_value());
+  EXPECT_NE(hits[0]->cas, 0u);
+  EXPECT_NE(hits[1]->cas, 0u);
+  EXPECT_NE(hits[0]->cas, hits[1]->cas);
+}
+
+// ---- parser cursor & compaction ---------------------------------------------
+
+TEST(RequestParser, BufferedTracksCursorAcrossSplitFeeds) {
+  RequestParser p;
+  Request r;
+  std::string err;
+  EXPECT_EQ(p.buffered(), 0u);
+  p.Feed("get a\r\nget b");  // one complete request + a partial one
+  EXPECT_EQ(p.buffered(), 12u);
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.key, "a");
+  EXPECT_EQ(p.buffered(), 5u);  // "get b" survives the consumed prefix
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kNeedMore);
+  p.Feed("\r\n");
+  EXPECT_EQ(p.buffered(), 7u);
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.key, "b");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RequestParser, CompactionKeepsPipelinedTailIntact) {
+  // A long run of pipelined requests consumed one at a time exercises both
+  // compaction branches (consumed > half the buffer, and full clear) while
+  // feeds keep splitting requests at awkward offsets.
+  RequestParser p;
+  std::string stream;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) {
+    char payload[4] = {'v', static_cast<char>('0' + i % 10),
+                       static_cast<char>('0' + (i / 10) % 10), '\0'};
+    stream += "set key" + std::to_string(i) + " 0 0 3\r\n" + payload + "\r\n";
+  }
+  // Feed in 7-byte slivers, draining after each feed.
+  Request r;
+  std::string err;
+  int seen = 0;
+  for (std::size_t off = 0; off < stream.size(); off += 7) {
+    p.Feed(stream.substr(off, 7));
+    while (p.Next(&r, &err) == RequestParser::Status::kOk) {
+      EXPECT_EQ(r.key, "key" + std::to_string(seen));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, kN);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
 }  // namespace
 }  // namespace iq::net

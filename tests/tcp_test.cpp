@@ -1,0 +1,277 @@
+// End-to-end tests of the TCP front end: TcpServer (epoll workers) driven
+// both through TcpChannel/RemoteCacheClient and through raw sockets that
+// misbehave on purpose (split writes, garbage, abrupt EOF).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/iq_server.h"
+#include "net/channel.h"
+#include "net/tcp_channel.h"
+#include "net/tcp_server.h"
+
+namespace iq::net {
+namespace {
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TcpServer::Config cfg;
+    cfg.workers = 2;
+    tcp_ = std::make_unique<TcpServer>(server_, cfg);
+    std::string error;
+    ASSERT_TRUE(tcp_->Start(&error)) << error;
+  }
+
+  std::unique_ptr<TcpChannel> Connect() {
+    std::string error;
+    auto ch = TcpChannel::Connect("127.0.0.1", tcp_->port(), &error);
+    EXPECT_NE(ch, nullptr) << error;
+    return ch;
+  }
+
+  /// A blocking raw socket to the server, for byte-level abuse.
+  int RawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(tcp_->port());
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    return fd;
+  }
+
+  /// Blocking-read from fd until the accumulated bytes contain needle (or
+  /// EOF/error). Returns everything read.
+  static std::string ReadUntil(int fd, const std::string& needle) {
+    std::string got;
+    char buf[4096];
+    while (got.find(needle) == std::string::npos) {
+      ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r <= 0) break;
+      got.append(buf, static_cast<std::size_t>(r));
+    }
+    return got;
+  }
+
+  /// True once pred() holds, polling for up to two seconds.
+  static bool Eventually(const std::function<bool()>& pred) {
+    for (int i = 0; i < 400; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+  }
+
+  IQServer server_;
+  std::unique_ptr<TcpServer> tcp_;
+};
+
+TEST_F(TcpServerTest, BasicRoundTripsThroughRemoteClient) {
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  EXPECT_EQ(client.Set("k", "hello"), StoreResult::kStored);
+  auto item = client.Get("k");
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->value, "hello");
+  EXPECT_FALSE(client.Get("missing").has_value());
+}
+
+TEST_F(TcpServerTest, MultiGetOverTheWire) {
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  client.Set("a", "one");
+  client.Set("c", "three");
+  auto hits = client.MultiGet({"a", "b", "c"});
+  ASSERT_EQ(hits.size(), 3u);
+  ASSERT_TRUE(hits[0].has_value());
+  EXPECT_EQ(hits[0]->value, "one");
+  EXPECT_FALSE(hits[1].has_value());
+  ASSERT_TRUE(hits[2].has_value());
+  EXPECT_EQ(hits[2]->value, "three");
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsSplitAtArbitraryByteBoundaries) {
+  // One logical burst of pipelined requests, delivered in 3-byte slivers
+  // with tiny pauses: the server must reassemble and answer all of them in
+  // order on this single connection.
+  int fd = RawConnect();
+  std::string burst =
+      "set a 0 0 1\r\nx\r\n"
+      "set b 0 0 1\r\ny\r\n"
+      "get a b\r\n"
+      "get missing\r\n"
+      "incr z 1\r\n";
+  for (std::size_t off = 0; off < burst.size(); off += 3) {
+    std::string piece = burst.substr(off, 3);
+    ASSERT_EQ(::write(fd, piece.data(), piece.size()),
+              static_cast<ssize_t>(piece.size()));
+    if (off % 9 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string reply = ReadUntil(fd, "NOT_FOUND\r\n");
+  EXPECT_NE(reply.find("STORED\r\nSTORED\r\n"), std::string::npos);
+  EXPECT_NE(reply.find("VALUE a 0 1\r\nx\r\nVALUE b 0 1\r\ny\r\nEND\r\n"),
+            std::string::npos);
+  EXPECT_NE(reply.find("END\r\nEND\r\nNOT_FOUND\r\n"), std::string::npos);
+  ::close(fd);
+}
+
+TEST_F(TcpServerTest, MalformedInputGetsClientErrorAndConnectionSurvives) {
+  int fd = RawConnect();
+  std::string garbage = "frobnicate the bits\r\nget k\r\n";
+  ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  // The bad line draws CLIENT_ERROR; the valid request after it still runs
+  // on the same connection, same worker.
+  std::string reply = ReadUntil(fd, "END\r\n");
+  EXPECT_NE(reply.find("CLIENT_ERROR"), std::string::npos);
+  EXPECT_NE(reply.find("END\r\n"), std::string::npos);
+
+  // And the server as a whole is still healthy for other connections.
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  EXPECT_EQ(client.Set("after", "ok"), StoreResult::kStored);
+  ::close(fd);
+}
+
+TEST_F(TcpServerTest, QuitAndEofBothTearDownCleanly) {
+  // quit: server closes the connection without a reply.
+  int fd = RawConnect();
+  ASSERT_EQ(::write(fd, "quit\r\n", 6), 6);
+  char buf[16];
+  EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);  // clean FIN, no bytes
+  ::close(fd);
+
+  // EOF: client vanishes mid-session; the worker reaps the connection.
+  int fd2 = RawConnect();
+  ASSERT_EQ(::write(fd2, "set k 0 0 1\r\nv\r\n", 16), 16);
+  ReadUntil(fd2, "STORED\r\n");
+  ::close(fd2);
+
+  EXPECT_TRUE(Eventually([this] { return tcp_->Stats().conn_active == 0; }));
+  std::uint64_t accepted = tcp_->Stats().conn_accepted;
+  EXPECT_GE(accepted, 2u);
+
+  // Still serving.
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  EXPECT_TRUE(client.Get("k").has_value());
+}
+
+TEST_F(TcpServerTest, WireCountersShowUpInStats) {
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  client.Set("k", "v");
+  std::string stats = client.Stats();
+  for (const char* name :
+       {"STAT conn_accepted ", "STAT conn_active ", "STAT bytes_read ",
+        "STAT bytes_written ", "STAT net_requests "}) {
+    EXPECT_NE(stats.find(name), std::string::npos) << name;
+  }
+  TcpServerStats s = tcp_->Stats();
+  EXPECT_GE(s.conn_accepted, 1u);
+  EXPECT_GE(s.conn_active, 1u);
+  EXPECT_GT(s.bytes_read, 0u);
+  EXPECT_GT(s.bytes_written, 0u);
+  EXPECT_GE(s.requests, 2u);
+}
+
+TEST_F(TcpServerTest, PipelinedChannelDrainsInOrder) {
+  auto channel = Connect();
+  constexpr int kBatch = 32;
+  for (int i = 0; i < kBatch; ++i) {
+    Request r;
+    r.command = Command::kSet;
+    r.key = "p:" + std::to_string(i);
+    r.data = std::to_string(i);
+    channel->SendNoWait(r);
+  }
+  ASSERT_TRUE(channel->Flush());
+  std::vector<Response> stored = channel->Drain();
+  ASSERT_EQ(stored.size(), static_cast<std::size_t>(kBatch));
+  for (const Response& r : stored) EXPECT_EQ(r.type, ResponseType::kStored);
+
+  for (int i = 0; i < kBatch; ++i) {
+    Request r;
+    r.command = Command::kGet;
+    r.key = "p:" + std::to_string(i);
+    channel->SendNoWait(r);
+  }
+  ASSERT_TRUE(channel->Flush());
+  std::vector<Response> got = channel->Drain();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kBatch));
+  for (int i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].data, std::to_string(i))
+        << "response order must match request order";
+  }
+}
+
+TEST_F(TcpServerTest, ConcurrentConnectionsKeepExactCounterBalance) {
+  // The acceptance gauntlet in miniature: several connections run the full
+  // IQ refresh protocol (GenID/QaRead/SaR with retry on rejection) against
+  // one counter. Every committed increment must land exactly once.
+  {
+    auto setup = Connect();
+    RemoteCacheClient client(*setup);
+    client.Set("n", "0");
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 40;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &committed] {
+      auto channel = Connect();
+      ASSERT_NE(channel, nullptr);
+      RemoteCacheClient client(*channel);
+      for (int i = 0; i < kIncrements; ++i) {
+        SessionId session = client.GenID();
+        QaReadReply q = client.QaRead("n", session);
+        if (q.status != QaReadReply::Status::kGranted) {
+          client.Abort(session);
+          --i;  // retry
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
+        }
+        std::string next = std::to_string(std::stoll(*q.value) + 1);
+        client.SaR("n", std::optional<std::string>(next), q.token);
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto channel = Connect();
+  RemoteCacheClient check(*channel);
+  EXPECT_EQ(check.Get("n")->value, std::to_string(committed.load()));
+  EXPECT_EQ(committed.load(), kThreads * kIncrements);
+}
+
+TEST_F(TcpServerTest, StopIsIdempotentAndDropsConnections) {
+  auto channel = Connect();
+  RemoteCacheClient client(*channel);
+  client.Set("k", "v");
+  tcp_->Stop();
+  tcp_->Stop();  // second call is a no-op
+  EXPECT_EQ(tcp_->Stats().conn_active, 0u);
+}
+
+}  // namespace
+}  // namespace iq::net

@@ -10,15 +10,35 @@
 //
 // Prints a one-screen report: throughput, latency percentiles, restart
 // statistics, unpredictable-read percentage, and cache-server counters.
+//
+// Remote mode — drive a running iqcached over TCP instead of an in-process
+// server:
+//
+//   iqbench --connect=host:port [--threads=N] [--seconds=S] [--mix=PCT]
+//           [--seed=N]
+//
+// Each thread opens its own connection; reads are multi-key gets over a
+// small keyspace, writes run the full QaRead/SaR refresh protocol against
+// shared counters. At the end the counters must exactly equal the number
+// of committed increments — any lost lease or protocol desync fails the
+// run (exit 1).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/iq_server.h"
 #include "bg/workload.h"
 #include "casql/casql.h"
+#include "net/channel.h"
 #include "net/server.h"
+#include "net/tcp_channel.h"
+#include "util/backoff.h"
+#include "util/histogram.h"
+#include "util/rng.h"
 
 using namespace iq;
 
@@ -41,6 +61,7 @@ struct Options {
   Nanos db_commit = 60 * kNanosPerMicro;
   Nanos lease_lifetime = 10 * kNanosPerSec;
   bool deferred_delete = true;
+  std::string connect;  // host:port of a running iqcached; empty = in-process
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -60,7 +81,9 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--mix=0.1|1|10] [--seed=N] [--warm]\n"
                "               [--no-validate] [--db-read-us=N]\n"
                "               [--db-write-us=N] [--db-commit-us=N]\n"
-               "               [--lease-ms=N] [--eager-delete]\n");
+               "               [--lease-ms=N] [--eager-delete]\n"
+               "       iqbench --connect=host:port [--threads=N]\n"
+               "               [--seconds=S] [--mix=PCT] [--seed=N]\n");
   std::exit(2);
 }
 
@@ -125,6 +148,8 @@ Options Parse(int argc, char** argv) {
       opt.lease_lifetime = std::atoll(v) * kNanosPerMilli;
     } else if (std::strcmp(arg, "--eager-delete") == 0) {
       opt.deferred_delete = false;
+    } else if (StartsWith(arg, "--connect=", &v)) {
+      opt.connect = v;
     } else {
       Usage(arg);
     }
@@ -132,10 +157,151 @@ Options Parse(int argc, char** argv) {
   return opt;
 }
 
+// ---- remote mode ------------------------------------------------------------
+
+constexpr int kRemoteCounters = 8;
+constexpr int kRemoteDataKeys = 64;
+
+/// One increment of a shared counter via the refresh protocol. Returns
+/// true once committed (retries internally on lease rejection).
+bool RemoteIncrement(net::RemoteCacheClient& client, const std::string& key) {
+  const Clock& clock = SteadyClock::Instance();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    SessionId session = client.GenID();
+    if (session == 0) return false;  // connection lost
+    QaReadReply q = client.QaRead(key, session);
+    if (q.status != QaReadReply::Status::kGranted) {
+      client.Abort(session);
+      SleepFor(clock, 50 * kNanosPerMicro);
+      continue;
+    }
+    long long current = q.value ? std::atoll(q.value->c_str()) : 0;
+    std::string next = std::to_string(current + 1);
+    client.SaR(key, std::optional<std::string>(next), q.token);
+    return true;
+  }
+  return false;
+}
+
+int RunRemote(const Options& opt) {
+  std::string host = opt.connect;
+  std::uint16_t port = 11211;
+  if (std::size_t colon = host.rfind(':'); colon != std::string::npos) {
+    port = static_cast<std::uint16_t>(std::atoi(host.c_str() + colon + 1));
+    host.resize(colon);
+  }
+  std::printf("iqbench: remote cache at %s:%u | %d threads, %.1fs, %.1f%% writes\n",
+              host.c_str(), port, opt.threads, opt.seconds, opt.mix);
+
+  // Seed the keyspace: shared counters for the write protocol, data keys
+  // for the multi-get read path.
+  {
+    std::string error;
+    auto channel = net::TcpChannel::Connect(host, port, &error);
+    if (!channel) {
+      std::fprintf(stderr, "iqbench: %s\n", error.c_str());
+      return 1;
+    }
+    net::RemoteCacheClient setup(*channel);
+    for (int i = 0; i < kRemoteCounters; ++i) {
+      setup.Set("ctr:" + std::to_string(i), "0");
+    }
+    for (int i = 0; i < kRemoteDataKeys; ++i) {
+      setup.Set("data:" + std::to_string(i), std::string(100, 'x'));
+    }
+  }
+
+  std::vector<std::atomic<long long>> committed(kRemoteCounters);
+  for (auto& c : committed) c.store(0);
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<bool> failed{false};
+  std::vector<LatencyHistogram> latencies(opt.threads);
+  const Clock& clock = SteadyClock::Instance();
+  Nanos deadline = clock.Now() + static_cast<Nanos>(opt.seconds * kNanosPerSec);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < opt.threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string error;
+      auto channel = net::TcpChannel::Connect(host, port, &error);
+      if (!channel) {
+        std::fprintf(stderr, "iqbench: thread %d: %s\n", t, error.c_str());
+        failed.store(true);
+        return;
+      }
+      net::RemoteCacheClient client(*channel);
+      Rng rng(opt.seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t local_ops = 0;
+      while (clock.Now() < deadline) {
+        Nanos start = clock.Now();
+        if (rng.NextUint64(10000) < static_cast<std::uint64_t>(opt.mix * 100)) {
+          int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
+          if (!RemoteIncrement(client, "ctr:" + std::to_string(idx))) {
+            failed.store(true);
+            return;
+          }
+          committed[idx].fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::vector<std::string> keys;
+          for (int k = 0; k < 3; ++k) {
+            keys.push_back("data:" +
+                           std::to_string(rng.NextUint64(kRemoteDataKeys)));
+          }
+          client.MultiGet(keys);
+        }
+        latencies[t].Record(clock.Now() - start);
+        ++local_ops;
+      }
+      ops.fetch_add(local_ops, std::memory_order_relaxed);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (failed.load()) {
+    std::fprintf(stderr, "iqbench: a worker lost its connection\n");
+    return 1;
+  }
+
+  // Exact IQ counter balance: every committed increment — and nothing
+  // else — must be visible. A lost lease or a desynced pipeline shows up
+  // here as a mismatch.
+  std::string error;
+  auto channel = net::TcpChannel::Connect(host, port, &error);
+  if (!channel) {
+    std::fprintf(stderr, "iqbench: %s\n", error.c_str());
+    return 1;
+  }
+  net::RemoteCacheClient check(*channel);
+  long long total_commits = 0;
+  bool balanced = true;
+  for (int i = 0; i < kRemoteCounters; ++i) {
+    auto item = check.Get("ctr:" + std::to_string(i));
+    long long expect = committed[i].load();
+    long long got = item ? std::atoll(item->value.c_str()) : -1;
+    total_commits += expect;
+    if (got != expect) {
+      std::fprintf(stderr, "iqbench: ctr:%d = %lld, expected %lld\n", i, got,
+                   expect);
+      balanced = false;
+    }
+  }
+
+  LatencyHistogram merged;
+  for (const auto& h : latencies) merged.Merge(h);
+  double elapsed = opt.seconds;
+  std::printf("throughput     %12.0f ops/sec (%llu ops, %lld increments)\n",
+              static_cast<double>(ops.load()) / elapsed,
+              static_cast<unsigned long long>(ops.load()), total_commits);
+  std::printf("latency        %s\n", merged.Summary().c_str());
+  std::printf("counter balance %s\n", balanced ? "exact" : "VIOLATED");
+  std::printf("\ncache server:\n%s", check.Stats().c_str());
+  return balanced ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt = Parse(argc, argv);
+  if (!opt.connect.empty()) return RunRemote(opt);
 
   std::printf("iqbench: %s / %s / %s | %lld members, %d threads, %.1fs, %.1f%% writes\n",
               casql::ToString(opt.technique), casql::ToString(opt.consistency),

@@ -1,0 +1,97 @@
+// iqcached: the standalone IQ cache server — IQServer behind the TCP front
+// end, speaking the memcached/IQ text protocol. The networked deployment of
+// the paper's IQ-Twemcached: run this on one host, point iqbench --connect
+// (or any memcached text-protocol client) at it from others.
+//
+//   iqcached [--port=N] [--host=A] [--workers=N]
+//            [--lease-ms=N] [--eager-delete] [--cache-mb=N]
+//
+// Runs until SIGINT/SIGTERM, then prints the server's STAT lines.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/iq_server.h"
+#include "net/server.h"
+#include "net/tcp_server.h"
+
+using namespace iq;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+bool StartsWith(const char* arg, const char* prefix, const char** value) {
+  std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *value = arg + n;
+  return true;
+}
+
+[[noreturn]] void Usage(const char* bad) {
+  std::fprintf(stderr, "iqcached: bad argument '%s'\n", bad);
+  std::fprintf(stderr,
+               "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
+               "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::TcpServer::Config net_cfg;
+  net_cfg.port = 11211;
+  IQServer::Config server_cfg;
+  CacheStore::Config store_cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    const char* arg = argv[i];
+    if (StartsWith(arg, "--port=", &v)) {
+      net_cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (StartsWith(arg, "--host=", &v)) {
+      net_cfg.host = v;
+    } else if (StartsWith(arg, "--workers=", &v)) {
+      net_cfg.workers = std::atoi(v);
+    } else if (StartsWith(arg, "--lease-ms=", &v)) {
+      server_cfg.lease_lifetime = std::atoll(v) * kNanosPerMilli;
+    } else if (std::strcmp(arg, "--eager-delete") == 0) {
+      server_cfg.deferred_delete = false;
+    } else if (StartsWith(arg, "--cache-mb=", &v)) {
+      store_cfg.memory_budget_bytes =
+          static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
+    } else {
+      Usage(arg);
+    }
+  }
+
+  IQServer server(store_cfg, server_cfg);
+  net::TcpServer tcp(server, net_cfg);
+  std::string error;
+  if (!tcp.Start(&error)) {
+    std::fprintf(stderr, "iqcached: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("iqcached: listening on %s:%u (%d workers)\n",
+              net_cfg.host.c_str(), tcp.port(), net_cfg.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Snapshot the wire counters before Stop() tears the workers down.
+  std::string stats = net::FormatStats(server);
+  tcp.AppendWireStats(stats);
+  tcp.Stop();
+  std::printf("iqcached: shutting down\n%s", stats.c_str());
+  return 0;
+}
