@@ -79,7 +79,13 @@ std::vector<std::optional<CacheItem>> RemoteCacheClient::MultiGet(
   Response resp = Call(r);
   if (resp.type != ResponseType::kValue) return out;
   // The server omits misses, so match returned VALUE blocks back to the
-  // requested keys (duplicates each consume one block, in order).
+  // requested keys (duplicates each consume one block, in order). Caveat,
+  // inherent to memcached get semantics: the server looks keys up one at a
+  // time, so with duplicate keys in one request a concurrent write can make
+  // the copies disagree (e.g. only the second copy hits), and sequence
+  // matching then attributes the hit to the first copy. Positions still only
+  // ever receive a value stored under their own key; dedupe keys before
+  // calling if per-position exactness across duplicates matters.
   std::size_t next = 0;
   for (std::size_t i = 0; i < keys.size() && next < resp.values.size(); ++i) {
     ValueEntry& v = resp.values[next];

@@ -294,9 +294,20 @@ RequestParser::Status RequestParser::Next(Request* out, std::string* error) {
   }
   std::size_t need = *payload;
   if (it->second.has_payload) {
-    // Data block: <need> bytes followed by \r\n.
+    if (need > kMaxPayloadBytes) {
+      // Never wait for (or index past) an absurd length claim; see the
+      // kMaxPayloadBytes comment. Resync past the command line — the bytes
+      // the peer meant as payload will parse as garbage commands and draw
+      // further CLIENT_ERRORs, but nothing is silently executed as data.
+      *error = "payload exceeds protocol limit";
+      ConsumeTo(eol + 2);
+      return Status::kError;
+    }
+    // Data block: <need> bytes followed by \r\n. `avail`-style comparisons
+    // keep the arithmetic overflow-free even if the cap above ever moves.
+    std::size_t avail = buffer_.size() - (eol + 2);
+    if (avail < need || avail - need < 2) return Status::kNeedMore;
     std::size_t total = eol + 2 + need + 2;
-    if (buffer_.size() < total) return Status::kNeedMore;
     if (buffer_[eol + 2 + need] != '\r' || buffer_[eol + 2 + need + 1] != '\n') {
       *error = "bad data chunk terminator";
       ConsumeTo(total);
@@ -609,9 +620,10 @@ std::optional<Response> ParseResponse(std::string_view bytes,
       if (btok.size() < 4 || btok[0] != "VALUE") return std::nullopt;
       auto flags = ParseU64(btok[2]);
       auto size = ParseU64(btok[3]);
-      if (!flags || !size) return std::nullopt;
+      if (!flags || !size || *size > kMaxPayloadBytes) return std::nullopt;
+      std::size_t avail = bytes.size() - (block_eol + 2);
+      if (avail < *size || avail - *size < 2) return std::nullopt;
       std::size_t data_end = block_eol + 2 + *size + 2;
-      if (bytes.size() < data_end) return std::nullopt;
       ValueEntry entry;
       entry.key = std::string(btok[1]);
       entry.flags = static_cast<std::uint32_t>(*flags);
@@ -637,9 +649,10 @@ std::optional<Response> ParseResponse(std::string_view bytes,
     if (tokens.size() != 3) return std::nullopt;
     auto token = ParseU64(tokens[1]);
     auto size = ParseU64(tokens[2]);
-    if (!token || !size) return std::nullopt;
+    if (!token || !size || *size > kMaxPayloadBytes) return std::nullopt;
+    std::size_t avail = bytes.size() - (eol + 2);
+    if (avail < *size || avail - *size < 2) return std::nullopt;
     std::size_t total = eol + 2 + *size + 2;
-    if (bytes.size() < total) return std::nullopt;
     resp.type = ResponseType::kQValue;
     resp.number = *token;
     resp.data = std::string(bytes.substr(eol + 2, *size));

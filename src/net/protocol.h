@@ -39,6 +39,14 @@
 
 namespace iq::net {
 
+/// Upper bound on the <bytes> field of any data block, request or response.
+/// Without a cap a remote peer can claim a length near SIZE_MAX and make the
+/// terminator arithmetic (`eol + 2 + bytes + 2`) wrap, landing the computed
+/// data block back on top of the command line — the request is then accepted
+/// and the bytes meant as its payload are re-executed as commands (protocol
+/// desync). Oversized claims draw kError / are never treated as complete.
+constexpr std::size_t kMaxPayloadBytes = 8u << 20;
+
 enum class Command {
   kGet,
   kGets,

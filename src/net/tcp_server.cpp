@@ -29,7 +29,10 @@ struct TcpServer::Connection {
   std::string out;
   std::size_t out_pos = 0;
   bool want_write = false;  // EPOLLOUT currently registered
+  bool want_read = true;    // EPOLLIN currently registered
   bool closing = false;     // quit seen / fatal error: flush, then close
+
+  std::size_t out_backlog() const { return out.size() - out_pos; }
 };
 
 struct alignas(64) TcpServer::Worker {
@@ -44,6 +47,12 @@ struct alignas(64) TcpServer::Worker {
   // Mailbox for connections accepted by worker 0 on this worker's behalf.
   std::mutex handoff_mu;
   std::vector<int> handoff;
+
+  // fds unregistered this epoll batch; the close() is deferred until the
+  // batch ends so the kernel cannot recycle the number for an accept4()
+  // earlier in the same batch — a stale queued event would then pass the
+  // conns.find() check and be applied to the wrong (new) connection.
+  std::vector<int> pending_close;
 
   // Wire counters: relaxed atomics in a worker-private cache line, summed
   // lock-free by Stats() — the IQShardStats discipline.
@@ -236,7 +245,13 @@ void TcpServer::WorkerLoop(Worker& worker) {
       if (it == worker.conns.end()) continue;  // closed earlier this batch
       HandleEvent(worker, *it->second, events[i].events);
     }
+    // Now that no stale event from this batch can alias a recycled fd,
+    // release the numbers (see Worker::pending_close).
+    for (int fd : worker.pending_close) ::close(fd);
+    worker.pending_close.clear();
   }
+  for (int fd : worker.pending_close) ::close(fd);
+  worker.pending_close.clear();
   for (auto& [fd, conn] : worker.conns) ::close(fd);
   worker.conns.clear();
 }
@@ -307,9 +322,22 @@ void TcpServer::HandleEvent(Worker& worker, Connection& conn,
       peer_closed = true;
       break;
     }
-    DrainRequests(worker, conn);
   }
-  FlushOutput(worker, conn);
+  // Alternate draining and flushing until neither makes progress: a flush
+  // that brings the output backlog back under max_response_bytes re-opens
+  // DrainRequests, which must then run again for the requests that were
+  // parked in the parser during backpressure (no further event would
+  // deliver them if the client has nothing more to send).
+  while (true) {
+    std::size_t buffered_before = conn.parser.buffered();
+    std::size_t backlog_before = conn.out_backlog();
+    DrainRequests(worker, conn);
+    FlushOutput(worker, conn);
+    if (conn.parser.buffered() == buffered_before &&
+        conn.out_backlog() == backlog_before) {
+      break;
+    }
+  }
   if (peer_closed || (conn.closing && conn.out_pos == conn.out.size())) {
     CloseConnection(worker, conn);
     return;
@@ -321,6 +349,7 @@ void TcpServer::DrainRequests(Worker& worker, Connection& conn) {
   Request request;
   std::string error;
   while (!conn.closing) {
+    if (conn.out_backlog() > config_.max_response_bytes) return;
     auto status = conn.parser.Next(&request, &error);
     if (status == RequestParser::Status::kNeedMore) break;
     if (status == RequestParser::Status::kError) {
@@ -358,7 +387,16 @@ void TcpServer::FlushOutput(Worker& worker, Connection& conn) {
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
-    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Partial flush: drop the sent prefix once it dominates the buffer,
+      // so a persistently slow reader holds out.size() near its backlog
+      // (which DrainRequests caps) instead of the whole session's volume.
+      if (conn.out_pos > conn.out.size() / 2) {
+        conn.out.erase(0, conn.out_pos);
+        conn.out_pos = 0;
+      }
+      return;
+    }
     // Peer is gone; drop what's left so the close path runs.
     conn.out_pos = conn.out.size();
     conn.closing = true;
@@ -370,10 +408,16 @@ void TcpServer::FlushOutput(Worker& worker, Connection& conn) {
 
 void TcpServer::UpdateInterest(Worker& worker, Connection& conn) {
   bool want_write = conn.out_pos < conn.out.size();
-  if (want_write == conn.want_write) return;
+  // Backpressure: while the peer isn't consuming responses, stop reading
+  // too (level-triggered EPOLLIN would otherwise spin); its sends then back
+  // up into TCP flow control instead of this worker's memory.
+  bool want_read =
+      !conn.closing && conn.out_backlog() <= config_.max_response_bytes;
+  if (want_write == conn.want_write && want_read == conn.want_read) return;
   conn.want_write = want_write;
+  conn.want_read = want_read;
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn.fd;
   ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
@@ -381,8 +425,8 @@ void TcpServer::UpdateInterest(Worker& worker, Connection& conn) {
 void TcpServer::CloseConnection(Worker& worker, Connection& conn) {
   int fd = conn.fd;
   ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
-  ::close(fd);
   worker.conns.erase(fd);  // destroys conn
+  worker.pending_close.push_back(fd);  // close()d at end of batch
   worker.conn_active.fetch_sub(1, std::memory_order_relaxed);
 }
 

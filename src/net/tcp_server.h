@@ -48,6 +48,13 @@ class TcpServer {
     /// A connection whose buffered, still-incomplete request grows past
     /// this is answered with CLIENT_ERROR and closed (memory guard).
     std::size_t max_request_bytes = 8u << 20;
+    /// Output-side memory guard: once a connection's unsent responses
+    /// exceed this, the worker stops draining its requests and stops
+    /// reading from it (EPOLLIN off) until the backlog flushes — a client
+    /// that pipelines reads of large values but never consumes the replies
+    /// is throttled by TCP flow control instead of growing server memory
+    /// without bound. Soft cap: a single response may overshoot it.
+    std::size_t max_response_bytes = 8u << 20;
     /// After serving events, a worker keeps polling epoll with a zero
     /// timeout this many times before blocking again. For request/response
     /// ping-pong the next request lands microseconds after the reply, so a

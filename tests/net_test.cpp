@@ -581,5 +581,49 @@ TEST(RequestParser, CompactionKeepsPipelinedTailIntact) {
   EXPECT_EQ(p.buffered(), 0u);
 }
 
+// ---- length-claim hardening -------------------------------------------------
+
+TEST(RequestParser, RejectsPayloadLengthClaimAboveProtocolLimit) {
+  // A <bytes> field near SIZE_MAX must not wrap the terminator arithmetic
+  // back onto the command line (which would accept the request and leave the
+  // following bytes to be re-executed as commands — request smuggling).
+  RequestParser p;
+  Request r;
+  std::string err;
+  p.Feed("set k 0 0 18446744073709551614\r\nget probe\r\n");
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kError);
+  EXPECT_NE(err.find("payload exceeds"), std::string::npos) << err;
+  // The parser resynced exactly past the bad line; the next request parses.
+  ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk);
+  EXPECT_EQ(r.command, Command::kGet);
+  EXPECT_EQ(r.key, "probe");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RequestParser, RejectsPayloadJustAboveCapAndAcceptsAtCap) {
+  RequestParser p;
+  Request r;
+  std::string err;
+  p.Feed("sar k 1 " + std::to_string(kMaxPayloadBytes + 1) + "\r\n");
+  EXPECT_EQ(p.Next(&r, &err), RequestParser::Status::kError);
+
+  // At the cap the claim is legal and the parser simply waits for the data.
+  RequestParser q;
+  q.Feed("set k 0 0 " + std::to_string(kMaxPayloadBytes) + "\r\n");
+  EXPECT_EQ(q.Next(&r, &err), RequestParser::Status::kNeedMore);
+}
+
+TEST(ResponseCodec, HugeLengthClaimsNeverCompleteNorWrap) {
+  // Client side of the same hardening: VALUE/QVALUE sizes near SIZE_MAX must
+  // not wrap `block_eol + 2 + size + 2` into an accepted parse.
+  std::size_t consumed = 0;
+  EXPECT_FALSE(ParseResponse("VALUE k 0 18446744073709551614\r\nEND\r\n",
+                             &consumed)
+                   .has_value());
+  EXPECT_FALSE(
+      ParseResponse("QVALUE 7 18446744073709551614\r\nx\r\n", &consumed)
+          .has_value());
+}
+
 }  // namespace
 }  // namespace iq::net

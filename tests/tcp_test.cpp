@@ -264,6 +264,77 @@ TEST_F(TcpServerTest, ConcurrentConnectionsKeepExactCounterBalance) {
   EXPECT_EQ(committed.load(), kThreads * kIncrements);
 }
 
+TEST_F(TcpServerTest, HugeLengthClaimDrawsClientErrorWithoutDesync) {
+  // `set` claiming a near-SIZE_MAX payload must not wrap the parser's
+  // terminator arithmetic into accepting the request; the command draws
+  // CLIENT_ERROR and the next pipelined request is answered in order.
+  int fd = RawConnect();
+  std::string burst = "set k 0 0 18446744073709551614\r\nget k\r\n";
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  std::string reply = ReadUntil(fd, "END\r\n");
+  EXPECT_NE(reply.find("CLIENT_ERROR"), std::string::npos);
+  // Nothing was stored and the connection is still usable.
+  ASSERT_EQ(::write(fd, "get k\r\n", 7), 7);
+  EXPECT_NE(ReadUntil(fd, "END\r\n").find("END\r\n"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(TcpServerBackpressure, UnreadResponsesThrottleInsteadOfGrowingMemory) {
+  // A client that pipelines many reads of a large value and consumes none of
+  // the replies must be paused (response backlog capped, EPOLLIN dropped),
+  // then served to completion once it starts reading — with every response
+  // intact and in order.
+  IQServer server;
+  TcpServer::Config cfg;
+  cfg.workers = 1;
+  cfg.max_response_bytes = 64u << 10;  // far below the total response volume
+  TcpServer tcp(server, cfg);
+  std::string error;
+  ASSERT_TRUE(tcp.Start(&error)) << error;
+
+  const std::string big(32u << 10, 'v');
+  {
+    auto ch = TcpChannel::Connect("127.0.0.1", tcp.port(), &error);
+    ASSERT_NE(ch, nullptr) << error;
+    RemoteCacheClient client(*ch);
+    ASSERT_EQ(client.Set("big", big), StoreResult::kStored);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(tcp.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+
+  constexpr int kGets = 200;  // ~6.4 MB of responses, 100x the cap
+  std::string burst;
+  for (int i = 0; i < kGets; ++i) burst += "get big\r\n";
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  const std::string one_response =
+      "VALUE big 0 " + std::to_string(big.size()) + "\r\n" + big + "\r\nEND\r\n";
+  std::string got;
+  got.reserve(one_response.size() * kGets);
+  char buf[64 * 1024];
+  while (got.size() < one_response.size() * kGets) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(r, 0) << "connection died under backpressure";
+    got.append(buf, static_cast<std::size_t>(r));
+  }
+  for (int i = 0; i < kGets; ++i) {
+    EXPECT_EQ(got.compare(i * one_response.size(), one_response.size(),
+                          one_response),
+              0)
+        << "response " << i << " corrupted or out of order";
+  }
+  ::close(fd);
+}
+
 TEST_F(TcpServerTest, StopIsIdempotentAndDropsConnections) {
   auto channel = Connect();
   RemoteCacheClient client(*channel);

@@ -177,8 +177,16 @@ bool RemoteIncrement(net::RemoteCacheClient& client, const std::string& key) {
     }
     long long current = q.value ? std::atoll(q.value->c_str()) : 0;
     std::string next = std::to_string(current + 1);
-    client.SaR(key, std::optional<std::string>(next), q.token);
-    return true;
+    if (client.SaR(key, std::optional<std::string>(next), q.token) ==
+        StoreResult::kStored) {
+      return true;
+    }
+    // SaR not acknowledged (lease expired/evicted, or the connection
+    // dropped): the store did not commit, so it must not be counted —
+    // release the session and retry. A dead connection surfaces as GenID()
+    // returning 0 on the next attempt.
+    client.Abort(session);
+    SleepFor(clock, 50 * kNanosPerMicro);
   }
   return false;
 }
