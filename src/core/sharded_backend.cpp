@@ -1,0 +1,351 @@
+#include "core/sharded_backend.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace iq {
+namespace {
+
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // FNV's multiply only diffuses low bits upward, and ring placement is
+  // decided by the most significant bits — short, similar labels ("s0#17")
+  // would otherwise cluster and starve whole shards of keyspace. A
+  // splitmix64-style finalizer spreads every input bit across the word.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// The IQ counter list shared by Stats() aggregation and FormatStats()
+/// breakdown lines. Names match net::FormatStats so the per-shard lines are
+/// grep-compatible with a child's own `stats` output.
+struct CounterField {
+  const char* name;
+  std::uint64_t IQServerStats::* field;
+};
+
+constexpr CounterField kCounterFields[] = {
+    {"i_leases_granted", &IQServerStats::i_granted},
+    {"i_leases_voided", &IQServerStats::i_voided},
+    {"q_ref_voided", &IQServerStats::q_ref_voided},
+    {"backoffs", &IQServerStats::backoffs},
+    {"stale_sets_dropped", &IQServerStats::stale_sets_dropped},
+    {"q_inv_granted", &IQServerStats::q_inv_granted},
+    {"q_ref_granted", &IQServerStats::q_ref_granted},
+    {"q_rejected", &IQServerStats::q_rejected},
+    {"leases_expired", &IQServerStats::leases_expired},
+    {"expiry_deletes", &IQServerStats::expiry_deletes},
+    {"commits", &IQServerStats::commits},
+    {"aborts", &IQServerStats::aborts},
+};
+
+void Accumulate(IQServerStats& total, const IQServerStats& s) {
+  for (const CounterField& f : kCounterFields) total.*f.field += s.*f.field;
+}
+
+}  // namespace
+
+ShardedBackend::ShardedBackend(std::vector<Shard> shards, Config config)
+    : shards_(std::move(shards)),
+      config_(config),
+      clock_(config.clock != nullptr ? *config.clock
+                                     : SteadyClock::Instance()),
+      stripes_(config.session_stripes > 0 ? config.session_stripes : 1) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ShardedBackend: no shards");
+  }
+  std::size_t vnodes =
+      config_.vnodes_per_weight > 0 ? config_.vnodes_per_weight : 1;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint32_t weight = shards_[i].weight > 0 ? shards_[i].weight : 1;
+    std::size_t points = static_cast<std::size_t>(weight) * vnodes;
+    for (std::size_t v = 0; v < points; ++v) {
+      std::string label = shards_[i].name;
+      label.push_back('#');
+      label += std::to_string(v);
+      ring_.push_back({Fnv1a(label), static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a,
+                                           const RingPoint& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+std::size_t ShardedBackend::ShardFor(std::string_view key) const {
+  if (shards_.size() == 1) return 0;
+  std::uint64_t h = Fnv1a(key);
+  // Clockwise successor on the ring; past the last point wraps to the
+  // first.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, std::uint64_t v) { return p.point < v; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+// ---- session plumbing ------------------------------------------------------
+
+SessionId ShardedBackend::GenID() {
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+  return next_sid_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SessionId ShardedBackend::ShardSession(SessionId tid, std::size_t shard) {
+  Stripe& st = StripeFor(tid);
+  {
+    std::lock_guard lock(st.mu);
+    auto it = st.sessions.find(tid);
+    if (it != st.sessions.end() && !it->second.shard_sids.empty() &&
+        it->second.shard_sids[shard] != 0) {
+      return it->second.shard_sids[shard];
+    }
+  }
+  // Mint outside the stripe lock: on a remote shard this is a round trip,
+  // and other sessions in the stripe must not wait behind it.
+  SessionId child = shards_[shard].backend->GenID();
+  std::lock_guard lock(st.mu);
+  SessionState& state = st.sessions.try_emplace(tid).first->second;
+  if (state.shard_sids.empty()) state.shard_sids.resize(shards_.size(), 0);
+  SessionId& slot = state.shard_sids[shard];
+  if (slot == 0) {
+    // A session is single-threaded by contract; this re-check only guards
+    // against a misbehaving caller, in which case the first mint wins and
+    // the loser's child id is simply never used (children are free).
+    slot = child;
+    shard_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+SessionId ShardedBackend::LookupShardSession(SessionId tid,
+                                             std::size_t shard) const {
+  Stripe& st = StripeFor(tid);
+  std::lock_guard lock(st.mu);
+  auto it = st.sessions.find(tid);
+  if (it == st.sessions.end() || it->second.shard_sids.empty()) return 0;
+  return it->second.shard_sids[shard];
+}
+
+std::vector<SessionId> ShardedBackend::TakeSession(SessionId tid) {
+  Stripe& st = StripeFor(tid);
+  std::lock_guard lock(st.mu);
+  auto it = st.sessions.find(tid);
+  if (it == st.sessions.end()) return {};
+  std::vector<SessionId> sids = std::move(it->second.shard_sids);
+  st.sessions.erase(it);
+  return sids;
+}
+
+void ShardedBackend::ReleaseAllTouched(SessionId tid) {
+  std::vector<SessionId> sids = TakeSession(tid);
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    if (sids[i] != 0) shards_[i].backend->Abort(sids[i]);
+  }
+}
+
+// ---- the IQ command set ----------------------------------------------------
+
+GetReply ShardedBackend::IQget(std::string_view key, SessionId session) {
+  std::size_t s = ShardFor(key);
+  SessionId sid = session == 0 ? 0 : ShardSession(session, s);
+  return shards_[s].backend->IQget(key, sid);
+}
+
+StoreResult ShardedBackend::IQset(std::string_view key, std::string_view value,
+                                  LeaseToken token) {
+  // Tokens are child-issued; the key's shard is the child that issued it.
+  return shards_[ShardFor(key)].backend->IQset(key, value, token);
+}
+
+QaReadReply ShardedBackend::QaRead(std::string_view key, SessionId session) {
+  std::size_t s = ShardFor(key);
+  QaReadReply reply =
+      shards_[s].backend->QaRead(key, ShardSession(session, s));
+  if (reply.status == QaReadReply::Status::kReject) {
+    // "Release all, abort, retry" (Figure 5b) — enforced here so a Q lease
+    // held on another shard cannot outlive the reject and deadlock the
+    // retried session. The caller's own Abort() then finds nothing left,
+    // which is harmless.
+    ReleaseAllTouched(session);
+    reject_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reply;
+}
+
+StoreResult ShardedBackend::SaR(std::string_view key,
+                                std::optional<std::string_view> v_new,
+                                LeaseToken token) {
+  return shards_[ShardFor(key)].backend->SaR(key, v_new, token);
+}
+
+QuarantineResult ShardedBackend::QaReg(SessionId tid, std::string_view key) {
+  std::size_t s = ShardFor(key);
+  return shards_[s].backend->QaReg(ShardSession(tid, s), key);
+}
+
+void ShardedBackend::DaR(SessionId tid) {
+  std::vector<SessionId> sids = TakeSession(tid);
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    if (sids[i] == 0) continue;
+    ++touched;
+    shards_[i].backend->DaR(sids[i]);
+  }
+  if (touched > 0) fanout_commits_.fetch_add(1, std::memory_order_relaxed);
+  if (touched > 1) {
+    cross_shard_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QuarantineResult ShardedBackend::IQDelta(SessionId tid, std::string_view key,
+                                         DeltaOp delta) {
+  std::size_t s = ShardFor(key);
+  QuarantineResult r =
+      shards_[s].backend->IQDelta(ShardSession(tid, s), key, std::move(delta));
+  if (r == QuarantineResult::kReject) {
+    ReleaseAllTouched(tid);  // same rule as a QaRead reject
+    reject_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return r;
+}
+
+void ShardedBackend::Commit(SessionId tid) {
+  std::vector<SessionId> sids = TakeSession(tid);
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    if (sids[i] == 0) continue;
+    ++touched;
+    shards_[i].backend->Commit(sids[i]);
+  }
+  if (touched > 0) fanout_commits_.fetch_add(1, std::memory_order_relaxed);
+  if (touched > 1) {
+    cross_shard_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedBackend::Abort(SessionId tid) {
+  std::vector<SessionId> sids = TakeSession(tid);
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    if (sids[i] == 0) continue;
+    ++touched;
+    shards_[i].backend->Abort(sids[i]);
+  }
+  if (touched > 0) fanout_aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (touched > 1) {
+    cross_shard_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedBackend::ReleaseKey(SessionId tid, std::string_view key) {
+  std::size_t s = ShardFor(key);
+  SessionId sid = LookupShardSession(tid, s);
+  if (sid == 0) return;  // never touched that shard: nothing held there
+  shards_[s].backend->ReleaseKey(sid, key);
+}
+
+// ---- plain memcached operations --------------------------------------------
+
+std::optional<CacheItem> ShardedBackend::Get(std::string_view key) {
+  return shards_[ShardFor(key)].backend->Get(key);
+}
+
+StoreResult ShardedBackend::Set(std::string_view key, std::string_view value) {
+  return shards_[ShardFor(key)].backend->Set(key, value);
+}
+
+StoreResult ShardedBackend::Add(std::string_view key, std::string_view value) {
+  return shards_[ShardFor(key)].backend->Add(key, value);
+}
+
+StoreResult ShardedBackend::Cas(std::string_view key, std::string_view value,
+                                std::uint64_t cas) {
+  return shards_[ShardFor(key)].backend->Cas(key, value, cas);
+}
+
+StoreResult ShardedBackend::Append(std::string_view key,
+                                   std::string_view blob) {
+  return shards_[ShardFor(key)].backend->Append(key, blob);
+}
+
+StoreResult ShardedBackend::Prepend(std::string_view key,
+                                    std::string_view blob) {
+  return shards_[ShardFor(key)].backend->Prepend(key, blob);
+}
+
+std::optional<std::uint64_t> ShardedBackend::Incr(std::string_view key,
+                                                  std::uint64_t amount) {
+  return shards_[ShardFor(key)].backend->Incr(key, amount);
+}
+
+std::optional<std::uint64_t> ShardedBackend::Decr(std::string_view key,
+                                                  std::uint64_t amount) {
+  return shards_[ShardFor(key)].backend->Decr(key, amount);
+}
+
+bool ShardedBackend::DeleteVoid(std::string_view key) {
+  return shards_[ShardFor(key)].backend->DeleteVoid(key);
+}
+
+// ---- introspection ---------------------------------------------------------
+
+IQServerStats ShardedBackend::Stats() const {
+  IQServerStats total;
+  for (const Shard& s : shards_) {
+    if (s.stats) Accumulate(total, s.stats());
+  }
+  return total;
+}
+
+ShardedBackendStats ShardedBackend::router_stats() const {
+  ShardedBackendStats s;
+  s.sessions = sessions_.load(std::memory_order_relaxed);
+  s.shard_sessions = shard_sessions_.load(std::memory_order_relaxed);
+  s.fanout_commits = fanout_commits_.load(std::memory_order_relaxed);
+  s.fanout_aborts = fanout_aborts_.load(std::memory_order_relaxed);
+  s.cross_shard_sessions =
+      cross_shard_sessions_.load(std::memory_order_relaxed);
+  s.reject_releases = reject_releases_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ShardedBackend::FormatStats() const {
+  std::ostringstream out;
+  auto stat = [&](const std::string& name, std::uint64_t v) {
+    out << "STAT " << name << " " << v << "\r\n";
+  };
+  ShardedBackendStats router = router_stats();
+  stat("shard_count", shards_.size());
+  stat("ring_points", ring_.size());
+  stat("router_sessions", router.sessions);
+  stat("router_shard_sessions", router.shard_sessions);
+  stat("router_fanout_commits", router.fanout_commits);
+  stat("router_fanout_aborts", router.fanout_aborts);
+  stat("router_cross_shard_sessions", router.cross_shard_sessions);
+  stat("router_reject_releases", router.reject_releases);
+  IQServerStats total = Stats();
+  for (const CounterField& f : kCounterFields) stat(f.name, total.*f.field);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::string prefix = "shard" + std::to_string(i) + "_";
+    out << "STAT " << prefix << "endpoint " << shards_[i].name << "\r\n";
+    stat(prefix + "weight", shards_[i].weight);
+    if (!shards_[i].stats) continue;
+    IQServerStats s = shards_[i].stats();
+    for (const CounterField& f : kCounterFields) {
+      stat(prefix + f.name, s.*f.field);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace iq

@@ -321,4 +321,12 @@ void RemoteCacheClient::Abort(SessionId tid) {
   Call(r);
 }
 
+void RemoteCacheClient::Release(SessionId tid, const std::string& key) {
+  Request r;
+  r.command = Command::kRelease;
+  r.session = tid;
+  r.key = key;
+  Call(r);
+}
+
 }  // namespace iq::net

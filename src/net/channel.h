@@ -94,6 +94,8 @@ class RemoteCacheClient {
   QuarantineResult IQDelta(SessionId tid, const std::string& key, DeltaOp delta);
   void Commit(SessionId tid);
   void Abort(SessionId tid);
+  /// Drop the session's lease on one key, keeping everything else it holds.
+  void Release(SessionId tid, const std::string& key);
 
  private:
   Response Call(const Request& request);

@@ -1,0 +1,66 @@
+#include "net/channel_pool.h"
+
+#include <charconv>
+
+namespace iq::net {
+
+std::string Name(const Endpoint& endpoint) {
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+std::vector<Endpoint> ParseEndpoints(const std::string& spec,
+                                     std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::vector<Endpoint>{};
+  };
+  std::vector<Endpoint> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string_view element(spec.data() + pos, comma - pos);
+    if (element.empty()) return fail("empty endpoint in '" + spec + "'");
+    Endpoint ep;
+    std::size_t colon = element.rfind(':');
+    if (colon == std::string_view::npos) {
+      ep.host = std::string(element);
+    } else {
+      std::string_view port_sv = element.substr(colon + 1);
+      std::uint16_t port = 0;
+      auto [p, ec] =
+          std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(), port);
+      if (ec != std::errc{} || p != port_sv.data() + port_sv.size() ||
+          port == 0) {
+        return fail("bad port in '" + std::string(element) + "'");
+      }
+      ep.host = std::string(element.substr(0, colon));
+      ep.port = port;
+    }
+    if (ep.host.empty()) return fail("empty host in '" + std::string(element) + "'");
+    out.push_back(std::move(ep));
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) return fail("no endpoints in '" + spec + "'");
+  return out;
+}
+
+std::unique_ptr<ChannelPool> ChannelPool::Connect(
+    const std::vector<Endpoint>& endpoints, std::string* error) {
+  std::vector<std::unique_ptr<TcpChannel>> channels;
+  channels.reserve(endpoints.size());
+  for (const Endpoint& ep : endpoints) {
+    std::string conn_error;
+    auto ch = TcpChannel::Connect(ep.host, ep.port, &conn_error);
+    if (ch == nullptr) {
+      if (error != nullptr) *error = Name(ep) + ": " + conn_error;
+      return nullptr;
+    }
+    channels.push_back(std::move(ch));
+  }
+  return std::unique_ptr<ChannelPool>(
+      new ChannelPool(endpoints, std::move(channels)));
+}
+
+}  // namespace iq::net

@@ -1,0 +1,56 @@
+// ChannelPool: one pipelined TcpChannel per cache-server endpoint — the
+// connection fabric under a sharded tier. A client thread owns one pool
+// (channels are single-in-flight, like memcached connections), builds one
+// RemoteBackend per channel, and hands them to an iq::ShardedBackend whose
+// ring routes keys across the endpoints.
+//
+// Endpoint lists use the conventional comma form "host:port,host:port,...";
+// ParseEndpoints is the single parser shared by tools and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp_channel.h"
+
+namespace iq::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 11211;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// "host:port" label used for shard names and stats lines.
+std::string Name(const Endpoint& endpoint);
+
+/// Parse "h1:p1,h2:p2,..." (port optional, default 11211). Returns an empty
+/// vector with *error set on malformed input (empty element, bad port).
+std::vector<Endpoint> ParseEndpoints(const std::string& spec,
+                                     std::string* error = nullptr);
+
+class ChannelPool {
+ public:
+  /// Connect one TcpChannel to every endpoint. Returns nullptr with *error
+  /// set (naming the endpoint) if any connection fails — a partially
+  /// reachable tier is a configuration error, not something to route around.
+  static std::unique_ptr<ChannelPool> Connect(
+      const std::vector<Endpoint>& endpoints, std::string* error = nullptr);
+
+  std::size_t size() const { return channels_.size(); }
+  TcpChannel& channel(std::size_t i) { return *channels_[i]; }
+  const Endpoint& endpoint(std::size_t i) const { return endpoints_[i]; }
+
+ private:
+  ChannelPool(std::vector<Endpoint> endpoints,
+              std::vector<std::unique_ptr<TcpChannel>> channels)
+      : endpoints_(std::move(endpoints)), channels_(std::move(channels)) {}
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<TcpChannel>> channels_;
+};
+
+}  // namespace iq::net

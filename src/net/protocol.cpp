@@ -81,6 +81,7 @@ const std::unordered_map<std::string_view, CommandInfo>& CommandTable() {
       {"iqdecr", {Command::kIQDecr, false}},
       {"commit", {Command::kCommit, false}},
       {"abort", {Command::kAbort, false}},
+      {"release", {Command::kRelease, false}},
   };
   return *table;
 }
@@ -181,7 +182,8 @@ std::optional<std::size_t> ParseCommandLine(
       req->token = *token;
       return 0;
     }
-    case Command::kQaReg: {
+    case Command::kQaReg:
+    case Command::kRelease: {
       if (tok.size() != 3) return fail("bad argument count");
       auto tid = ParseU64(tok[1]);
       if (!tid) return fail("bad tid");
@@ -255,6 +257,7 @@ const char* ToString(Command c) {
     case Command::kIQDecr: return "iqdecr";
     case Command::kCommit: return "commit";
     case Command::kAbort: return "abort";
+    case Command::kRelease: return "release";
   }
   return "?";
 }
@@ -422,7 +425,9 @@ void AppendTo(const Request& r, std::string* out) {
       return;
     case Command::kGenId: out->append("genid\r\n"); return;
     case Command::kQaReg:
-      out->append("qareg ");
+    case Command::kRelease:
+      out->append(ToString(r.command));
+      out->push_back(' ');
       AppendU64(out, r.session);
       out->push_back(' ');
       out->append(r.key);

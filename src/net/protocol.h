@@ -27,6 +27,9 @@
 //   iqincr|iqdecr <tid> <key> <amount>\r\n     -> GRANTED | REJECT
 //   commit <tid>\r\n                           -> OK
 //   abort <tid>\r\n                            -> OK
+//   release <tid> <key>\r\n                    -> OK
+//     (drop the session's lease on one key; buffered deltas/quarantines on
+//      other keys survive — unlike abort)
 //
 // The parser is incremental: feed bytes, take complete requests.
 #pragma once
@@ -77,6 +80,7 @@ enum class Command {
   kIQDecr,
   kCommit,
   kAbort,
+  kRelease,
 };
 
 const char* ToString(Command c);

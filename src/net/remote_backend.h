@@ -55,11 +55,9 @@ class RemoteBackend final : public KvsBackend {
   void Commit(SessionId tid) override { client_.Commit(tid); }
   void Abort(SessionId tid) override { client_.Abort(tid); }
   void ReleaseKey(SessionId tid, std::string_view key) override {
-    // The wire protocol has no dedicated release-one-key command (neither
-    // does the paper's command list); abort releases everything the session
-    // holds, which is the only context clients use ReleaseKey in.
-    (void)key;
-    client_.Abort(tid);
+    // `release <tid> <key>` drops just this lease; the session's buffered
+    // deltas/quarantines on other keys survive, matching IQServer::ReleaseKey.
+    client_.Release(tid, std::string(key));
   }
 
   std::optional<CacheItem> Get(std::string_view key) override {

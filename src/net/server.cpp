@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <charconv>
 #include <sstream>
 
 namespace iq::net {
@@ -264,6 +265,10 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
       server_.Abort(r.session);
       resp.type = ResponseType::kOk;
       return resp;
+    case Command::kRelease:
+      server_.ReleaseKey(r.session, r.key);
+      resp.type = ResponseType::kOk;
+      return resp;
     default:
       break;
   }
@@ -319,6 +324,51 @@ std::string FormatStats(const IQServer& server) {
          static_cast<std::uint64_t>(h.Max() / kNanosPerMicro));
   }
   return out.str();
+}
+
+IQServerStats ParseIQStats(std::string_view stats_text) {
+  // Same name <-> field mapping as FormatStats above; keep the two in sync.
+  struct Field {
+    std::string_view name;
+    std::uint64_t IQServerStats::* member;
+  };
+  static constexpr Field kFields[] = {
+      {"i_leases_granted", &IQServerStats::i_granted},
+      {"i_leases_voided", &IQServerStats::i_voided},
+      {"q_ref_voided", &IQServerStats::q_ref_voided},
+      {"backoffs", &IQServerStats::backoffs},
+      {"stale_sets_dropped", &IQServerStats::stale_sets_dropped},
+      {"q_inv_granted", &IQServerStats::q_inv_granted},
+      {"q_ref_granted", &IQServerStats::q_ref_granted},
+      {"q_rejected", &IQServerStats::q_rejected},
+      {"leases_expired", &IQServerStats::leases_expired},
+      {"expiry_deletes", &IQServerStats::expiry_deletes},
+      {"commits", &IQServerStats::commits},
+      {"aborts", &IQServerStats::aborts},
+  };
+  IQServerStats out{};
+  std::size_t pos = 0;
+  while (pos < stats_text.size()) {
+    std::size_t eol = stats_text.find_first_of("\r\n", pos);
+    if (eol == std::string_view::npos) eol = stats_text.size();
+    std::string_view line = stats_text.substr(pos, eol - pos);
+    pos = stats_text.find_first_not_of("\r\n", eol);
+    if (pos == std::string_view::npos) pos = stats_text.size();
+    if (!line.starts_with("STAT ")) continue;
+    line.remove_prefix(5);
+    std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) continue;
+    std::string_view name = line.substr(0, space);
+    std::string_view value = line.substr(space + 1);
+    for (const Field& f : kFields) {
+      if (name != f.name) continue;
+      std::uint64_t v = 0;
+      auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec == std::errc{} && p == value.data() + value.size()) out.*f.member = v;
+      break;
+    }
+  }
+  return out;
 }
 
 }  // namespace iq::net

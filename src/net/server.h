@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "core/iq_server.h"
 #include "net/protocol.h"
@@ -46,5 +47,12 @@ CommandClass ClassOf(Command c);
 /// percentiles ("cmd_<class>_{count,mean_us,p95_us,p99_us,max_us}") for
 /// every command class observed so far.
 std::string FormatStats(const IQServer& server);
+
+/// Inverse of FormatStats for the IQ lease counters: pick the
+/// "STAT <name> <value>" lines that map onto IQServerStats fields out of a
+/// `stats` response body, ignoring everything else (store counters, latency
+/// percentiles, wire stats). This is how a ShardedBackend aggregates a TCP
+/// child's counters without the child growing a binary stats protocol.
+IQServerStats ParseIQStats(std::string_view stats_text);
 
 }  // namespace iq::net

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "net/channel.h"
+#include "net/channel_pool.h"
+#include "net/remote_backend.h"
 #include "util/backoff.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -109,13 +111,15 @@ TEST(RequestParser, ParsesIQCommands) {
       "iqappend 12 list 2\r\n,z\r\n"
       "iqincr 12 count 3\r\n"
       "commit 12\r\n"
-      "abort 13\r\n");
+      "abort 13\r\n"
+      "release 13 friends\r\n");
   Request r;
   std::string err;
   Command expect[] = {Command::kIQGet,   Command::kIQSet,    Command::kQaRead,
                       Command::kSaR,     Command::kSaRNull,  Command::kGenId,
                       Command::kQaReg,   Command::kDaR,      Command::kIQAppend,
-                      Command::kIQIncr,  Command::kCommit,   Command::kAbort};
+                      Command::kIQIncr,  Command::kCommit,   Command::kAbort,
+                      Command::kRelease};
   for (Command c : expect) {
     ASSERT_EQ(p.Next(&r, &err), RequestParser::Status::kOk) << ToString(c);
     EXPECT_EQ(r.command, c);
@@ -214,7 +218,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Command::kSaRNull, Command::kGenId, Command::kQaReg,
                       Command::kDaR, Command::kIQAppend, Command::kIQPrepend,
                       Command::kIQIncr, Command::kIQDecr, Command::kCommit,
-                      Command::kAbort),
+                      Command::kAbort, Command::kRelease),
     [](const ::testing::TestParamInfo<Command>& info) {
       std::string name = ToString(info.param);
       for (char& c : name) {
@@ -623,6 +627,108 @@ TEST(ResponseCodec, HugeLengthClaimsNeverCompleteNorWrap) {
   EXPECT_FALSE(
       ParseResponse("QVALUE 7 18446744073709551614\r\nx\r\n", &consumed)
           .has_value());
+}
+
+// ---- release command ----------------------------------------------------------
+
+TEST_F(RemoteTest, ReleaseDropsOneLeaseAndKeepsBufferedWork) {
+  // The whole point of `release` over `abort`: the session's buffered work
+  // on other keys must survive (a plain abort would discard the delta).
+  client_.Set("count", "10");
+  client_.Set("held", "x");
+  SessionId tid = client_.GenID();
+  ASSERT_EQ(client_.IQDelta(tid, "count", DeltaOp{DeltaOp::Kind::kIncr, {}, 5}),
+            QuarantineResult::kGranted);
+  QaReadReply q = client_.QaRead("held", tid);
+  ASSERT_EQ(q.status, QaReadReply::Status::kGranted);
+  client_.Release(tid, "held");
+  // The Q lease on "held" is gone: another session acquires it immediately.
+  SessionId other = client_.GenID();
+  EXPECT_EQ(client_.QaRead("held", other).status,
+            QaReadReply::Status::kGranted);
+  client_.Abort(other);
+  client_.Commit(tid);
+  EXPECT_EQ(client_.Get("count")->value, "15");  // delta survived the release
+}
+
+TEST_F(RemoteTest, RemoteBackendReleaseKeyMatchesInProcessSemantics) {
+  RemoteBackend backend(channel_);
+  backend.Set("count", "1");
+  backend.Set("aux", "v");
+  SessionId tid = backend.GenID();
+  ASSERT_EQ(backend.IQDelta(tid, "count", DeltaOp{DeltaOp::Kind::kIncr, {}, 2}),
+            QuarantineResult::kGranted);
+  ASSERT_EQ(backend.QaRead("aux", tid).status, QaReadReply::Status::kGranted);
+  // Before the `release` wire command this mapped to Abort(tid) and silently
+  // discarded the buffered delta on "count".
+  backend.ReleaseKey(tid, "aux");
+  backend.Commit(tid);
+  EXPECT_EQ(backend.Get("count")->value, "3");
+  EXPECT_EQ(server_.LeaseCount(), 0u);
+}
+
+// ---- stats parsing ------------------------------------------------------------
+
+TEST_F(RemoteTest, ParseIQStatsInvertsFormatStats) {
+  SessionId session = client_.GenID();
+  client_.IQget("missing", session);  // grants one I lease
+  client_.Set("k", "v");
+  SessionId tid = client_.GenID();
+  ASSERT_EQ(client_.QaRead("k", tid).status, QaReadReply::Status::kGranted);
+  client_.Commit(tid);
+  client_.Abort(session);
+  IQServerStats parsed = ParseIQStats(client_.Stats());
+  IQServerStats direct = server_.Stats();
+  EXPECT_EQ(parsed.i_granted, direct.i_granted);
+  EXPECT_EQ(parsed.q_ref_granted, direct.q_ref_granted);
+  EXPECT_EQ(parsed.commits, direct.commits);
+  EXPECT_EQ(parsed.aborts, direct.aborts);
+  EXPECT_EQ(parsed.q_rejected, direct.q_rejected);
+}
+
+TEST(ParseIQStats, IgnoresForeignLinesAndGarbage) {
+  IQServerStats s = ParseIQStats(
+      "STAT bytes_used 4096\r\n"
+      "STAT commits 7\r\n"
+      "STAT cmd_iqget_p95_us 12\r\n"
+      "STAT aborts notanumber\r\n"
+      "garbage line\r\n"
+      "STAT q_rejected 3\r\n");
+  EXPECT_EQ(s.commits, 7u);
+  EXPECT_EQ(s.q_rejected, 3u);
+  EXPECT_EQ(s.aborts, 0u);  // unparsable value left at zero
+}
+
+// ---- endpoint parsing ----------------------------------------------------------
+
+TEST(ParseEndpoints, SingleAndMultiWithDefaults) {
+  std::string error;
+  auto one = ParseEndpoints("127.0.0.1:4242", &error);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].host, "127.0.0.1");
+  EXPECT_EQ(one[0].port, 4242);
+
+  auto defaulted = ParseEndpoints("cache-host", &error);
+  ASSERT_EQ(defaulted.size(), 1u);
+  EXPECT_EQ(defaulted[0].port, 11211);  // memcached default
+
+  auto many = ParseEndpoints("a:1,b:2,c", &error);
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[0], (Endpoint{"a", 1}));
+  EXPECT_EQ(many[1], (Endpoint{"b", 2}));
+  EXPECT_EQ(many[2], (Endpoint{"c", 11211}));
+  EXPECT_EQ(Name(many[1]), "b:2");
+}
+
+TEST(ParseEndpoints, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_TRUE(ParseEndpoints("", &error).empty());
+  EXPECT_TRUE(ParseEndpoints("a:1,,b:2", &error).empty());
+  EXPECT_NE(error.find("empty endpoint"), std::string::npos);
+  EXPECT_TRUE(ParseEndpoints("host:notaport", &error).empty());
+  EXPECT_TRUE(ParseEndpoints("host:0", &error).empty());
+  EXPECT_TRUE(ParseEndpoints(":1234", &error).empty());
+  EXPECT_TRUE(ParseEndpoints("host:99999", &error).empty());
 }
 
 }  // namespace

@@ -7,7 +7,10 @@
 #include "bg/workload.h"
 #include "casql/casql.h"
 #include "casql/query_cache.h"
+#include "core/sharded_backend.h"
+#include "net/channel_pool.h"
 #include "net/remote_backend.h"
+#include "net/tcp_server.h"
 
 namespace iq {
 namespace {
@@ -151,6 +154,187 @@ TEST_F(RemoteStackTest, BgWorkloadOverTheWireHasZeroUnpredictableReads) {
   EXPECT_EQ(result.validation.unpredictable, 0u)
       << result.validation.StalePercent() << "% stale over the wire";
   EXPECT_GT(channel_.requests(), result.actions);  // wire traffic happened
+}
+
+// ---- the same stack on a 2-shard tier: one in-process child, one TCP child ----
+
+class ShardedStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net::TcpServer::Config cfg;
+    cfg.workers = 2;
+    tcp_ = std::make_unique<net::TcpServer>(tcp_child_, cfg);
+    std::string error;
+    ASSERT_TRUE(tcp_->Start(&error)) << error;
+    channel_ = net::TcpChannel::Connect("127.0.0.1", tcp_->port(), &error);
+    ASSERT_NE(channel_, nullptr) << error;
+    remote_ = std::make_unique<net::RemoteBackend>(*channel_);
+    router_ = std::make_unique<ShardedBackend>(std::vector<ShardedBackend::Shard>{
+        {"local", &local_child_, 1, [this] { return local_child_.Stats(); }},
+        // The TCP child's counters come back over the wire, through the
+        // same `stats` command an operator would use.
+        {"tcp", remote_.get(), 1, [this] {
+           return net::ParseIQStats(net::RemoteCacheClient(*channel_).Stats());
+         }}});
+  }
+
+  void TearDown() override {
+    router_.reset();
+    remote_.reset();
+    channel_.reset();
+    if (tcp_) tcp_->Stop();
+  }
+
+  std::string KeyOnShard(std::size_t shard, const std::string& prefix) {
+    for (int i = 0; i < 10000; ++i) {
+      std::string key = prefix + std::to_string(i);
+      if (router_->ShardFor(key) == shard) return key;
+    }
+    ADD_FAILURE() << "no key found for shard " << shard;
+    return {};
+  }
+
+  CasqlConfig Config(Technique t) {
+    CasqlConfig cfg;
+    cfg.technique = t;
+    cfg.consistency = Consistency::kIQ;
+    cfg.client.backoff_base = 20 * kNanosPerMicro;
+    cfg.client.backoff_cap = kNanosPerMilli;
+    return cfg;
+  }
+
+  IQServer local_child_;
+  IQServer tcp_child_;
+  std::unique_ptr<net::TcpServer> tcp_;
+  std::unique_ptr<net::TcpChannel> channel_;
+  std::unique_ptr<net::RemoteBackend> remote_;
+  std::unique_ptr<ShardedBackend> router_;
+};
+
+TEST_F(ShardedStackTest, AbortReleasesLeasesOnBothTransports) {
+  std::string k_local = KeyOnShard(0, "a");
+  std::string k_tcp = KeyOnShard(1, "b");
+  router_->Set(k_local, "x");
+  router_->Set(k_tcp, "y");
+  SessionId tid = router_->GenID();
+  ASSERT_EQ(router_->QaRead(k_local, tid).status,
+            QaReadReply::Status::kGranted);
+  ASSERT_EQ(router_->QaRead(k_tcp, tid).status, QaReadReply::Status::kGranted);
+  EXPECT_EQ(local_child_.LeaseCount(), 1u);
+  EXPECT_EQ(tcp_child_.LeaseCount(), 1u);
+  router_->Abort(tid);
+  EXPECT_EQ(local_child_.LeaseCount(), 0u);
+  EXPECT_EQ(tcp_child_.LeaseCount(), 0u);
+  EXPECT_EQ(router_->Get(k_local)->value, "x");
+  EXPECT_EQ(router_->Get(k_tcp)->value, "y");
+}
+
+TEST_F(ShardedStackTest, RejectOnTcpShardReleasesLocalShard) {
+  std::string k_local = KeyOnShard(0, "a");
+  std::string k_tcp = KeyOnShard(1, "b");
+  router_->Set(k_local, "x");
+  router_->Set(k_tcp, "y");
+  SessionId holder = router_->GenID();
+  ASSERT_EQ(router_->QaRead(k_tcp, holder).status,
+            QaReadReply::Status::kGranted);
+  SessionId tid = router_->GenID();
+  ASSERT_EQ(router_->QaRead(k_local, tid).status,
+            QaReadReply::Status::kGranted);
+  ASSERT_EQ(router_->QaRead(k_tcp, tid).status, QaReadReply::Status::kReject);
+  // The reject on the TCP shard must have released the local Q lease.
+  EXPECT_EQ(local_child_.LeaseCount(), 0u);
+  SessionId retry = router_->GenID();
+  EXPECT_EQ(router_->QaRead(k_local, retry).status,
+            QaReadReply::Status::kGranted);
+  router_->Abort(retry);
+  router_->Abort(holder);
+  EXPECT_EQ(tcp_child_.LeaseCount(), 0u);
+}
+
+TEST_F(ShardedStackTest, WriteSessionsSpanBothShardsForEveryTechnique) {
+  for (Technique t : {Technique::kInvalidate, Technique::kRefresh,
+                      Technique::kIncremental}) {
+    sql::Database db;
+    db.CreateTable(
+        SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+    {
+      auto txn = db.Begin();
+      txn->Insert("T", {V(1), V(0)});
+      txn->Commit();
+    }
+    local_child_.store().Flush();
+    tcp_child_.store().Flush();
+    // Two cached keys for the same row, placed on different shards, so one
+    // write session fans out across both transports.
+    std::string k_local = KeyOnShard(0, "L");
+    std::string k_tcp = KeyOnShard(1, "R");
+    CasqlSystem system(db, *router_, Config(t));
+    auto conn = system.Connect();
+    auto compute = [](Transaction& txn) -> std::optional<std::string> {
+      auto row = txn.SelectByPk("T", {V(1)});
+      if (!row) return std::nullopt;
+      return std::to_string(*sql::AsInt((*row)[1]));
+    };
+    conn->Read(k_local, compute);
+    conn->Read(k_tcp, compute);
+    casql::WriteSpec spec;
+    spec.body = [](Transaction& txn) {
+      return txn.UpdateByPk("T", {V(1)}, [](sql::Row& row) {
+               row[1] = V(*sql::AsInt(row[1]) + 1);
+             }) == TxnResult::kOk;
+    };
+    for (const std::string& key : {k_local, k_tcp}) {
+      casql::KeyUpdate u;
+      u.key = key;
+      u.refresh = [](const std::optional<std::string>& old)
+          -> std::optional<std::string> {
+        if (!old) return std::nullopt;
+        return std::to_string(std::stoll(*old) + 1);
+      };
+      u.delta = DeltaOp{DeltaOp::Kind::kIncr, {}, 1};
+      spec.updates.push_back(std::move(u));
+    }
+    EXPECT_TRUE(conn->Write(spec).committed) << casql::ToString(t);
+    for (const std::string& key : {k_local, k_tcp}) {
+      auto read = conn->Read(key, compute);
+      ASSERT_TRUE(read.value) << casql::ToString(t);
+      EXPECT_EQ(*read.value, "1") << casql::ToString(t);
+    }
+    EXPECT_EQ(local_child_.LeaseCount(), 0u) << casql::ToString(t);
+    EXPECT_EQ(tcp_child_.LeaseCount(), 0u) << casql::ToString(t);
+  }
+}
+
+TEST_F(ShardedStackTest, BgWorkloadOnTwoShardsHasZeroUnpredictableReads) {
+  sql::Database db;
+  bg::CreateBgTables(db);
+  bg::GraphConfig graph{40, 4, 1, 1};
+  bg::LoadGraph(db, graph);
+  bg::ActionPools pools;
+  pools.SeedFromGraph(graph);
+  CasqlSystem system(db, *router_, Config(Technique::kRefresh));
+
+  bg::WorkloadConfig wl;
+  wl.mix = bg::HighWriteMix();
+  wl.threads = 4;
+  wl.duration = 150 * kNanosPerMilli;
+  wl.seed = 3;
+  auto result = bg::RunWorkload(system, pools, graph, wl);
+  EXPECT_GT(result.actions, 20u);
+  EXPECT_GT(result.validation.reads_checked, 0u);
+  EXPECT_EQ(result.validation.unpredictable, 0u)
+      << result.validation.StalePercent() << "% stale across the tier";
+  // Every lease drained on both children, and both shards saw real work.
+  EXPECT_EQ(local_child_.LeaseCount(), 0u);
+  EXPECT_EQ(tcp_child_.LeaseCount(), 0u);
+  IQServerStats aggregated = router_->Stats();
+  IQServerStats local = local_child_.Stats();
+  IQServerStats tcp = tcp_child_.Stats();
+  EXPECT_GT(local.commits, 0u);
+  EXPECT_GT(tcp.commits, 0u);
+  // The aggregate (TCP child parsed from wire stats) matches the direct sum.
+  EXPECT_EQ(aggregated.commits, local.commits + tcp.commits);
+  EXPECT_EQ(aggregated.q_ref_granted, local.q_ref_granted + tcp.q_ref_granted);
 }
 
 }  // namespace

@@ -19,8 +19,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/sharded_backend.h"
 #include "net/channel.h"
+#include "net/remote_backend.h"
 #include "net/server.h"
+#include "net/tcp_channel.h"
+#include "net/tcp_server.h"
 
 namespace iq {
 namespace {
@@ -66,10 +70,13 @@ struct Tally {
 
 std::string KeyFor(std::uint32_t i) { return "k" + std::to_string(i % kKeys); }
 
-void Worker(IQServer& server, int seed, Tally& out) {
+/// The command mix runs against the KvsBackend seam so the same worker can
+/// hammer a bare IQServer or a ShardedBackend routing over two transports.
+void Worker(KvsBackend& server, int seed, Tally& out,
+            int iters = kItersPerThread) {
   std::mt19937 rng(static_cast<std::uint32_t>(seed));
   Tally t;
-  for (int iter = 0; iter < kItersPerThread; ++iter) {
+  for (int iter = 0; iter < iters; ++iter) {
     std::string key = KeyFor(rng());
     std::uint32_t roll = rng() % 100;
     if (roll < 40) {
@@ -101,6 +108,10 @@ void Worker(IQServer& server, int seed, Tally& out) {
       if (done < 2) {
         StoreResult sr = server.SaR(key, "refreshed", q.token);
         sr == StoreResult::kStored ? ++t.sar_stored : ++t.sar_dropped;
+        // The session contract ends every session with Commit/Abort (the
+        // SaR released the lease; this closes the session server-side).
+        server.Commit(tid);
+        ++t.commits;
       } else if (done == 2) {
         server.Commit(tid);
         ++t.commits;
@@ -209,6 +220,86 @@ TEST(StressTest, StatsBalanceUnderContention) {
   // Every session path above released what it acquired.
   EXPECT_EQ(server.LeaseCount(), 0u);
   EXPECT_EQ(total.tokens_granted, total.iqset_stored + total.iqset_dropped);
+}
+
+TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
+  // The same command mix, but routed by per-thread ShardedBackends over a
+  // 2-shard tier: one shared in-process child and one shared TCP child.
+  // Identical shard names give every thread's router the same ring, so all
+  // threads agree on key placement and contend on the same leases.
+  IQServer local_child(CacheStore::Config{.shard_count = 8},
+                       IQServer::Config{.lease_lifetime = 0});
+  IQServer tcp_child(CacheStore::Config{.shard_count = 8},
+                     IQServer::Config{.lease_lifetime = 0});
+  net::TcpServer::Config cfg;
+  cfg.workers = 2;
+  net::TcpServer tcp(tcp_child, cfg);
+  std::string error;
+  ASSERT_TRUE(tcp.Start(&error)) << error;
+
+  constexpr int kShardThreads = 4;
+  constexpr int kShardIters = 1200;
+  std::vector<Tally> tallies(kShardThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kShardThreads);
+  for (int i = 0; i < kShardThreads; ++i) {
+    threads.emplace_back([&, i] {
+      std::string conn_error;
+      auto channel =
+          net::TcpChannel::Connect("127.0.0.1", tcp.port(), &conn_error);
+      ASSERT_NE(channel, nullptr) << conn_error;
+      net::RemoteBackend remote(*channel);
+      ShardedBackend router(
+          {{"s0", &local_child, 1, nullptr}, {"s1", &remote, 1, nullptr}});
+      Worker(router, /*seed=*/5150 + i, tallies[i], kShardIters);
+    });
+  }
+  for (auto& th : threads) th.join();
+  tcp.Stop();
+
+  Tally total;
+  for (const Tally& t : tallies) total += t;
+
+  IQServerStats s;
+  {
+    // Exact balance must hold over the SUM of both children: every grant,
+    // reject, commit and abort landed on exactly one shard.
+    IQServerStats a = local_child.Stats();
+    IQServerStats b = tcp_child.Stats();
+    s.i_granted = a.i_granted + b.i_granted;
+    s.i_voided = a.i_voided + b.i_voided;
+    s.q_ref_voided = a.q_ref_voided + b.q_ref_voided;
+    s.backoffs = a.backoffs + b.backoffs;
+    s.stale_sets_dropped = a.stale_sets_dropped + b.stale_sets_dropped;
+    s.q_inv_granted = a.q_inv_granted + b.q_inv_granted;
+    s.q_ref_granted = a.q_ref_granted + b.q_ref_granted;
+    s.q_rejected = a.q_rejected + b.q_rejected;
+    s.leases_expired = a.leases_expired + b.leases_expired;
+    s.expiry_deletes = a.expiry_deletes + b.expiry_deletes;
+    s.commits = a.commits + b.commits;
+    s.aborts = a.aborts + b.aborts;
+  }
+  EXPECT_EQ(s.i_granted, total.tokens_granted);
+  EXPECT_EQ(s.backoffs, total.backoffs);
+  EXPECT_EQ(s.q_inv_granted, total.qaregs);
+  EXPECT_EQ(s.q_ref_granted, total.qaread_granted + total.delta_granted);
+  EXPECT_EQ(s.q_rejected, total.qaread_rejected + total.delta_rejected);
+  EXPECT_EQ(s.stale_sets_dropped, total.iqset_dropped + total.sar_dropped);
+  EXPECT_EQ(s.commits, total.commits + total.dars);
+  // Every client-side abort fans out to exactly one child (single-key
+  // sessions), and every Q reject triggers the router's release-all fan-out
+  // abort of the one shard the session had touched.
+  EXPECT_EQ(s.aborts,
+            total.aborts + total.qaread_rejected + total.delta_rejected);
+  EXPECT_EQ(s.i_voided, total.iqset_dropped);
+  EXPECT_GE(s.q_ref_voided, total.sar_dropped);
+  EXPECT_EQ(s.leases_expired, 0u);
+  // Nothing stranded on either transport.
+  EXPECT_EQ(local_child.LeaseCount(), 0u);
+  EXPECT_EQ(tcp_child.LeaseCount(), 0u);
+  // The ring really split the work across both children.
+  EXPECT_GT(local_child.Stats().commits, 0u);
+  EXPECT_GT(tcp_child.Stats().commits, 0u);
 }
 
 TEST(StressTest, LoopbackRequestCounterExactUnderThreads) {

@@ -11,17 +11,20 @@
 // Prints a one-screen report: throughput, latency percentiles, restart
 // statistics, unpredictable-read percentage, and cache-server counters.
 //
-// Remote mode — drive a running iqcached over TCP instead of an in-process
-// server:
+// Remote mode — drive one or more running iqcached instances over TCP
+// instead of an in-process server:
 //
-//   iqbench --connect=host:port [--threads=N] [--seconds=S] [--mix=PCT]
-//           [--seed=N]
+//   iqbench --connect=host:port[,host:port,...] [--threads=N] [--seconds=S]
+//           [--mix=PCT] [--seed=N]
 //
-// Each thread opens its own connection; reads are multi-key gets over a
-// small keyspace, writes run the full QaRead/SaR refresh protocol against
-// shared counters. At the end the counters must exactly equal the number
-// of committed increments — any lost lease or protocol desync fails the
-// run (exit 1).
+// With one endpoint each thread opens its own connection; with several, each
+// thread builds its own ChannelPool (one pipelined connection per endpoint)
+// and routes every key through a ShardedBackend consistent-hash ring, so the
+// instances form one sharded cache tier. Reads hit a small keyspace, writes
+// run the full QaRead/SaR refresh protocol against shared counters. At the
+// end the counters must exactly equal the number of committed increments —
+// any lost lease, protocol desync, or mis-routed fan-out fails the run
+// (exit 1).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,9 +34,12 @@
 #include <vector>
 
 #include "core/iq_server.h"
+#include "core/sharded_backend.h"
 #include "bg/workload.h"
 #include "casql/casql.h"
 #include "net/channel.h"
+#include "net/channel_pool.h"
+#include "net/remote_backend.h"
 #include "net/server.h"
 #include "net/tcp_channel.h"
 #include "util/backoff.h"
@@ -82,8 +88,9 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--no-validate] [--db-read-us=N]\n"
                "               [--db-write-us=N] [--db-commit-us=N]\n"
                "               [--lease-ms=N] [--eager-delete]\n"
-               "       iqbench --connect=host:port [--threads=N]\n"
-               "               [--seconds=S] [--mix=PCT] [--seed=N]\n");
+               "       iqbench --connect=host:port[,host:port,...]\n"
+               "               [--threads=N] [--seconds=S] [--mix=PCT]\n"
+               "               [--seed=N]\n");
   std::exit(2);
 }
 
@@ -162,60 +169,102 @@ Options Parse(int argc, char** argv) {
 constexpr int kRemoteCounters = 8;
 constexpr int kRemoteDataKeys = 64;
 
+/// One client thread's view of the remote tier: one pipelined connection
+/// per endpoint, a RemoteBackend per connection, and (for >1 endpoint) a
+/// ShardedBackend routing over them. All threads use the same shard names
+/// (the endpoint labels), so every thread's ring agrees on key placement.
+struct RemoteStack {
+  std::unique_ptr<net::ChannelPool> pool;
+  std::vector<std::unique_ptr<net::RemoteBackend>> backends;
+  std::unique_ptr<ShardedBackend> router;
+  KvsBackend* backend = nullptr;  // router, or the single backend
+
+  static std::unique_ptr<RemoteStack> Connect(
+      const std::vector<net::Endpoint>& endpoints, std::string* error) {
+    auto stack = std::make_unique<RemoteStack>();
+    stack->pool = net::ChannelPool::Connect(endpoints, error);
+    if (!stack->pool) return nullptr;
+    std::vector<ShardedBackend::Shard> shards;
+    for (std::size_t i = 0; i < stack->pool->size(); ++i) {
+      stack->backends.push_back(
+          std::make_unique<net::RemoteBackend>(stack->pool->channel(i)));
+      net::TcpChannel* channel = &stack->pool->channel(i);
+      shards.push_back({net::Name(stack->pool->endpoint(i)),
+                        stack->backends.back().get(), 1, [channel] {
+                          return net::ParseIQStats(
+                              net::RemoteCacheClient(*channel).Stats());
+                        }});
+    }
+    if (endpoints.size() == 1) {
+      stack->backend = stack->backends[0].get();
+    } else {
+      stack->router = std::make_unique<ShardedBackend>(std::move(shards));
+      stack->backend = stack->router.get();
+    }
+    return stack;
+  }
+};
+
 /// One increment of a shared counter via the refresh protocol. Returns
-/// true once committed (retries internally on lease rejection).
-bool RemoteIncrement(net::RemoteCacheClient& client, const std::string& key) {
+/// true once committed (retries internally on lease rejection). Every
+/// session ends with Commit/Abort so a routing backend can retire its
+/// per-shard session state.
+bool RemoteIncrement(KvsBackend& backend, const std::string& key) {
   const Clock& clock = SteadyClock::Instance();
   for (int attempt = 0; attempt < 1000; ++attempt) {
-    SessionId session = client.GenID();
+    SessionId session = backend.GenID();
     if (session == 0) return false;  // connection lost
-    QaReadReply q = client.QaRead(key, session);
+    QaReadReply q = backend.QaRead(key, session);
     if (q.status != QaReadReply::Status::kGranted) {
-      client.Abort(session);
+      backend.Abort(session);
       SleepFor(clock, 50 * kNanosPerMicro);
       continue;
     }
     long long current = q.value ? std::atoll(q.value->c_str()) : 0;
     std::string next = std::to_string(current + 1);
-    if (client.SaR(key, std::optional<std::string>(next), q.token) ==
+    if (backend.SaR(key, std::string_view(next), q.token) ==
         StoreResult::kStored) {
+      backend.Commit(session);
       return true;
     }
     // SaR not acknowledged (lease expired/evicted, or the connection
     // dropped): the store did not commit, so it must not be counted —
     // release the session and retry. A dead connection surfaces as GenID()
     // returning 0 on the next attempt.
-    client.Abort(session);
+    backend.Abort(session);
     SleepFor(clock, 50 * kNanosPerMicro);
   }
   return false;
 }
 
 int RunRemote(const Options& opt) {
-  std::string host = opt.connect;
-  std::uint16_t port = 11211;
-  if (std::size_t colon = host.rfind(':'); colon != std::string::npos) {
-    port = static_cast<std::uint16_t>(std::atoi(host.c_str() + colon + 1));
-    host.resize(colon);
+  std::string error;
+  std::vector<net::Endpoint> endpoints = net::ParseEndpoints(opt.connect, &error);
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "iqbench: %s\n", error.c_str());
+    return 1;
   }
-  std::printf("iqbench: remote cache at %s:%u | %d threads, %.1fs, %.1f%% writes\n",
-              host.c_str(), port, opt.threads, opt.seconds, opt.mix);
+  std::printf("iqbench: remote cache tier:");
+  for (const net::Endpoint& ep : endpoints) {
+    std::printf(" %s", net::Name(ep).c_str());
+  }
+  std::printf(" (%zu shard%s) | %d threads, %.1fs, %.1f%% writes\n",
+              endpoints.size(), endpoints.size() == 1 ? "" : "s", opt.threads,
+              opt.seconds, opt.mix);
 
-  // Seed the keyspace: shared counters for the write protocol, data keys
-  // for the multi-get read path.
+  // Seed the keyspace through the routing stack: shared counters for the
+  // write protocol, data keys for the read path.
   {
-    std::string error;
-    auto channel = net::TcpChannel::Connect(host, port, &error);
-    if (!channel) {
+    auto setup = RemoteStack::Connect(endpoints, &error);
+    if (!setup) {
       std::fprintf(stderr, "iqbench: %s\n", error.c_str());
       return 1;
     }
-    net::RemoteCacheClient setup(*channel);
     for (int i = 0; i < kRemoteCounters; ++i) {
-      setup.Set("ctr:" + std::to_string(i), "0");
+      setup->backend->Set("ctr:" + std::to_string(i), "0");
     }
     for (int i = 0; i < kRemoteDataKeys; ++i) {
-      setup.Set("data:" + std::to_string(i), std::string(100, 'x'));
+      setup->backend->Set("data:" + std::to_string(i), std::string(100, 'x'));
     }
   }
 
@@ -230,32 +279,42 @@ int RunRemote(const Options& opt) {
   std::vector<std::thread> threads;
   for (int t = 0; t < opt.threads; ++t) {
     threads.emplace_back([&, t] {
-      std::string error;
-      auto channel = net::TcpChannel::Connect(host, port, &error);
-      if (!channel) {
-        std::fprintf(stderr, "iqbench: thread %d: %s\n", t, error.c_str());
+      std::string conn_error;
+      auto stack = RemoteStack::Connect(endpoints, &conn_error);
+      if (!stack) {
+        std::fprintf(stderr, "iqbench: thread %d: %s\n", t, conn_error.c_str());
         failed.store(true);
         return;
       }
-      net::RemoteCacheClient client(*channel);
+      // Single-endpoint reads keep the one-round-trip multi-key get; a
+      // sharded tier reads per key (each key lives on one server).
+      std::unique_ptr<net::RemoteCacheClient> multi;
+      if (endpoints.size() == 1) {
+        multi = std::make_unique<net::RemoteCacheClient>(stack->pool->channel(0));
+      }
       Rng rng(opt.seed + static_cast<std::uint64_t>(t) * 7919);
       std::uint64_t local_ops = 0;
       while (clock.Now() < deadline) {
         Nanos start = clock.Now();
         if (rng.NextUint64(10000) < static_cast<std::uint64_t>(opt.mix * 100)) {
           int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
-          if (!RemoteIncrement(client, "ctr:" + std::to_string(idx))) {
+          if (!RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx))) {
             failed.store(true);
             return;
           }
           committed[idx].fetch_add(1, std::memory_order_relaxed);
-        } else {
+        } else if (multi) {
           std::vector<std::string> keys;
           for (int k = 0; k < 3; ++k) {
             keys.push_back("data:" +
                            std::to_string(rng.NextUint64(kRemoteDataKeys)));
           }
-          client.MultiGet(keys);
+          multi->MultiGet(keys);
+        } else {
+          for (int k = 0; k < 3; ++k) {
+            stack->backend->Get("data:" +
+                                std::to_string(rng.NextUint64(kRemoteDataKeys)));
+          }
         }
         latencies[t].Record(clock.Now() - start);
         ++local_ops;
@@ -270,19 +329,18 @@ int RunRemote(const Options& opt) {
   }
 
   // Exact IQ counter balance: every committed increment — and nothing
-  // else — must be visible. A lost lease or a desynced pipeline shows up
-  // here as a mismatch.
-  std::string error;
-  auto channel = net::TcpChannel::Connect(host, port, &error);
-  if (!channel) {
+  // else — must be visible, wherever the ring placed each counter. A lost
+  // lease, a desynced pipeline, or a mis-routed fan-out shows up here as a
+  // mismatch.
+  auto check = RemoteStack::Connect(endpoints, &error);
+  if (!check) {
     std::fprintf(stderr, "iqbench: %s\n", error.c_str());
     return 1;
   }
-  net::RemoteCacheClient check(*channel);
   long long total_commits = 0;
   bool balanced = true;
   for (int i = 0; i < kRemoteCounters; ++i) {
-    auto item = check.Get("ctr:" + std::to_string(i));
+    auto item = check->backend->Get("ctr:" + std::to_string(i));
     long long expect = committed[i].load();
     long long got = item ? std::atoll(item->value.c_str()) : -1;
     total_commits += expect;
@@ -301,7 +359,13 @@ int RunRemote(const Options& opt) {
               static_cast<unsigned long long>(ops.load()), total_commits);
   std::printf("latency        %s\n", merged.Summary().c_str());
   std::printf("counter balance %s\n", balanced ? "exact" : "VIOLATED");
-  std::printf("\ncache server:\n%s", check.Stats().c_str());
+  if (check->router) {
+    std::printf("\ncache tier (aggregated + per-shard):\n%s",
+                check->router->FormatStats().c_str());
+  } else {
+    std::printf("\ncache server:\n%s",
+                net::RemoteCacheClient(check->pool->channel(0)).Stats().c_str());
+  }
   return balanced ? 0 : 1;
 }
 
