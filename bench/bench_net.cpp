@@ -76,11 +76,15 @@ double MeasureThreads(
       auto* pipelined = dynamic_cast<net::PipelinedChannel*>(channel.get());
       std::uint64_t count = static_cast<std::uint64_t>(t) * 7;  // decorrelate
       std::string bytes;
+      std::string reply;
       while (clock.Now() < deadline) {
         if (depth == 1 || pipelined == nullptr) {
           bytes.clear();
           net::AppendTo(MixRequest(count), &bytes);
-          channel->RoundTrip(bytes);
+          if (!channel->RoundTrip(bytes, &reply)) {
+            std::fprintf(stderr, "bench_net: transport failure\n");
+            std::exit(1);
+          }
           ++count;
           total.fetch_add(1, std::memory_order_relaxed);
           continue;

@@ -19,11 +19,12 @@ class TracingChannel final : public Channel {
  public:
   explicit TracingChannel(Channel& inner) : inner_(inner) {}
 
-  std::string RoundTrip(const std::string& request_bytes) override {
-    std::string reply = inner_.RoundTrip(request_bytes);
+  bool RoundTrip(const std::string& request_bytes,
+                 std::string* reply) override {
+    bool ok = inner_.RoundTrip(request_bytes, reply);
     Show(">", request_bytes);
-    Show("<", reply);
-    return reply;
+    Show("<", ok ? *reply : "(transport failure)");
+    return ok;
   }
 
  private:

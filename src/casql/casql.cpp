@@ -231,14 +231,40 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
   return out;
 }
 
+namespace {
+
+/// Bump the matching restart counter for a failed quarantine/lease request.
+void CountRestart(ClientQResult r, WriteOutcome* out) {
+  if (r == ClientQResult::kQConflict) {
+    ++out->q_restarts;
+  } else {
+    ++out->transport_restarts;
+  }
+}
+
+}  // namespace
+
 WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
   WriteOutcome out;
   const CasqlConfig& cfg = system_.config_;
   for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
-    // QaReg is always granted (Figure 5a), so placement only changes when
-    // the quarantine window opens.
+    // QaReg is always granted by a reachable server (Figure 5a), so
+    // placement only changes when the quarantine window opens. A transport
+    // error means the quarantine is NOT in place: abort and retry —
+    // committing the RDBMS txn anyway would leave the cached value
+    // permanently stale, the exact anomaly the framework exists to prevent.
+    ClientQResult q = ClientQResult::kGranted;
     if (cfg.placement == LeasePlacement::kPriorToTxn) {
-      for (const auto& u : spec.updates) session_->Quarantine(u.key);
+      for (const auto& u : spec.updates) {
+        q = session_->Quarantine(u.key);
+        if (q != ClientQResult::kGranted) break;
+      }
+      if (q != ClientQResult::kGranted) {
+        session_->Abort();
+        CountRestart(q, &out);
+        session_->Backoff();
+        continue;
+      }
     }
     auto txn = system_.db_.Begin();
     bool ok = spec.body(*txn);
@@ -254,9 +280,22 @@ WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
       return out;
     }
     if (cfg.placement == LeasePlacement::kInsideTxn) {
-      for (const auto& u : spec.updates) session_->Quarantine(u.key);
+      for (const auto& u : spec.updates) {
+        q = session_->Quarantine(u.key);
+        if (q != ClientQResult::kGranted) break;
+      }
+      if (q != ClientQResult::kGranted) {
+        txn->Rollback();
+        session_->Abort();
+        CountRestart(q, &out);
+        session_->Backoff();
+        continue;
+      }
     }
     txn->Commit();
+    // Past this point failures are tolerable: the quarantines are in place,
+    // so even if this DaR never reaches the server the Q leases expire and
+    // delete the keys — the KVS stays a subset of the RDBMS.
     session_->Commit();  // DaR: delete quarantined keys, release Q leases
     out.committed = true;
     return out;
@@ -287,24 +326,21 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
       }
     }
 
-    bool q_conflict = false;
+    ClientQResult q = ClientQResult::kGranted;
     for (std::size_t i = 0; i < n; ++i) {
-      if (spec.updates[i].invalidate) {
-        session_->Quarantine(spec.updates[i].key);  // always granted
-        continue;
-      }
-      if (session_->QaRead(spec.updates[i].key, olds[i]) ==
-          ClientQResult::kQConflict) {
-        q_conflict = true;
-        break;
-      }
+      q = spec.updates[i].invalidate
+              ? session_->Quarantine(spec.updates[i].key)
+              : session_->QaRead(spec.updates[i].key, olds[i]);
+      if (q != ClientQResult::kGranted) break;
     }
-    if (q_conflict) {
+    if (q != ClientQResult::kGranted) {
       // Figure 5b: release every lease, roll back the RDBMS transaction,
-      // back off, restart the whole session.
+      // back off, restart the whole session. A transport error takes the
+      // same path — the Q lease may not be held, so committing would race
+      // unprotected against concurrent readers.
       if (txn) txn->Rollback();
       session_->Abort();
-      ++out.q_restarts;
+      CountRestart(q, &out);
       session_->Backoff();
       continue;
     }
@@ -329,6 +365,9 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
     }
 
     txn->Commit();
+    // Post-RDBMS-commit failures are tolerable: every impacted key holds a
+    // Q lease, and an unreleased Q lease expires server-side and deletes
+    // the key — stale values cannot survive a lost SaR/Commit.
     for (std::size_t i = 0; i < n; ++i) {
       if (spec.updates[i].invalidate) continue;
       auto v = news[i] ? std::optional<std::string_view>(*news[i])
@@ -361,22 +400,21 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
       }
     }
 
-    bool q_conflict = false;
+    ClientQResult q = ClientQResult::kGranted;
     for (const auto& u : spec.updates) {
       if (u.invalidate) {
-        session_->Quarantine(u.key);  // always granted
+        q = session_->Quarantine(u.key);
+      } else if (u.delta) {
+        q = session_->Delta(u.key, *u.delta);
+      } else {
         continue;
       }
-      if (!u.delta) continue;
-      if (session_->Delta(u.key, *u.delta) == ClientQResult::kQConflict) {
-        q_conflict = true;
-        break;
-      }
+      if (q != ClientQResult::kGranted) break;
     }
-    if (q_conflict) {
+    if (q != ClientQResult::kGranted) {
       if (txn) txn->Rollback();
       session_->Abort();
-      ++out.q_restarts;
+      CountRestart(q, &out);
       session_->Backoff();
       continue;
     }

@@ -83,6 +83,10 @@ struct WriteOutcome {
   int q_restarts = 0;
   /// Restarts forced by RDBMS write-write conflicts.
   int rdbms_restarts = 0;
+  /// Restarts forced by cache transport errors before the RDBMS commit.
+  /// The write path NEVER commits "uncached": a quarantine/lease that may
+  /// not be in place means abort, back off, reconnect, retry.
+  int transport_restarts = 0;
 };
 
 struct ReadOutcome {

@@ -1,0 +1,177 @@
+// FaultBackend: deterministic transport-error injection at the KvsBackend
+// seam, for tests above the wire layer (IQSession restart discipline,
+// ShardedBackend circuit breaking) that don't want a real channel in the
+// loop. Each verb can be armed to fail its next N calls with the verb's
+// transport-error shape (kTransportError, id 0, nullopt, false — exactly
+// what net::RemoteBackend reports for a dead connection), or the whole
+// backend can be taken down.
+//
+// Void verbs (DaR/Commit/Abort/ReleaseKey) "fail" by not forwarding — the
+// wire-layer reality of a commit that never reached the server.
+//
+// Thread safety: as safe as the wrapped backend; the armed counters are
+// atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/kvs_backend.h"
+
+namespace iq {
+
+class FaultBackend final : public KvsBackend {
+ public:
+  enum class Verb {
+    kGenID,
+    kIQget,
+    kIQset,
+    kQaRead,
+    kSaR,
+    kQaReg,
+    kDaR,
+    kIQDelta,
+    kCommit,
+    kAbort,
+    kReleaseKey,
+    kPlainRead,   // Get / Incr / Decr
+    kPlainWrite,  // Set / Add / Cas / Append / Prepend / DeleteVoid
+  };
+  static constexpr std::size_t kVerbCount = 13;
+
+  explicit FaultBackend(KvsBackend& inner) : inner_(inner) {}
+
+  /// Arm `verb` to fail its next `n` calls.
+  void FailNext(Verb verb, int n = 1) {
+    armed_[static_cast<std::size_t>(verb)].store(n, std::memory_order_relaxed);
+  }
+  /// Every verb fails while true (a crashed server).
+  void SetDown(bool down) { down_.store(down, std::memory_order_relaxed); }
+  std::uint64_t faults_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  const Clock& clock() const override { return inner_.clock(); }
+
+  SessionId GenID() override {
+    if (Fire(Verb::kGenID)) return 0;
+    return inner_.GenID();
+  }
+  GetReply IQget(std::string_view key, SessionId session = 0) override {
+    if (Fire(Verb::kIQget)) {
+      GetReply r;
+      r.status = GetReply::Status::kTransportError;
+      return r;
+    }
+    return inner_.IQget(key, session);
+  }
+  StoreResult IQset(std::string_view key, std::string_view value,
+                    LeaseToken token) override {
+    if (Fire(Verb::kIQset)) return StoreResult::kTransportError;
+    return inner_.IQset(key, value, token);
+  }
+  QaReadReply QaRead(std::string_view key, SessionId session) override {
+    if (Fire(Verb::kQaRead)) {
+      QaReadReply r;
+      r.status = QaReadReply::Status::kTransportError;
+      return r;
+    }
+    return inner_.QaRead(key, session);
+  }
+  StoreResult SaR(std::string_view key, std::optional<std::string_view> v_new,
+                  LeaseToken token) override {
+    if (Fire(Verb::kSaR)) return StoreResult::kTransportError;
+    return inner_.SaR(key, v_new, token);
+  }
+  QuarantineResult QaReg(SessionId tid, std::string_view key) override {
+    if (Fire(Verb::kQaReg)) return QuarantineResult::kTransportError;
+    return inner_.QaReg(tid, key);
+  }
+  void DaR(SessionId tid) override {
+    if (Fire(Verb::kDaR)) return;
+    inner_.DaR(tid);
+  }
+  QuarantineResult IQDelta(SessionId tid, std::string_view key,
+                           DeltaOp delta) override {
+    if (Fire(Verb::kIQDelta)) return QuarantineResult::kTransportError;
+    return inner_.IQDelta(tid, key, std::move(delta));
+  }
+  void Commit(SessionId tid) override {
+    if (Fire(Verb::kCommit)) return;
+    inner_.Commit(tid);
+  }
+  void Abort(SessionId tid) override {
+    if (Fire(Verb::kAbort)) return;
+    inner_.Abort(tid);
+  }
+  void ReleaseKey(SessionId tid, std::string_view key) override {
+    if (Fire(Verb::kReleaseKey)) return;
+    inner_.ReleaseKey(tid, key);
+  }
+
+  std::optional<CacheItem> Get(std::string_view key) override {
+    if (Fire(Verb::kPlainRead)) return std::nullopt;
+    return inner_.Get(key);
+  }
+  StoreResult Set(std::string_view key, std::string_view value) override {
+    if (Fire(Verb::kPlainWrite)) return StoreResult::kTransportError;
+    return inner_.Set(key, value);
+  }
+  StoreResult Add(std::string_view key, std::string_view value) override {
+    if (Fire(Verb::kPlainWrite)) return StoreResult::kTransportError;
+    return inner_.Add(key, value);
+  }
+  StoreResult Cas(std::string_view key, std::string_view value,
+                  std::uint64_t cas) override {
+    if (Fire(Verb::kPlainWrite)) return StoreResult::kTransportError;
+    return inner_.Cas(key, value, cas);
+  }
+  StoreResult Append(std::string_view key, std::string_view blob) override {
+    if (Fire(Verb::kPlainWrite)) return StoreResult::kTransportError;
+    return inner_.Append(key, blob);
+  }
+  StoreResult Prepend(std::string_view key, std::string_view blob) override {
+    if (Fire(Verb::kPlainWrite)) return StoreResult::kTransportError;
+    return inner_.Prepend(key, blob);
+  }
+  std::optional<std::uint64_t> Incr(std::string_view key,
+                                    std::uint64_t amount) override {
+    if (Fire(Verb::kPlainRead)) return std::nullopt;
+    return inner_.Incr(key, amount);
+  }
+  std::optional<std::uint64_t> Decr(std::string_view key,
+                                    std::uint64_t amount) override {
+    if (Fire(Verb::kPlainRead)) return std::nullopt;
+    return inner_.Decr(key, amount);
+  }
+  bool DeleteVoid(std::string_view key) override {
+    if (Fire(Verb::kPlainWrite)) return false;
+    return inner_.DeleteVoid(key);
+  }
+
+ private:
+  /// True when this call must fail: the backend is down, or the verb's
+  /// armed budget was positive (decremented by one).
+  bool Fire(Verb verb) {
+    if (down_.load(std::memory_order_relaxed)) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::atomic<int>& armed = armed_[static_cast<std::size_t>(verb)];
+    int n = armed.load(std::memory_order_relaxed);
+    while (n > 0) {
+      if (armed.compare_exchange_weak(n, n - 1, std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  KvsBackend& inner_;
+  std::atomic<int> armed_[kVerbCount] = {};
+  std::atomic<bool> down_{false};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace iq

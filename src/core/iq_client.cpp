@@ -29,7 +29,13 @@ IQSession::~IQSession() {
   // node: abort explicitly so leases release immediately rather than
   // waiting for expiry.
   if (!i_tokens_.empty() || !q_tokens_.empty()) Abort();
-  client_.backend_.Abort(id_);
+  if (id_ != 0) client_.backend_.Abort(id_);
+}
+
+bool IQSession::EnsureId() {
+  if (id_ != 0) return true;
+  id_ = client_.backend_.GenID();
+  return id_ != 0;
 }
 
 ClientGetResult IQSession::Get(std::string_view key, int max_retries) {
@@ -42,6 +48,12 @@ ClientGetResult IQSession::Get(std::string_view key, int max_retries) {
         i_tokens_[std::string(key)] = reply.token;
         return {ClientGetResult::Status::kMissRecompute, {}};
       case GetReply::Status::kMissNoLease:
+        return {ClientGetResult::Status::kMissNoInstall, {}};
+      case GetReply::Status::kTransportError:
+        // Cache unreachable: degrade the read to RDBMS pass-through. No I
+        // lease exists, so kMissNoInstall is exact — compute fresh, install
+        // nothing. Retrying here would spin the budget against a dead host.
+        ++stats_.transport_errors;
         return {ClientGetResult::Status::kMissNoInstall, {}};
       case GetReply::Status::kMissBackoff: {
         ++stats_.get_backoffs;
@@ -61,16 +73,38 @@ void IQSession::Put(std::string_view key, std::string_view value) {
   i_tokens_.erase(it);
 }
 
-void IQSession::Quarantine(std::string_view key) {
-  client_.backend_.QaReg(id_, key);
+ClientQResult IQSession::Quarantine(std::string_view key) {
+  if (!EnsureId()) {
+    ++stats_.transport_errors;
+    return ClientQResult::kTransportError;
+  }
+  switch (client_.backend_.QaReg(id_, key)) {
+    case QuarantineResult::kGranted:
+      return ClientQResult::kGranted;
+    case QuarantineResult::kReject:
+      ++stats_.q_conflicts;
+      return ClientQResult::kQConflict;
+    case QuarantineResult::kTransportError:
+      ++stats_.transport_errors;
+      return ClientQResult::kTransportError;
+  }
+  return ClientQResult::kTransportError;
 }
 
 ClientQResult IQSession::QaRead(std::string_view key,
                                 std::optional<std::string>& value) {
+  if (!EnsureId()) {
+    ++stats_.transport_errors;
+    return ClientQResult::kTransportError;
+  }
   QaReadReply reply = client_.backend_.QaRead(key, id_);
   if (reply.status == QaReadReply::Status::kReject) {
     ++stats_.q_conflicts;
     return ClientQResult::kQConflict;
+  }
+  if (reply.status == QaReadReply::Status::kTransportError) {
+    ++stats_.transport_errors;
+    return ClientQResult::kTransportError;
   }
   q_tokens_[std::string(key)] = reply.token;
   value = std::move(reply.value);
@@ -86,12 +120,21 @@ void IQSession::SaR(std::string_view key,
 }
 
 ClientQResult IQSession::Delta(std::string_view key, DeltaOp delta) {
-  QuarantineResult r = client_.backend_.IQDelta(id_, key, std::move(delta));
-  if (r == QuarantineResult::kReject) {
-    ++stats_.q_conflicts;
-    return ClientQResult::kQConflict;
+  if (!EnsureId()) {
+    ++stats_.transport_errors;
+    return ClientQResult::kTransportError;
   }
-  return ClientQResult::kGranted;
+  switch (client_.backend_.IQDelta(id_, key, std::move(delta))) {
+    case QuarantineResult::kGranted:
+      return ClientQResult::kGranted;
+    case QuarantineResult::kReject:
+      ++stats_.q_conflicts;
+      return ClientQResult::kQConflict;
+    case QuarantineResult::kTransportError:
+      ++stats_.transport_errors;
+      return ClientQResult::kTransportError;
+  }
+  return ClientQResult::kTransportError;
 }
 
 ClientQResult IQSession::Append(std::string_view key, std::string_view blob) {

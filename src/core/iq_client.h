@@ -43,12 +43,17 @@ struct ClientGetResult {
 enum class ClientQResult {
   kGranted,
   kQConflict,  // release all leases, roll back, back off, restart session
+  kTransportError,  // cache unreachable; the lease/quarantine is NOT in
+                    // place. The caller must treat this like a conflict
+                    // (roll back, back off, restart) — never commit the
+                    // RDBMS txn as if the quarantine succeeded.
 };
 
 /// Per-session client-side counters (drives Table 6).
 struct SessionStats {
   std::uint64_t get_backoffs = 0;
   std::uint64_t q_conflicts = 0;
+  std::uint64_t transport_errors = 0;
 };
 
 class IQClient;
@@ -66,7 +71,11 @@ class IQSession {
 
   // ---- read path ----------------------------------------------------------
 
-  /// IQget with transparent back-off (up to `max_retries` attempts).
+  /// IQget with transparent back-off (up to `max_retries` attempts). A
+  /// transport error surfaces as kMissNoInstall: read the RDBMS directly,
+  /// install nothing — safe (no token exists to install with) and it
+  /// degrades reads to pass-through instead of spinning the retry budget
+  /// against an unreachable server.
   ClientGetResult Get(std::string_view key, int max_retries = 100);
 
   /// Install a value computed after a kMissRecompute. Silently ignored by
@@ -75,8 +84,10 @@ class IQSession {
 
   // ---- write path: invalidate ----------------------------------------------
 
-  /// Quarantine `key` for deletion at Commit (QaReg; always granted).
-  void Quarantine(std::string_view key);
+  /// Quarantine `key` for deletion at Commit (QaReg). Granted whenever the
+  /// server is reachable; kTransportError means the quarantine is NOT in
+  /// place and the session must abort/back off/retry, not commit.
+  ClientQResult Quarantine(std::string_view key);
 
   // ---- write path: refresh ---------------------------------------------------
 
@@ -116,6 +127,11 @@ class IQSession {
  private:
   friend class IQClient;
   IQSession(IQClient& client, SessionId id);
+
+  /// Sessions minted while the server was unreachable carry id 0; re-mint
+  /// lazily so such a session heals once the backend reconnects. False
+  /// while the backend stays unreachable.
+  bool EnsureId();
 
   IQClient& client_;
   SessionId id_;

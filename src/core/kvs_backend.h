@@ -28,6 +28,8 @@ struct GetReply {
     kMissBackoff,  // miss; another session holds a lease - back off, retry
     kMissNoLease,  // miss for the session's own quarantined key: query the
                    // RDBMS inside the session, do not install (Section 3.3)
+    kTransportError,  // the cache server is unreachable (remote backends
+                      // only): query the RDBMS, do not install, do not spin
   };
   Status status;
   std::string value;     // valid when kHit
@@ -39,6 +41,8 @@ struct QaReadReply {
   enum class Status {
     kGranted,  // Q lease held; `value` may be nullopt (KVS miss)
     kReject,   // another write session holds Q: release all, abort, retry
+    kTransportError,  // the cache server is unreachable: the lease state is
+                      // unknown — abort the RDBMS txn, back off, retry
   };
   Status status;
   std::optional<std::string> value;
@@ -49,6 +53,8 @@ struct QaReadReply {
 enum class QuarantineResult {
   kGranted,
   kReject,  // conflicting Q(refresh) lease; session must abort and retry
+  kTransportError,  // unreachable server: quarantine NOT in place — the
+                    // session must never commit its RDBMS txn on this signal
 };
 
 class KvsBackend {

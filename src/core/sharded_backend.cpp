@@ -59,7 +59,9 @@ ShardedBackend::ShardedBackend(std::vector<Shard> shards, Config config)
       config_(config),
       clock_(config.clock != nullptr ? *config.clock
                                      : SteadyClock::Instance()),
-      stripes_(config.session_stripes > 0 ? config.session_stripes : 1) {
+      stripes_(config.session_stripes > 0 ? config.session_stripes : 1),
+      health_(std::make_unique<ShardHealth[]>(
+          shards_.empty() ? 1 : shards_.size())) {
   if (shards_.empty()) {
     throw std::invalid_argument("ShardedBackend: no shards");
   }
@@ -93,6 +95,50 @@ std::size_t ShardedBackend::ShardFor(std::string_view key) const {
   return it->shard;
 }
 
+// ---- shard health ----------------------------------------------------------
+
+bool ShardedBackend::AllowRequest(std::size_t shard) {
+  ShardHealth& h = health_[shard];
+  if (!h.down.load(std::memory_order_acquire)) return true;
+  // Down: ration real requests to one probe per interval. The CAS claims
+  // the slot; losers fail fast with zero syscalls.
+  Nanos due = h.next_probe.load(std::memory_order_acquire);
+  Nanos now = clock_.Now();
+  return now >= due &&
+         h.next_probe.compare_exchange_strong(due, now + config_.probe_interval,
+                                              std::memory_order_acq_rel);
+}
+
+void ShardedBackend::RecordResult(std::size_t shard, bool transport_error) {
+  ShardHealth& h = health_[shard];
+  if (!transport_error) {
+    // Loads before stores: keep the healthy fast path read-only on the
+    // shared health line so concurrent sessions don't ping-pong it.
+    if (h.consecutive_errors.load(std::memory_order_relaxed) != 0) {
+      h.consecutive_errors.store(0, std::memory_order_relaxed);
+    }
+    if (h.down.load(std::memory_order_acquire) &&
+        h.down.exchange(false, std::memory_order_acq_rel)) {
+      shard_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  h.transport_errors.fetch_add(1, std::memory_order_relaxed);
+  transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  std::uint32_t streak =
+      h.consecutive_errors.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.down_after_errors == 0) return;  // breaker disabled
+  if (streak >= config_.down_after_errors) {
+    if (!h.down.exchange(true, std::memory_order_acq_rel)) {
+      shard_trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Tripping and a failed probe both push the next probe out one full
+    // interval from now.
+    h.next_probe.store(clock_.Now() + config_.probe_interval,
+                       std::memory_order_release);
+  }
+}
+
 // ---- session plumbing ------------------------------------------------------
 
 SessionId ShardedBackend::GenID() {
@@ -113,6 +159,8 @@ SessionId ShardedBackend::ShardSession(SessionId tid, std::size_t shard) {
   // Mint outside the stripe lock: on a remote shard this is a round trip,
   // and other sessions in the stripe must not wait behind it.
   SessionId child = shards_[shard].backend->GenID();
+  if (child == 0) return 0;  // mint failed (dead remote): caller maps to
+                             // kTransportError; nothing to record in the map
   std::lock_guard lock(st.mu);
   SessionState& state = st.sessions.try_emplace(tid).first->second;
   if (state.shard_sids.empty()) state.shard_sids.resize(shards_.size(), 0);
@@ -149,7 +197,9 @@ std::vector<SessionId> ShardedBackend::TakeSession(SessionId tid) {
 void ShardedBackend::ReleaseAllTouched(SessionId tid) {
   std::vector<SessionId> sids = TakeSession(tid);
   for (std::size_t i = 0; i < sids.size(); ++i) {
-    if (sids[i] != 0) shards_[i].backend->Abort(sids[i]);
+    // Down shards are skipped, not probed: an Abort cannot report success,
+    // and the child's lease expiry reclaims whatever the session held.
+    if (sids[i] != 0 && !ShardDown(i)) shards_[i].backend->Abort(sids[i]);
   }
 }
 
@@ -157,20 +207,41 @@ void ShardedBackend::ReleaseAllTouched(SessionId tid) {
 
 GetReply ShardedBackend::IQget(std::string_view key, SessionId session) {
   std::size_t s = ShardFor(key);
+  GetReply err;
+  err.status = GetReply::Status::kTransportError;
+  if (!AllowRequest(s)) return err;  // down: degrade to RDBMS pass-through
   SessionId sid = session == 0 ? 0 : ShardSession(session, s);
-  return shards_[s].backend->IQget(key, sid);
+  if (session != 0 && sid == 0) {
+    RecordResult(s, true);  // the mint round trip failed
+    return err;
+  }
+  GetReply reply = shards_[s].backend->IQget(key, sid);
+  RecordResult(s, reply.status == GetReply::Status::kTransportError);
+  return reply;
 }
 
 StoreResult ShardedBackend::IQset(std::string_view key, std::string_view value,
                                   LeaseToken token) {
   // Tokens are child-issued; the key's shard is the child that issued it.
-  return shards_[ShardFor(key)].backend->IQset(key, value, token);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->IQset(key, value, token);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 QaReadReply ShardedBackend::QaRead(std::string_view key, SessionId session) {
   std::size_t s = ShardFor(key);
-  QaReadReply reply =
-      shards_[s].backend->QaRead(key, ShardSession(session, s));
+  QaReadReply err;
+  err.status = QaReadReply::Status::kTransportError;
+  if (!AllowRequest(s)) return err;  // down: fail the write session fast
+  SessionId sid = ShardSession(session, s);
+  if (sid == 0) {
+    RecordResult(s, true);
+    return err;
+  }
+  QaReadReply reply = shards_[s].backend->QaRead(key, sid);
+  RecordResult(s, reply.status == QaReadReply::Status::kTransportError);
   if (reply.status == QaReadReply::Status::kReject) {
     // "Release all, abort, retry" (Figure 5b) — enforced here so a Q lease
     // held on another shard cannot outlive the reject and deadlock the
@@ -185,12 +256,24 @@ QaReadReply ShardedBackend::QaRead(std::string_view key, SessionId session) {
 StoreResult ShardedBackend::SaR(std::string_view key,
                                 std::optional<std::string_view> v_new,
                                 LeaseToken token) {
-  return shards_[ShardFor(key)].backend->SaR(key, v_new, token);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->SaR(key, v_new, token);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 QuarantineResult ShardedBackend::QaReg(SessionId tid, std::string_view key) {
   std::size_t s = ShardFor(key);
-  return shards_[s].backend->QaReg(ShardSession(tid, s), key);
+  if (!AllowRequest(s)) return QuarantineResult::kTransportError;
+  SessionId sid = ShardSession(tid, s);
+  if (sid == 0) {
+    RecordResult(s, true);
+    return QuarantineResult::kTransportError;
+  }
+  QuarantineResult r = shards_[s].backend->QaReg(sid, key);
+  RecordResult(s, r == QuarantineResult::kTransportError);
+  return r;
 }
 
 void ShardedBackend::DaR(SessionId tid) {
@@ -199,6 +282,7 @@ void ShardedBackend::DaR(SessionId tid) {
   for (std::size_t i = 0; i < sids.size(); ++i) {
     if (sids[i] == 0) continue;
     ++touched;
+    if (ShardDown(i)) continue;  // lease expiry deletes the keys instead
     shards_[i].backend->DaR(sids[i]);
   }
   if (touched > 0) fanout_commits_.fetch_add(1, std::memory_order_relaxed);
@@ -210,8 +294,14 @@ void ShardedBackend::DaR(SessionId tid) {
 QuarantineResult ShardedBackend::IQDelta(SessionId tid, std::string_view key,
                                          DeltaOp delta) {
   std::size_t s = ShardFor(key);
-  QuarantineResult r =
-      shards_[s].backend->IQDelta(ShardSession(tid, s), key, std::move(delta));
+  if (!AllowRequest(s)) return QuarantineResult::kTransportError;
+  SessionId sid = ShardSession(tid, s);
+  if (sid == 0) {
+    RecordResult(s, true);
+    return QuarantineResult::kTransportError;
+  }
+  QuarantineResult r = shards_[s].backend->IQDelta(sid, key, std::move(delta));
+  RecordResult(s, r == QuarantineResult::kTransportError);
   if (r == QuarantineResult::kReject) {
     ReleaseAllTouched(tid);  // same rule as a QaRead reject
     reject_releases_.fetch_add(1, std::memory_order_relaxed);
@@ -225,6 +315,10 @@ void ShardedBackend::Commit(SessionId tid) {
   for (std::size_t i = 0; i < sids.size(); ++i) {
     if (sids[i] == 0) continue;
     ++touched;
+    // Safe to skip a down shard: its unreleased leases expire, and expiry
+    // DELETES the key (Section 6.1) — readers recompute from the RDBMS, so
+    // no stale value survives the missed commit.
+    if (ShardDown(i)) continue;
     shards_[i].backend->Commit(sids[i]);
   }
   if (touched > 0) fanout_commits_.fetch_add(1, std::memory_order_relaxed);
@@ -239,6 +333,7 @@ void ShardedBackend::Abort(SessionId tid) {
   for (std::size_t i = 0; i < sids.size(); ++i) {
     if (sids[i] == 0) continue;
     ++touched;
+    if (ShardDown(i)) continue;  // same expiry backstop as Commit
     shards_[i].backend->Abort(sids[i]);
   }
   if (touched > 0) fanout_aborts_.fetch_add(1, std::memory_order_relaxed);
@@ -251,50 +346,84 @@ void ShardedBackend::ReleaseKey(SessionId tid, std::string_view key) {
   std::size_t s = ShardFor(key);
   SessionId sid = LookupShardSession(tid, s);
   if (sid == 0) return;  // never touched that shard: nothing held there
+  if (ShardDown(s)) return;  // expiry reclaims the lease
   shards_[s].backend->ReleaseKey(sid, key);
 }
 
 // ---- plain memcached operations --------------------------------------------
 
+// The optional/bool-returning operations have no distinct error channel (a
+// dead remote already surfaces as nullopt/false), so they cannot feed the
+// breaker; they only honor it with a ShardDown fast path — no probe slot
+// consumed, since their outcome could not heal the shard anyway.
+
 std::optional<CacheItem> ShardedBackend::Get(std::string_view key) {
-  return shards_[ShardFor(key)].backend->Get(key);
+  std::size_t s = ShardFor(key);
+  if (ShardDown(s)) return std::nullopt;  // degraded read: miss, no install
+  return shards_[s].backend->Get(key);
 }
 
 StoreResult ShardedBackend::Set(std::string_view key, std::string_view value) {
-  return shards_[ShardFor(key)].backend->Set(key, value);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->Set(key, value);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 StoreResult ShardedBackend::Add(std::string_view key, std::string_view value) {
-  return shards_[ShardFor(key)].backend->Add(key, value);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->Add(key, value);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 StoreResult ShardedBackend::Cas(std::string_view key, std::string_view value,
                                 std::uint64_t cas) {
-  return shards_[ShardFor(key)].backend->Cas(key, value, cas);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->Cas(key, value, cas);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 StoreResult ShardedBackend::Append(std::string_view key,
                                    std::string_view blob) {
-  return shards_[ShardFor(key)].backend->Append(key, blob);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->Append(key, blob);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 StoreResult ShardedBackend::Prepend(std::string_view key,
                                     std::string_view blob) {
-  return shards_[ShardFor(key)].backend->Prepend(key, blob);
+  std::size_t s = ShardFor(key);
+  if (!AllowRequest(s)) return StoreResult::kTransportError;
+  StoreResult r = shards_[s].backend->Prepend(key, blob);
+  RecordResult(s, r == StoreResult::kTransportError);
+  return r;
 }
 
 std::optional<std::uint64_t> ShardedBackend::Incr(std::string_view key,
                                                   std::uint64_t amount) {
-  return shards_[ShardFor(key)].backend->Incr(key, amount);
+  std::size_t s = ShardFor(key);
+  if (ShardDown(s)) return std::nullopt;
+  return shards_[s].backend->Incr(key, amount);
 }
 
 std::optional<std::uint64_t> ShardedBackend::Decr(std::string_view key,
                                                   std::uint64_t amount) {
-  return shards_[ShardFor(key)].backend->Decr(key, amount);
+  std::size_t s = ShardFor(key);
+  if (ShardDown(s)) return std::nullopt;
+  return shards_[s].backend->Decr(key, amount);
 }
 
 bool ShardedBackend::DeleteVoid(std::string_view key) {
-  return shards_[ShardFor(key)].backend->DeleteVoid(key);
+  std::size_t s = ShardFor(key);
+  if (ShardDown(s)) return false;
+  return shards_[s].backend->DeleteVoid(key);
 }
 
 // ---- introspection ---------------------------------------------------------
@@ -316,6 +445,9 @@ ShardedBackendStats ShardedBackend::router_stats() const {
   s.cross_shard_sessions =
       cross_shard_sessions_.load(std::memory_order_relaxed);
   s.reject_releases = reject_releases_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.shard_trips = shard_trips_.load(std::memory_order_relaxed);
+  s.shard_recoveries = shard_recoveries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -333,12 +465,26 @@ std::string ShardedBackend::FormatStats() const {
   stat("router_fanout_aborts", router.fanout_aborts);
   stat("router_cross_shard_sessions", router.cross_shard_sessions);
   stat("router_reject_releases", router.reject_releases);
+  stat("transport_errors", router.transport_errors);
+  stat("shard_trips", router.shard_trips);
+  stat("shard_recoveries", router.shard_recoveries);
+  std::uint64_t reconnects = 0;
+  for (const Shard& s : shards_) {
+    if (s.reconnects) reconnects += s.reconnects();
+  }
+  stat("reconnects", reconnects);
   IQServerStats total = Stats();
   for (const CounterField& f : kCounterFields) stat(f.name, total.*f.field);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::string prefix = "shard" + std::to_string(i) + "_";
     out << "STAT " << prefix << "endpoint " << shards_[i].name << "\r\n";
     stat(prefix + "weight", shards_[i].weight);
+    stat(prefix + "down", ShardDown(i) ? 1 : 0);
+    stat(prefix + "transport_errors",
+         health_[i].transport_errors.load(std::memory_order_relaxed));
+    if (shards_[i].reconnects) {
+      stat(prefix + "reconnects", shards_[i].reconnects());
+    }
     if (!shards_[i].stats) continue;
     IQServerStats s = shards_[i].stats();
     for (const CounterField& f : kCounterFields) {

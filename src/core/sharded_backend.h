@@ -23,6 +23,16 @@
 // it backs off — the paper's "release all, abort, retry" rule, enforced
 // at the router even if a caller forgets.
 //
+// Fault tolerance: a per-shard circuit breaker watches for transport
+// errors from the child. After `down_after_errors` consecutive failures
+// the shard is marked down and operations on its keys fail fast with
+// kTransportError — reads then degrade to RDBMS pass-through and writes
+// restart their session, both without waiting out a connect timeout per
+// request. One request per probe_interval is let through as a health
+// probe; its first success heals the shard. The healthy shards are never
+// affected: keys stay put on the ring (no rerouting — moving a key to
+// another shard would abandon the leases protecting it on its home shard).
+//
 // Thread safety: safe for concurrent sessions (the session map is striped
 // by virtual id); one session stays single-threaded, as everywhere else in
 // this codebase. Child backends must themselves be thread-safe if shared.
@@ -31,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -50,6 +61,9 @@ struct ShardedBackendStats {
   std::uint64_t fanout_aborts = 0;       // logical aborts
   std::uint64_t cross_shard_sessions = 0;  // sessions that touched >1 shard
   std::uint64_t reject_releases = 0;     // fan-out releases after a Q reject
+  std::uint64_t transport_errors = 0;    // child calls that failed transport
+  std::uint64_t shard_trips = 0;         // shards marked down
+  std::uint64_t shard_recoveries = 0;    // shards healed by a probe
 };
 
 class ShardedBackend final : public KvsBackend {
@@ -65,6 +79,9 @@ class ShardedBackend final : public KvsBackend {
     /// IQServer::Stats for an in-process child; for a TCP child use
     /// net::ParseIQStats over the child's `stats` response.
     std::function<IQServerStats()> stats;
+    /// Optional reconnect counter for FormatStats(); bind
+    /// net::ReconnectingChannel::reconnects for a TCP child.
+    std::function<std::uint64_t()> reconnects;
   };
 
   struct Config {
@@ -72,6 +89,13 @@ class ShardedBackend final : public KvsBackend {
     /// distribution at O(points) ring-build cost; lookups stay O(log n).
     std::size_t vnodes_per_weight = 64;
     std::size_t session_stripes = 16;
+    /// Consecutive transport errors before a shard is marked down. Down
+    /// shards fail fast (no round trip): reads degrade to RDBMS
+    /// pass-through, writes restart their session. 0 disables tripping.
+    std::uint32_t down_after_errors = 3;
+    /// While a shard is down, at most one request per interval goes through
+    /// as a health probe; its success heals the shard for everyone.
+    Nanos probe_interval = 500 * kNanosPerMilli;
     const Clock* clock = nullptr;  // null = process steady clock
   };
 
@@ -115,6 +139,10 @@ class ShardedBackend final : public KvsBackend {
 
   std::size_t shard_count() const { return shards_.size(); }
   const Shard& shard(std::size_t i) const { return shards_[i]; }
+  /// True while shard `i` is tripped (failing fast between probes).
+  bool ShardDown(std::size_t i) const {
+    return health_[i].down.load(std::memory_order_acquire);
+  }
   /// Ring position of `key` (stable across router instances with the same
   /// shard list).
   std::size_t ShardFor(std::string_view key) const;
@@ -145,6 +173,16 @@ class ShardedBackend final : public KvsBackend {
     std::uint64_t point;
     std::uint32_t shard;
   };
+  /// Per-shard circuit breaker. Trips after `down_after_errors` consecutive
+  /// transport failures; while tripped, `next_probe` rations real requests
+  /// to one per probe_interval (CAS-claimed) and everyone else fails fast
+  /// with zero syscalls.
+  struct alignas(64) ShardHealth {
+    std::atomic<std::uint32_t> consecutive_errors{0};
+    std::atomic<bool> down{false};
+    std::atomic<Nanos> next_probe{0};
+    std::atomic<std::uint64_t> transport_errors{0};
+  };
 
   Stripe& StripeFor(SessionId s) const {
     return stripes_[s % stripes_.size()];
@@ -163,11 +201,22 @@ class ShardedBackend final : public KvsBackend {
   /// mandatory release after a child rejected QaRead/IQDelta.
   void ReleaseAllTouched(SessionId tid);
 
+  /// False while the shard is down and the probe slot for this interval is
+  /// already claimed: the caller must fail fast without touching the child.
+  /// True means "go ahead" — either the shard is healthy or this caller won
+  /// the probe slot.
+  bool AllowRequest(std::size_t shard);
+  /// Feed the circuit breaker after a child call. Success resets the error
+  /// streak and heals a down shard; a transport error extends it and trips
+  /// the shard at the configured threshold.
+  void RecordResult(std::size_t shard, bool transport_error);
+
   std::vector<Shard> shards_;
   Config config_;
   const Clock& clock_;
   std::vector<RingPoint> ring_;  // sorted by point
   mutable std::vector<Stripe> stripes_;
+  std::unique_ptr<ShardHealth[]> health_;  // one per shard
   std::atomic<SessionId> next_sid_{1};
 
   // Router counters, same relaxed-atomic discipline as IQShardStats.
@@ -177,6 +226,9 @@ class ShardedBackend final : public KvsBackend {
   std::atomic<std::uint64_t> fanout_aborts_{0};
   std::atomic<std::uint64_t> cross_shard_sessions_{0};
   std::atomic<std::uint64_t> reject_releases_{0};
+  std::atomic<std::uint64_t> transport_errors_{0};
+  std::atomic<std::uint64_t> shard_trips_{0};
+  std::atomic<std::uint64_t> shard_recoveries_{0};
 };
 
 }  // namespace iq

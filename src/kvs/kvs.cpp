@@ -11,6 +11,7 @@ const char* ToString(StoreResult r) {
     case StoreResult::kNotStored: return "NOT_STORED";
     case StoreResult::kExists: return "EXISTS";
     case StoreResult::kNotFound: return "NOT_FOUND";
+    case StoreResult::kTransportError: return "TRANSPORT_ERROR";
   }
   return "?";
 }

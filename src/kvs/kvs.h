@@ -38,6 +38,8 @@ enum class StoreResult {
   kNotStored,  // add on existing key / replace-append-prepend on missing key
   kExists,     // cas version mismatch
   kNotFound,   // cas/delete/incr on missing key
+  kTransportError,  // remote backend only: the command may or may not have
+                    // reached the server (CacheStore never returns this)
 };
 
 const char* ToString(StoreResult r);

@@ -10,9 +10,10 @@ LoopbackChannel::LoopbackChannel(IQServer& server, Nanos one_way_latency,
       latency_(one_way_latency),
       clock_(clock != nullptr ? *clock : SteadyClock::Instance()) {}
 
-std::string LoopbackChannel::RoundTrip(const std::string& request_bytes) {
+bool LoopbackChannel::RoundTrip(const std::string& request_bytes,
+                                std::string* reply) {
   if (latency_ > 0) SleepFor(clock_, latency_);
-  std::string reply;
+  reply->clear();
   {
     std::lock_guard lock(mu_);
     parser_.Feed(request_bytes);
@@ -26,24 +27,32 @@ std::string LoopbackChannel::RoundTrip(const std::string& request_bytes) {
         Response err;
         err.type = ResponseType::kError;
         err.message = error;
-        reply += Serialize(err);
+        *reply += Serialize(err);
         continue;
       }
       requests_.fetch_add(1, std::memory_order_relaxed);
-      reply += Serialize(dispatcher_.Dispatch(request));
+      *reply += Serialize(dispatcher_.Dispatch(request));
     }
   }
   if (latency_ > 0) SleepFor(clock_, latency_);
-  return reply;
+  return true;
 }
 
 Response RemoteCacheClient::Call(const Request& request) {
-  std::string bytes = channel_.RoundTrip(Serialize(request));
+  std::string bytes;
+  Response err;
+  if (!channel_.RoundTrip(Serialize(request), &bytes)) {
+    err.type = ResponseType::kTransportError;
+    err.message = "connection failed";
+    return err;
+  }
   std::size_t consumed = 0;
   auto response = ParseResponse(bytes, &consumed);
   if (!response) {
-    Response err;
-    err.type = ResponseType::kError;
+    // A short or unparseable reply means the stream is desynced; the caller
+    // cannot trust anything further on this connection. Treat as transport
+    // failure, not as a server-refused command.
+    err.type = ResponseType::kTransportError;
     err.message = "short or malformed response";
     return err;
   }
@@ -103,6 +112,7 @@ StoreResult ToStoreResult(const Response& resp) {
     case ResponseType::kStored: return StoreResult::kStored;
     case ResponseType::kExists: return StoreResult::kExists;
     case ResponseType::kNotFound: return StoreResult::kNotFound;
+    case ResponseType::kTransportError: return StoreResult::kTransportError;
     default: return StoreResult::kNotStored;
   }
 }
@@ -200,6 +210,14 @@ std::string RemoteCacheClient::Stats() {
   return Call(r).message;
 }
 
+std::optional<std::uint64_t> RemoteCacheClient::Sweep() {
+  Request r;
+  r.command = Command::kSweep;
+  Response resp = Call(r);
+  if (resp.type != ResponseType::kNumber) return std::nullopt;
+  return resp.number;
+}
+
 GetReply RemoteCacheClient::IQget(const std::string& key, SessionId session) {
   Request r;
   r.command = Command::kIQGet;
@@ -213,8 +231,13 @@ GetReply RemoteCacheClient::IQget(const std::string& key, SessionId session) {
       return {GetReply::Status::kMissGrantedI, {}, resp.number};
     case ResponseType::kMissNoLease:
       return {GetReply::Status::kMissNoLease, {}, 0};
-    default:
+    case ResponseType::kMissBackoff:
       return {GetReply::Status::kMissBackoff, {}, 0};
+    default:
+      // Transport failure (or a refused/garbled command): report the outage
+      // rather than kMissBackoff, which would make the session spin its full
+      // retry budget against a dead server.
+      return {GetReply::Status::kTransportError, {}, 0};
   }
 }
 
@@ -241,8 +264,13 @@ QaReadReply RemoteCacheClient::QaRead(const std::string& key,
       return {QaReadReply::Status::kGranted, std::move(resp.data), resp.number};
     case ResponseType::kQMiss:
       return {QaReadReply::Status::kGranted, std::nullopt, resp.number};
-    default:
+    case ResponseType::kReject:
       return {QaReadReply::Status::kReject, std::nullopt, 0};
+    default:
+      // Only an explicit REJECT means "Q conflict, abort and retry". A dead
+      // channel must surface as an outage so the session aborts its RDBMS
+      // txn instead of spinning the conflict path forever.
+      return {QaReadReply::Status::kTransportError, std::nullopt, 0};
   }
 }
 
@@ -264,19 +292,24 @@ SessionId RemoteCacheClient::GenID() {
   return resp.type == ResponseType::kId ? resp.number : 0;
 }
 
-void RemoteCacheClient::QaReg(SessionId tid, const std::string& key) {
+QuarantineResult RemoteCacheClient::QaReg(SessionId tid,
+                                          const std::string& key) {
   Request r;
   r.command = Command::kQaReg;
   r.session = tid;
   r.key = key;
-  Call(r);
+  switch (Call(r).type) {
+    case ResponseType::kGranted: return QuarantineResult::kGranted;
+    case ResponseType::kReject: return QuarantineResult::kReject;
+    default: return QuarantineResult::kTransportError;
+  }
 }
 
-void RemoteCacheClient::DaR(SessionId tid) {
+bool RemoteCacheClient::DaR(SessionId tid) {
   Request r;
   r.command = Command::kDaR;
   r.session = tid;
-  Call(r);
+  return Call(r).type == ResponseType::kOk;
 }
 
 QuarantineResult RemoteCacheClient::IQDelta(SessionId tid,
@@ -303,30 +336,33 @@ QuarantineResult RemoteCacheClient::IQDelta(SessionId tid,
       r.amount = delta.amount;
       break;
   }
-  return Call(r).type == ResponseType::kGranted ? QuarantineResult::kGranted
-                                                : QuarantineResult::kReject;
+  switch (Call(r).type) {
+    case ResponseType::kGranted: return QuarantineResult::kGranted;
+    case ResponseType::kReject: return QuarantineResult::kReject;
+    default: return QuarantineResult::kTransportError;
+  }
 }
 
-void RemoteCacheClient::Commit(SessionId tid) {
+bool RemoteCacheClient::Commit(SessionId tid) {
   Request r;
   r.command = Command::kCommit;
   r.session = tid;
-  Call(r);
+  return Call(r).type == ResponseType::kOk;
 }
 
-void RemoteCacheClient::Abort(SessionId tid) {
+bool RemoteCacheClient::Abort(SessionId tid) {
   Request r;
   r.command = Command::kAbort;
   r.session = tid;
-  Call(r);
+  return Call(r).type == ResponseType::kOk;
 }
 
-void RemoteCacheClient::Release(SessionId tid, const std::string& key) {
+bool RemoteCacheClient::Release(SessionId tid, const std::string& key) {
   Request r;
   r.command = Command::kRelease;
   r.session = tid;
   r.key = key;
-  Call(r);
+  return Call(r).type == ResponseType::kOk;
 }
 
 }  // namespace iq::net

@@ -26,8 +26,12 @@ namespace iq::net {
 class Channel {
  public:
   virtual ~Channel() = default;
-  /// Send request bytes; block until the response bytes arrive.
-  virtual std::string RoundTrip(const std::string& request_bytes) = 0;
+  /// Send request bytes; block until the response bytes arrive in *reply.
+  /// Returns false on transport failure (dead connection, deadline expiry,
+  /// fault injection) — *reply is then unspecified. A zero-byte reply with
+  /// a true return is a valid (empty) response, distinct from failure.
+  virtual bool RoundTrip(const std::string& request_bytes,
+                         std::string* reply) = 0;
 };
 
 /// In-process channel straight into a CommandDispatcher.
@@ -37,7 +41,8 @@ class LoopbackChannel final : public Channel {
   explicit LoopbackChannel(IQServer& server, Nanos one_way_latency = 0,
                            const Clock* clock = nullptr);
 
-  std::string RoundTrip(const std::string& request_bytes) override;
+  bool RoundTrip(const std::string& request_bytes,
+                 std::string* reply) override;
 
   /// Requests served so far. Safe to call while other threads are inside
   /// RoundTrip (monitoring reads race with increments, hence the atomic).
@@ -80,6 +85,9 @@ class RemoteCacheClient {
   std::optional<std::uint64_t> Decr(const std::string& key, std::uint64_t amount);
   void FlushAll();
   std::string Stats();
+  /// Force one lease-table sweep on the server; returns the number of
+  /// overdue leases expired, or nullopt on transport failure.
+  std::optional<std::uint64_t> Sweep();
 
   // -- IQ commands --
   GetReply IQget(const std::string& key, SessionId session);
@@ -89,13 +97,17 @@ class RemoteCacheClient {
   StoreResult SaR(const std::string& key,
                   const std::optional<std::string>& value, LeaseToken token);
   SessionId GenID();
-  void QaReg(SessionId tid, const std::string& key);
-  void DaR(SessionId tid);
+  /// Parses the wire reply: kGranted only on an explicit GRANTED — a dead
+  /// channel yields kTransportError, never a silently "granted" quarantine.
+  QuarantineResult QaReg(SessionId tid, const std::string& key);
+  /// Each returns true iff the server acknowledged (OK). False means the
+  /// command may or may not have been applied; lease expiry is the backstop.
+  bool DaR(SessionId tid);
   QuarantineResult IQDelta(SessionId tid, const std::string& key, DeltaOp delta);
-  void Commit(SessionId tid);
-  void Abort(SessionId tid);
+  bool Commit(SessionId tid);
+  bool Abort(SessionId tid);
   /// Drop the session's lease on one key, keeping everything else it holds.
-  void Release(SessionId tid, const std::string& key);
+  bool Release(SessionId tid, const std::string& key);
 
  private:
   Response Call(const Request& request);

@@ -46,14 +46,85 @@ std::vector<Endpoint> ParseEndpoints(const std::string& spec,
   return out;
 }
 
+ReconnectingChannel::ReconnectingChannel(Endpoint endpoint, Config config)
+    : endpoint_(std::move(endpoint)),
+      config_(config),
+      // Derive the jitter stream from the endpoint so pooled channels don't
+      // retry in lockstep after a shared outage.
+      rng_(std::hash<std::string>{}(Name(endpoint_)) | 1) {}
+
+void ReconnectingChannel::TearDownLocked() {
+  channel_.reset();
+  connected_.store(false, std::memory_order_relaxed);
+  ExponentialBackoff policy(config_.backoff_base, config_.backoff_cap);
+  next_attempt_ =
+      SteadyClock::Instance().Now() + policy.DelayFor(attempts_++, rng_);
+}
+
+bool ReconnectingChannel::EnsureConnectedLocked(std::string* error) {
+  if (channel_ != nullptr && channel_->connected()) return true;
+  channel_.reset();
+  connected_.store(false, std::memory_order_relaxed);
+  auto ch =
+      TcpChannel::Connect(endpoint_.host, endpoint_.port, config_.channel,
+                          error);
+  if (ch == nullptr) {
+    ExponentialBackoff policy(config_.backoff_base, config_.backoff_cap);
+    next_attempt_ =
+        SteadyClock::Instance().Now() + policy.DelayFor(attempts_++, rng_);
+    return false;
+  }
+  channel_ = std::move(ch);
+  connected_.store(true, std::memory_order_relaxed);
+  if (ever_connected_) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ever_connected_ = true;
+  attempts_ = 0;
+  next_attempt_ = 0;
+  return true;
+}
+
+bool ReconnectingChannel::ConnectNow(std::string* error) {
+  std::lock_guard lock(mu_);
+  return EnsureConnectedLocked(error);
+}
+
+bool ReconnectingChannel::RoundTrip(const std::string& request_bytes,
+                                    std::string* reply) {
+  std::lock_guard lock(mu_);
+  bool live = channel_ != nullptr && channel_->connected();
+  if (!live) {
+    if (SteadyClock::Instance().Now() < next_attempt_) {
+      // Backoff window open: fail fast, no syscalls.
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!EnsureConnectedLocked(nullptr)) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (channel_->RoundTrip(request_bytes, reply)) return true;
+  transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  TearDownLocked();
+  return false;
+}
+
 std::unique_ptr<ChannelPool> ChannelPool::Connect(
     const std::vector<Endpoint>& endpoints, std::string* error) {
-  std::vector<std::unique_ptr<TcpChannel>> channels;
+  return Connect(endpoints, Config{}, error);
+}
+
+std::unique_ptr<ChannelPool> ChannelPool::Connect(
+    const std::vector<Endpoint>& endpoints, const Config& config,
+    std::string* error) {
+  std::vector<std::unique_ptr<ReconnectingChannel>> channels;
   channels.reserve(endpoints.size());
   for (const Endpoint& ep : endpoints) {
+    auto ch = std::make_unique<ReconnectingChannel>(ep, config.channel);
     std::string conn_error;
-    auto ch = TcpChannel::Connect(ep.host, ep.port, &conn_error);
-    if (ch == nullptr) {
+    if (!ch->ConnectNow(&conn_error) && config.require_initial_connect) {
       if (error != nullptr) *error = Name(ep) + ": " + conn_error;
       return nullptr;
     }
@@ -61,6 +132,12 @@ std::unique_ptr<ChannelPool> ChannelPool::Connect(
   }
   return std::unique_ptr<ChannelPool>(
       new ChannelPool(endpoints, std::move(channels)));
+}
+
+std::uint64_t ChannelPool::reconnects() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch->reconnects();
+  return total;
 }
 
 }  // namespace iq::net

@@ -8,12 +8,17 @@
 // ParseEndpoints is the single parser shared by tools and tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/tcp_channel.h"
+#include "util/backoff.h"
+#include "util/clock.h"
+#include "util/rng.h"
 
 namespace iq::net {
 
@@ -32,25 +37,96 @@ std::string Name(const Endpoint& endpoint);
 std::vector<Endpoint> ParseEndpoints(const std::string& spec,
                                      std::string* error = nullptr);
 
+/// A Channel bound to one endpoint that re-establishes its TcpChannel after
+/// failure. Reconnection is lazy — attempted on the next operation, never
+/// from a background thread — and gated by exponential backoff: while the
+/// backoff window is open every operation fails fast (a transport error)
+/// without touching the network, so a dead shard costs nanoseconds, not a
+/// connect timeout, per request.
+class ReconnectingChannel final : public Channel {
+ public:
+  struct Config {
+    TcpChannel::Options channel;  // deadlines for the underlying sockets
+    Nanos backoff_base = 10 * kNanosPerMilli;
+    Nanos backoff_cap = 2 * kNanosPerSec;
+  };
+
+  explicit ReconnectingChannel(Endpoint endpoint)
+      : ReconnectingChannel(std::move(endpoint), Config()) {}
+  ReconnectingChannel(Endpoint endpoint, Config config);
+
+  /// Fails fast inside a backoff window; otherwise (re)connects as needed
+  /// and performs the round trip. A failed trip tears the connection down
+  /// and opens the next backoff window.
+  bool RoundTrip(const std::string& request_bytes,
+                 std::string* reply) override;
+
+  /// Attempt to connect now, ignoring any backoff window (used for the
+  /// eager initial connect and by tests). True if connected on return.
+  bool ConnectNow(std::string* error = nullptr);
+
+  const Endpoint& endpoint() const { return endpoint_; }
+  /// Snapshot only: the connection may die between this call and use.
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  /// Successful connection establishments after the first.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Operations failed (dead trips + backoff-window fast-fails).
+  std::uint64_t transport_errors() const {
+    return transport_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool EnsureConnectedLocked(std::string* error);
+  void TearDownLocked();
+
+  const Endpoint endpoint_;
+  const Config config_;
+  std::mutex mu_;  // guards channel_, attempts_, next_attempt_
+  std::unique_ptr<TcpChannel> channel_;
+  int attempts_ = 0;          // consecutive failed connect attempts
+  Nanos next_attempt_ = 0;    // steady-clock time the backoff window closes
+  bool ever_connected_ = false;
+  Rng rng_{0x9E3779B97F4A7C15ULL};  // backoff jitter (per-channel stream)
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> transport_errors_{0};
+};
+
 class ChannelPool {
  public:
-  /// Connect one TcpChannel to every endpoint. Returns nullptr with *error
-  /// set (naming the endpoint) if any connection fails — a partially
-  /// reachable tier is a configuration error, not something to route around.
+  struct Config {
+    ReconnectingChannel::Config channel;
+    /// Fail Connect() unless every endpoint is reachable at start. With
+    /// false, unreachable endpoints come up "down" and heal lazily through
+    /// the per-channel backoff — useful when a tier is rolling-restarting.
+    bool require_initial_connect = true;
+  };
+
+  /// Build one ReconnectingChannel per endpoint and attempt the initial
+  /// connections. With require_initial_connect (the default), returns
+  /// nullptr with *error set (naming the endpoint) if any fails — a fully
+  /// unreachable tier at startup is usually a configuration error.
   static std::unique_ptr<ChannelPool> Connect(
       const std::vector<Endpoint>& endpoints, std::string* error = nullptr);
+  static std::unique_ptr<ChannelPool> Connect(
+      const std::vector<Endpoint>& endpoints, const Config& config,
+      std::string* error = nullptr);
 
   std::size_t size() const { return channels_.size(); }
-  TcpChannel& channel(std::size_t i) { return *channels_[i]; }
+  ReconnectingChannel& channel(std::size_t i) { return *channels_[i]; }
   const Endpoint& endpoint(std::size_t i) const { return endpoints_[i]; }
+  /// Sum of per-channel successful reconnects (stats surface).
+  std::uint64_t reconnects() const;
 
  private:
   ChannelPool(std::vector<Endpoint> endpoints,
-              std::vector<std::unique_ptr<TcpChannel>> channels)
+              std::vector<std::unique_ptr<ReconnectingChannel>> channels)
       : endpoints_(std::move(endpoints)), channels_(std::move(channels)) {}
 
   std::vector<Endpoint> endpoints_;
-  std::vector<std::unique_ptr<TcpChannel>> channels_;
+  std::vector<std::unique_ptr<ReconnectingChannel>> channels_;
 };
 
 }  // namespace iq::net

@@ -82,6 +82,7 @@ const std::unordered_map<std::string_view, CommandInfo>& CommandTable() {
       {"commit", {Command::kCommit, false}},
       {"abort", {Command::kAbort, false}},
       {"release", {Command::kRelease, false}},
+      {"sweep", {Command::kSweep, false}},
   };
   return *table;
 }
@@ -153,6 +154,7 @@ std::optional<std::size_t> ParseCommandLine(
     case Command::kStats:
     case Command::kQuit:
     case Command::kGenId:
+    case Command::kSweep:
       if (tok.size() != 1) return fail("bad argument count");
       return 0;
     case Command::kIQGet:
@@ -258,6 +260,7 @@ const char* ToString(Command c) {
     case Command::kCommit: return "commit";
     case Command::kAbort: return "abort";
     case Command::kRelease: return "release";
+    case Command::kSweep: return "sweep";
   }
   return "?";
 }
@@ -424,6 +427,7 @@ void AppendTo(const Request& r, std::string* out) {
       out->append("\r\n");
       return;
     case Command::kGenId: out->append("genid\r\n"); return;
+    case Command::kSweep: out->append("sweep\r\n"); return;
     case Command::kQaReg:
     case Command::kRelease:
       out->append(ToString(r.command));
@@ -558,6 +562,11 @@ void AppendTo(const Response& r, std::string* out) {
       AppendU64(out, r.number);
       out->append("\r\n");
       return;
+    case ResponseType::kTransportError:
+      out->append("SERVER_ERROR ");
+      out->append(r.message.empty() ? "transport failure" : r.message);
+      out->append("\r\n");
+      return;
   }
 }
 
@@ -596,6 +605,12 @@ std::optional<Response> ParseResponse(std::string_view bytes,
   if (head == "CLIENT_ERROR") {
     resp.type = ResponseType::kError;
     resp.message = std::string(line.substr(13));
+    *consumed = eol + 2;
+    return resp;
+  }
+  if (head == "SERVER_ERROR") {
+    resp.type = ResponseType::kTransportError;
+    resp.message = line.size() > 13 ? std::string(line.substr(13)) : "";
     *consumed = eol + 2;
     return resp;
   }

@@ -30,6 +30,9 @@
 //   release <tid> <key>\r\n                    -> OK
 //     (drop the session's lease on one key; buffered deltas/quarantines on
 //      other keys survive — unlike abort)
+//   sweep\r\n                                  -> <number of leases expired>
+//     (force one pass over the lease table, expiring overdue leases — the
+//      same reclamation a periodic server-side sweep thread performs)
 //
 // The parser is incremental: feed bytes, take complete requests.
 #pragma once
@@ -81,6 +84,7 @@ enum class Command {
   kCommit,
   kAbort,
   kRelease,
+  kSweep,
 };
 
 const char* ToString(Command c);
@@ -160,6 +164,12 @@ enum class ResponseType {
   kReject,       // REJECT
   kGranted,      // GRANTED
   kId,           // ID <session>
+  // Failure signalling
+  kTransportError,  // SERVER_ERROR <msg>. Synthesized client-side by
+                    // RemoteCacheClient::Call when the channel itself fails
+                    // (dead connection, deadline, desync); distinct from
+                    // kError (the server parsed the request and refused it)
+                    // so sessions can tell outage from conflict.
 };
 
 /// One VALUE block of a (possibly multi-key) get/gets response.

@@ -44,8 +44,12 @@ class RemoteBackend final : public KvsBackend {
                        token);
   }
   QuarantineResult QaReg(SessionId tid, std::string_view key) override {
-    client_.QaReg(tid, std::string(key));
-    return QuarantineResult::kGranted;  // QaReg is always granted
+    // The server always grants QaReg, but only an acknowledged GRANTED may
+    // be reported as one: returning kGranted unconditionally here let a
+    // session on a dead channel believe its keys were quarantined and
+    // commit its RDBMS txn with no invalidation in place — the permanent
+    // staleness the whole lease protocol exists to prevent.
+    return client_.QaReg(tid, std::string(key));
   }
   void DaR(SessionId tid) override { client_.DaR(tid); }
   QuarantineResult IQDelta(SessionId tid, std::string_view key,

@@ -13,6 +13,11 @@ Response FromStoreResult(StoreResult r) {
     case StoreResult::kNotStored: resp.type = ResponseType::kNotStored; break;
     case StoreResult::kExists: resp.type = ResponseType::kExists; break;
     case StoreResult::kNotFound: resp.type = ResponseType::kNotFound; break;
+    // A server never produces kTransportError itself; surfacing it keeps a
+    // relaying tier (proxy) honest if one ever forwards backend results.
+    case StoreResult::kTransportError:
+      resp.type = ResponseType::kTransportError;
+      break;
   }
   return resp;
 }
@@ -195,6 +200,9 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
         case GetReply::Status::kMissNoLease:
           resp.type = ResponseType::kMissNoLease;
           return resp;
+        case GetReply::Status::kTransportError:
+          resp.type = ResponseType::kTransportError;
+          return resp;
       }
       break;
     }
@@ -204,6 +212,10 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
       QaReadReply reply = server_.QaRead(r.key, r.session);
       if (reply.status == QaReadReply::Status::kReject) {
         resp.type = ResponseType::kReject;
+        return resp;
+      }
+      if (reply.status == QaReadReply::Status::kTransportError) {
+        resp.type = ResponseType::kTransportError;
         return resp;
       }
       if (reply.value) {
@@ -225,10 +237,17 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
       resp.type = ResponseType::kId;
       resp.number = server_.GenID();
       return resp;
-    case Command::kQaReg:
-      server_.QaReg(r.session, r.key);
-      resp.type = ResponseType::kGranted;  // QaReg is always granted
+    case Command::kQaReg: {
+      QuarantineResult q = server_.QaReg(r.session, r.key);
+      // In-process QaReg is always granted; the switch keeps a relaying
+      // tier honest should its backend ever report differently.
+      resp.type = q == QuarantineResult::kGranted
+                      ? ResponseType::kGranted
+                      : (q == QuarantineResult::kTransportError
+                             ? ResponseType::kTransportError
+                             : ResponseType::kReject);
       return resp;
+    }
     case Command::kDaR:
       server_.DaR(r.session);
       resp.type = ResponseType::kOk;
@@ -253,8 +272,11 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
           break;
       }
       QuarantineResult q = server_.IQDelta(r.session, r.key, std::move(delta));
-      resp.type = q == QuarantineResult::kGranted ? ResponseType::kGranted
-                                                  : ResponseType::kReject;
+      resp.type = q == QuarantineResult::kGranted
+                      ? ResponseType::kGranted
+                      : (q == QuarantineResult::kTransportError
+                             ? ResponseType::kTransportError
+                             : ResponseType::kReject);
       return resp;
     }
     case Command::kCommit:
@@ -268,6 +290,10 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
     case Command::kRelease:
       server_.ReleaseKey(r.session, r.key);
       resp.type = ResponseType::kOk;
+      return resp;
+    case Command::kSweep:
+      resp.type = ResponseType::kNumber;
+      resp.number = server_.SweepExpired();
       return resp;
     default:
       break;

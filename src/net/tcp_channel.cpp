@@ -16,11 +16,11 @@ namespace iq::net {
 
 namespace {
 
-/// Read attempts with EAGAIN before falling back to a blocking poll().
-/// The server answers small requests in a few microseconds; spinning that
-/// long beats eating a scheduler wakeup on every round trip. Only worth it
-/// with a spare core — on a single CPU spinning just delays the server's
-/// timeslice, so there the socket stays blocking and this path is unused.
+/// Read attempts with EAGAIN before falling back to a poll() wait. The
+/// server answers small requests in a few microseconds; spinning that long
+/// beats eating a scheduler wakeup on every round trip. Only worth it with
+/// a spare core — on a single CPU spinning just delays the server's
+/// timeslice, so there reads go straight to poll.
 constexpr int kReadSpins = 400;
 
 bool SpinWorthwhile() { return std::thread::hardware_concurrency() > 1; }
@@ -33,10 +33,38 @@ void CpuRelax() {
 #endif
 }
 
+using TimePoint = std::chrono::steady_clock::time_point;
+constexpr TimePoint kNoDeadline = TimePoint::max();
+
+/// poll() timeout argument for `deadline`: -1 for no deadline, otherwise
+/// the remaining milliseconds clamped to >= 0 (0 makes poll a non-blocking
+/// check whose empty result the callers treat as expiry).
+int PollTimeoutMs(TimePoint deadline) {
+  if (deadline == kNoDeadline) return -1;
+  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       deadline - std::chrono::steady_clock::now())
+                       .count();
+  if (remaining <= 0) return 0;
+  constexpr long long kMaxPoll = 1 << 30;
+  return static_cast<int>(remaining < kMaxPoll ? remaining : kMaxPoll);
+}
+
+bool Expired(TimePoint deadline) {
+  return deadline != kNoDeadline &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
 }  // namespace
 
 std::unique_ptr<TcpChannel> TcpChannel::Connect(const std::string& host,
                                                 std::uint16_t port,
+                                                std::string* error) {
+  return Connect(host, port, Options{}, error);
+}
+
+std::unique_ptr<TcpChannel> TcpChannel::Connect(const std::string& host,
+                                                std::uint16_t port,
+                                                const Options& options,
                                                 std::string* error) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
@@ -51,35 +79,76 @@ std::unique_ptr<TcpChannel> TcpChannel::Connect(const std::string& host,
     return nullptr;
   }
   int fd = -1;
+  int last_errno = ECONNREFUSED;
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+    // Non-blocking from birth: the same fd state serves both the bounded
+    // connect below and the spin-then-poll reads / deadline waits later.
+    fd = ::socket(ai->ai_family,
+                  ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
                   ai->ai_protocol);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      TimePoint deadline =
+          options.connect_timeout_ms <= 0
+              ? kNoDeadline
+              : std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.connect_timeout_ms);
+      bool connected = false;
+      while (true) {
+        pollfd pfd{fd, POLLOUT, 0};
+        int pr = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+        if (pr < 0 && errno == EINTR) continue;
+        if (pr <= 0) {
+          last_errno = ETIMEDOUT;
+          break;
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+        if (so_error == 0) {
+          connected = true;
+        } else {
+          last_errno = so_error;
+        }
+        break;
+      }
+      if (connected) break;
+    } else {
+      last_errno = errno;
+    }
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(res);
   if (fd < 0) {
     if (error != nullptr) {
-      *error = "connect " + host + ":" + service + ": " + std::strerror(errno);
+      *error =
+          "connect " + host + ":" + service + ": " + std::strerror(last_errno);
     }
     return nullptr;
   }
   int on = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
-  if (SpinWorthwhile()) {
-    // Non-blocking + spin-then-poll reads (see FillReadBuffer).
-    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
-  }
-  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd, options));
 }
 
 TcpChannel::~TcpChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool TcpChannel::WriteAll(const char* data, std::size_t size) {
+TcpChannel::TimePoint TcpChannel::IoDeadline() const {
+  return options_.io_timeout_ms <= 0
+             ? kNoDeadline
+             : std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options_.io_timeout_ms);
+}
+
+bool TcpChannel::WriteAll(const char* data, std::size_t size,
+                          TimePoint deadline) {
   std::size_t sent = 0;
   while (sent < size) {
     ssize_t w = ::write(fd_, data + sent, size - sent);
@@ -90,7 +159,9 @@ bool TcpChannel::WriteAll(const char* data, std::size_t size) {
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       pollfd pfd{fd_, POLLOUT, 0};
-      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) break;
+      int pr = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) break;  // deadline expired (pr==0) or poll error
       continue;
     }
     break;
@@ -101,9 +172,9 @@ bool TcpChannel::WriteAll(const char* data, std::size_t size) {
   return false;
 }
 
-bool TcpChannel::FillReadBuffer() {
+bool TcpChannel::FillReadBuffer(TimePoint deadline) {
   char buf[64 * 1024];
-  int spins = kReadSpins;
+  int spins = SpinWorthwhile() ? kReadSpins : 0;
   while (true) {
     ssize_t r = ::read(fd_, buf, sizeof(buf));
     if (r > 0) {
@@ -118,8 +189,10 @@ bool TcpChannel::FillReadBuffer() {
         continue;
       }
       pollfd pfd{fd_, POLLIN, 0};
-      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) break;
-      spins = 0;  // poll said readable (or EINTR): retry the read
+      int pr = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) break;  // deadline expired (pr==0) or poll error
+      spins = 0;  // poll said readable: retry the read
       continue;
     }
     break;
@@ -140,9 +213,12 @@ void TcpChannel::MarkConsumed(std::size_t n) {
   }
 }
 
-std::string TcpChannel::RoundTrip(const std::string& request_bytes) {
+bool TcpChannel::RoundTrip(const std::string& request_bytes,
+                           std::string* reply) {
   std::lock_guard lock(mu_);
-  if (fd_ < 0) return {};
+  reply->clear();
+  if (fd_ < 0) return false;
+  TimePoint deadline = IoDeadline();
   // The caller may pipeline several requests into one RoundTrip (the
   // LoopbackChannel contract), so count how many responses to await.
   std::size_t expected = 0;
@@ -161,20 +237,28 @@ std::string TcpChannel::RoundTrip(const std::string& request_bytes) {
       ++expected;  // kError also draws one CLIENT_ERROR response
     }
   }
-  if (!WriteAll(request_bytes.data(), request_bytes.size())) return {};
-  std::string reply;
+  if (!WriteAll(request_bytes.data(), request_bytes.size(), deadline)) {
+    return false;
+  }
   for (std::size_t i = 0; i < expected;) {
     std::size_t consumed = 0;
     if (auto response = ParseResponse(Unread(), &consumed)) {
       (void)response;
-      reply.append(Unread().substr(0, consumed));
+      reply->append(Unread().substr(0, consumed));
       MarkConsumed(consumed);
       ++i;
       continue;
     }
-    if (!FillReadBuffer()) break;
+    // A parse stall with buffered garbage that can never complete would
+    // loop on FillReadBuffer until the deadline; the deadline is the cap.
+    if (Expired(deadline)) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    if (!FillReadBuffer(deadline)) return false;
   }
-  return reply;
+  return true;
 }
 
 void TcpChannel::SendNoWait(const Request& request) {
@@ -187,13 +271,14 @@ bool TcpChannel::Flush() {
   std::lock_guard lock(mu_);
   if (fd_ < 0) return false;
   if (wbuf_.empty()) return true;
-  bool ok = WriteAll(wbuf_.data(), wbuf_.size());
+  bool ok = WriteAll(wbuf_.data(), wbuf_.size(), IoDeadline());
   wbuf_.clear();
   return ok;
 }
 
 std::vector<Response> TcpChannel::Drain() {
   std::lock_guard lock(mu_);
+  TimePoint deadline = IoDeadline();
   std::vector<Response> responses;
   responses.reserve(outstanding_);
   while (outstanding_ > 0) {
@@ -204,7 +289,11 @@ std::vector<Response> TcpChannel::Drain() {
       --outstanding_;
       continue;
     }
-    if (fd_ < 0 || !FillReadBuffer()) {
+    if (fd_ < 0 || Expired(deadline) || !FillReadBuffer(deadline)) {
+      if (fd_ >= 0 && Expired(deadline)) {
+        ::close(fd_);
+        fd_ = -1;
+      }
       outstanding_ = 0;  // transport gone; report what we have
       break;
     }

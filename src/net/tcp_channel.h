@@ -10,6 +10,7 @@
 // small memcached-style requests (see bench/bench_net.cpp).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,12 +41,25 @@ class PipelinedChannel : public Channel {
 
 class TcpChannel final : public PipelinedChannel {
  public:
-  /// Blocking connect to host:port (IPv4 dotted quad or name resolvable by
-  /// getaddrinfo). TCP_NODELAY is set: the pipelining layer does its own
-  /// batching, so Nagle only adds latency. Returns nullptr with *error set
-  /// on failure.
+  /// Deadlines. Before these existed every wait was `poll(…, -1)`: a wedged
+  /// server (accepts but never replies) hung the client forever. A deadline
+  /// expiry closes the connection and fails the operation — the caller sees
+  /// a transport error, never a fabricated response.
+  struct Options {
+    int connect_timeout_ms = 5000;  // per address attempt; <= 0 waits forever
+    int io_timeout_ms = 10000;      // per RoundTrip/Flush/Drain; <= 0 forever
+  };
+
+  /// Connect to host:port (IPv4 dotted quad or name resolvable by
+  /// getaddrinfo), bounded by options.connect_timeout_ms. TCP_NODELAY is
+  /// set: the pipelining layer does its own batching, so Nagle only adds
+  /// latency. Returns nullptr with *error set on failure.
   static std::unique_ptr<TcpChannel> Connect(const std::string& host,
                                              std::uint16_t port,
+                                             std::string* error = nullptr);
+  static std::unique_ptr<TcpChannel> Connect(const std::string& host,
+                                             std::uint16_t port,
+                                             const Options& options,
                                              std::string* error = nullptr);
 
   ~TcpChannel() override;
@@ -53,11 +67,14 @@ class TcpChannel final : public PipelinedChannel {
   TcpChannel(const TcpChannel&) = delete;
   TcpChannel& operator=(const TcpChannel&) = delete;
 
-  /// One-outstanding-request mode: writes `request_bytes`, blocks until the
-  /// matching response(s) arrive, returns their raw bytes. The bytes may
-  /// carry several pipelined requests; one response is awaited per parsed
-  /// request (quit expects none and closes the connection server-side).
-  std::string RoundTrip(const std::string& request_bytes) override;
+  /// One-outstanding-request mode: writes `request_bytes`, blocks (at most
+  /// io_timeout_ms) until the matching response(s) arrive in *reply, raw.
+  /// The bytes may carry several pipelined requests; one response is awaited
+  /// per parsed request (quit expects none and closes the connection
+  /// server-side). False on transport failure or deadline expiry — the
+  /// connection is then closed (the stream can no longer be trusted).
+  bool RoundTrip(const std::string& request_bytes,
+                 std::string* reply) override;
 
   void SendNoWait(const Request& request) override;
   bool Flush() override;
@@ -66,18 +83,24 @@ class TcpChannel final : public PipelinedChannel {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  /// Absolute steady-clock deadline for one operation; max() = no deadline.
+  using TimePoint = std::chrono::steady_clock::time_point;
 
-  bool WriteAll(const char* data, std::size_t size);
-  /// One blocking read() appended to rbuf_. False on EOF or error.
-  bool FillReadBuffer();
+  TcpChannel(int fd, const Options& options) : fd_(fd), options_(options) {}
+
+  bool WriteAll(const char* data, std::size_t size, TimePoint deadline);
+  /// One read() appended to rbuf_ (spin-then-poll up to `deadline`). False
+  /// on EOF, error, or deadline expiry.
+  bool FillReadBuffer(TimePoint deadline);
   /// Bytes of rbuf_ not yet consumed by a parsed response.
   std::string_view Unread() const {
     return std::string_view(rbuf_).substr(rpos_);
   }
   void MarkConsumed(std::size_t n);
+  TimePoint IoDeadline() const;
 
   int fd_ = -1;
+  Options options_;
   std::string wbuf_;        // queued requests awaiting Flush
   std::size_t outstanding_ = 0;
   std::string rbuf_;        // received bytes awaiting parse

@@ -147,8 +147,15 @@ TEST_F(MultiTxnTest, ConflictingSessionRestartsAndSerializes) {
   // A foreign session holds a Q lease on Balance:2; release it shortly.
   SessionId intruder = server_.GenID();
   server_.QaRead(Key(2), intruder);
+  // Hold the lease until the transfer session has actually collided with it
+  // at least once: a fixed sleep races with the scheduler on a loaded
+  // machine and can release before the first QaRead even happens.
+  std::uint64_t rejects_before = server_.Stats().q_rejected;
   std::thread releaser([&] {
-    SleepFor(server_.clock(), 2 * kNanosPerMilli);
+    for (int i = 0; i < 4000 && server_.Stats().q_rejected == rejects_before;
+         ++i) {
+      SleepFor(server_.clock(), 50 * kNanosPerMicro);
+    }
     server_.Abort(intruder);
   });
   auto out = ExecuteMultiTxn(*system_, TransferSpec(10));

@@ -407,7 +407,8 @@ TEST_F(RemoteTest, StatsExposeCommandLatencies) {
 }
 
 TEST_F(RemoteTest, MalformedRequestYieldsError) {
-  std::string reply = channel_.RoundTrip("bogus nonsense\r\n");
+  std::string reply;
+  ASSERT_TRUE(channel_.RoundTrip("bogus nonsense\r\n", &reply));
   EXPECT_NE(reply.find("CLIENT_ERROR"), std::string::npos);
 }
 
@@ -461,8 +462,9 @@ TEST(RemoteConcurrency, RefreshProtocolSerializesOverTheWire) {
 TEST(LoopbackPipelining, MultipleRequestsInOneRoundTrip) {
   IQServer server;
   LoopbackChannel channel(server);
-  std::string reply =
-      channel.RoundTrip("set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a\r\n");
+  std::string reply;
+  ASSERT_TRUE(channel.RoundTrip(
+      "set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a\r\n", &reply));
   EXPECT_NE(reply.find("STORED\r\nSTORED\r\nVALUE a"), std::string::npos);
   EXPECT_EQ(channel.requests(), 3u);
 }

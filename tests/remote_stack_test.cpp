@@ -4,6 +4,9 @@
 // serialize -> parse per operation) - the paper's actual deployment shape.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "bg/workload.h"
 #include "casql/casql.h"
 #include "casql/query_cache.h"
@@ -170,12 +173,14 @@ class ShardedStackTest : public ::testing::Test {
     ASSERT_NE(channel_, nullptr) << error;
     remote_ = std::make_unique<net::RemoteBackend>(*channel_);
     router_ = std::make_unique<ShardedBackend>(std::vector<ShardedBackend::Shard>{
-        {"local", &local_child_, 1, [this] { return local_child_.Stats(); }},
+        {"local", &local_child_, 1, [this] { return local_child_.Stats(); }, {}},
         // The TCP child's counters come back over the wire, through the
         // same `stats` command an operator would use.
-        {"tcp", remote_.get(), 1, [this] {
+        {"tcp", remote_.get(), 1,
+         [this] {
            return net::ParseIQStats(net::RemoteCacheClient(*channel_).Stats());
-         }}});
+         },
+         {}}});
   }
 
   void TearDown() override {
@@ -303,6 +308,133 @@ TEST_F(ShardedStackTest, WriteSessionsSpanBothShardsForEveryTechnique) {
     EXPECT_EQ(local_child_.LeaseCount(), 0u) << casql::ToString(t);
     EXPECT_EQ(tcp_child_.LeaseCount(), 0u) << casql::ToString(t);
   }
+}
+
+// ---- server kill + restart mid-session -----------------------------------
+//
+// The cache front end dies under a client that cached a value and under a
+// writer that left a Q lease stranded. The client must (a) fail writes fast
+// while the server is gone — never committing the RDBMS around a dead
+// quarantine — (b) degrade reads to pass-through, and (c) reconnect after
+// the restart and serve zero stale reads once the stranded lease expires.
+TEST(KillRestartTest, ClientReconnectsAndServesZeroStaleReads) {
+  IQServer::Config scfg;
+  scfg.lease_lifetime = 50 * kNanosPerMilli;  // stranded leases expire fast
+  IQServer server(CacheStore::Config{}, scfg);
+  net::TcpServer::Config tcfg;
+  tcfg.workers = 2;
+  auto tcp = std::make_unique<net::TcpServer>(server, tcfg);
+  std::string error;
+  ASSERT_TRUE(tcp->Start(&error)) << error;
+  const std::uint16_t port = tcp->port();
+
+  net::ReconnectingChannel::Config ccfg;
+  ccfg.channel.connect_timeout_ms = 500;
+  ccfg.channel.io_timeout_ms = 500;
+  ccfg.backoff_base = kNanosPerMilli;
+  ccfg.backoff_cap = 10 * kNanosPerMilli;
+  net::ReconnectingChannel channel({"127.0.0.1", port}, ccfg);
+  net::RemoteBackend backend(channel);
+
+  sql::Database db;
+  db.CreateTable(
+      SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("T", {V(1), V(0)});
+    txn->Commit();
+  }
+  auto compute = [](Transaction& txn) -> std::optional<std::string> {
+    auto row = txn.SelectByPk("T", {V(1)});
+    if (!row) return std::nullopt;
+    return std::to_string(*sql::AsInt((*row)[1]));
+  };
+  casql::WriteSpec spec;
+  spec.body = [](Transaction& txn) {
+    return txn.UpdateByPk("T", {V(1)}, [](sql::Row& row) {
+             row[1] = V(*sql::AsInt(row[1]) + 1);
+           }) == TxnResult::kOk;
+  };
+  casql::KeyUpdate u;
+  u.key = "K";
+  spec.updates.push_back(std::move(u));
+
+  CasqlConfig cfg;
+  cfg.technique = Technique::kInvalidate;
+  cfg.consistency = Consistency::kIQ;
+  cfg.client.backoff_base = 20 * kNanosPerMicro;
+  cfg.client.backoff_cap = kNanosPerMilli;
+  CasqlConfig down_cfg = cfg;
+  down_cfg.max_session_restarts = 5;  // bound the write's failure time
+  CasqlSystem system(db, backend, cfg);
+  CasqlSystem down_system(db, backend, down_cfg);
+
+  {
+    auto conn = system.Connect();
+    auto cached = conn->Read("K", compute);
+    ASSERT_TRUE(cached.value);
+    EXPECT_EQ(*cached.value, "0");
+  }
+  // A writer quarantines "K" and dies without releasing (its connection
+  // goes down with the front end): the lease can only expire.
+  {
+    auto holder = net::TcpChannel::Connect("127.0.0.1", port, &error);
+    ASSERT_NE(holder, nullptr) << error;
+    net::RemoteCacheClient dead_writer(*holder);
+    SessionId tid = dead_writer.GenID();
+    ASSERT_NE(tid, 0u);
+    ASSERT_EQ(dead_writer.QaReg(tid, "K"), QuarantineResult::kGranted);
+  }
+  ASSERT_EQ(server.LeaseCount(), 1u);
+
+  tcp->Stop();
+  tcp.reset();  // the server endpoint is gone
+
+  {
+    auto conn = down_system.Connect();
+    Stopwatch watch(SteadyClock::Instance());
+    casql::WriteOutcome out = conn->Write(spec);
+    EXPECT_FALSE(out.committed);
+    EXPECT_EQ(out.transport_restarts, 5);
+    // Fail fast: connect-refused plus capped backoff, nowhere near a
+    // human-visible hang.
+    EXPECT_LT(watch.ElapsedNanos(), 2 * kNanosPerSec);
+    // The RDBMS never committed around the missing quarantine.
+    auto txn = db.Begin();
+    EXPECT_EQ(*sql::AsInt((*txn->SelectByPk("T", {V(1)}))[1]), 0);
+    txn->Rollback();
+    // Reads degrade to pass-through while the server is gone.
+    auto read = conn->Read("K", compute);
+    EXPECT_TRUE(read.computed);
+    ASSERT_TRUE(read.value);
+    EXPECT_EQ(*read.value, "0");
+  }
+
+  // Restart on the same port (SO_REUSEADDR), same server state — the
+  // stranded Q lease is still there and must expire, not block forever.
+  net::TcpServer::Config rcfg = tcfg;
+  rcfg.port = port;
+  tcp = std::make_unique<net::TcpServer>(server, rcfg);
+  ASSERT_TRUE(tcp->Start(&error)) << error;
+
+  {
+    auto conn = system.Connect();
+    casql::WriteOutcome out = conn->Write(spec);
+    EXPECT_TRUE(out.committed);
+    auto read = conn->Read("K", compute);
+    ASSERT_TRUE(read.value);
+    EXPECT_EQ(*read.value, "1");  // zero stale reads after recovery
+  }
+  EXPECT_GE(channel.reconnects(), 1u);
+  EXPECT_GT(channel.transport_errors(), 0u);
+  // The dead writer's lease can only leave by expiring; the sweep (what
+  // iqcached's reaper thread runs) collects it without any request traffic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  server.SweepExpired();
+  EXPECT_EQ(server.LeaseCount(), 0u);
+  auto item = server.store().Get("K");
+  EXPECT_TRUE(!item.has_value() || item->value != "0");
+  tcp->Stop();
 }
 
 TEST_F(ShardedStackTest, BgWorkloadOnTwoShardsHasZeroUnpredictableReads) {

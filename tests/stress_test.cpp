@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fault_backend.h"
 #include "core/sharded_backend.h"
 #include "net/channel.h"
 #include "net/remote_backend.h"
@@ -250,7 +251,8 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
       ASSERT_NE(channel, nullptr) << conn_error;
       net::RemoteBackend remote(*channel);
       ShardedBackend router(
-          {{"s0", &local_child, 1, nullptr}, {"s1", &remote, 1, nullptr}});
+          {{"s0", &local_child, 1, nullptr, nullptr},
+           {"s1", &remote, 1, nullptr, nullptr}});
       Worker(router, /*seed=*/5150 + i, tallies[i], kShardIters);
     });
   }
@@ -300,6 +302,138 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
   // The ring really split the work across both children.
   EXPECT_GT(local_child.Stats().commits, 0u);
   EXPECT_GT(tcp_child.Stats().commits, 0u);
+}
+
+TEST(StressTest, FlappingShardTripsHealsAndStrandsNoLeases) {
+  // One shard flaps (a FaultBackend toggling down/up under the router's
+  // circuit breaker) while worker threads run the IQ mix against a shared
+  // 2-shard router. Transport errors surface as statuses — never as grants —
+  // so the grant-side balance between client observations and child counters
+  // must stay EXACT through every trip and recovery; leases stranded by
+  // commits that could not reach the down shard must drain by expiry.
+  IQServer s0(CacheStore::Config{.shard_count = 8},
+              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli});
+  IQServer s1(CacheStore::Config{.shard_count = 8},
+              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli});
+  FaultBackend flappy(s0);
+  ShardedBackend::Config rcfg;
+  rcfg.down_after_errors = 2;
+  rcfg.probe_interval = 200 * kNanosPerMicro;
+  ShardedBackend router({{"s0", &flappy, 1, {}, {}}, {"s1", &s1, 1, {}, {}}},
+                        rcfg);
+
+  struct FlapTally {
+    std::uint64_t i_granted = 0;
+    std::uint64_t q_granted = 0;
+    std::uint64_t q_rejected = 0;
+    std::uint64_t transport_errors = 0;
+  };
+  constexpr int kFlapThreads = 4;
+  constexpr int kFlapIters = 3000;
+  std::vector<FlapTally> tallies(kFlapThreads);
+
+  std::atomic<bool> stop_flapping{false};
+  std::thread flapper([&] {
+    bool down = false;
+    while (!stop_flapping.load(std::memory_order_acquire)) {
+      down = !down;
+      flappy.SetDown(down);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    flappy.SetDown(false);
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kFlapThreads);
+  for (int i = 0; i < kFlapThreads; ++i) {
+    threads.emplace_back([&, i] {
+      std::mt19937 rng(static_cast<std::uint32_t>(777 + i));
+      FlapTally t;
+      for (int iter = 0; iter < kFlapIters; ++iter) {
+        std::string key = KeyFor(rng());
+        if (rng() % 2 == 0) {
+          GetReply r = router.IQget(key);
+          if (r.status == GetReply::Status::kTransportError) {
+            ++t.transport_errors;  // degrade: the caller would read the RDBMS
+          } else if (r.status == GetReply::Status::kMissGrantedI) {
+            ++t.i_granted;
+            if (router.IQset(key, "v", r.token) ==
+                StoreResult::kTransportError) {
+              ++t.transport_errors;
+            }
+          }
+        } else {
+          SessionId tid = router.GenID();
+          QaReadReply q = router.QaRead(key, tid);
+          if (q.status == QaReadReply::Status::kTransportError) {
+            ++t.transport_errors;
+            router.Abort(tid);
+            continue;
+          }
+          if (q.status == QaReadReply::Status::kReject) {
+            ++t.q_rejected;  // the router already released the session
+            continue;
+          }
+          ++t.q_granted;
+          if (router.SaR(key, "w", q.token) == StoreResult::kTransportError) {
+            ++t.transport_errors;
+          }
+          if (rng() % 2 == 0) {
+            router.Commit(tid);
+          } else {
+            router.Abort(tid);
+          }
+        }
+      }
+      tallies[i] = t;
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop_flapping.store(true, std::memory_order_release);
+  flapper.join();
+
+  FlapTally total;
+  for (const FlapTally& t : tallies) {
+    total.i_granted += t.i_granted;
+    total.q_granted += t.q_granted;
+    total.q_rejected += t.q_rejected;
+    total.transport_errors += t.transport_errors;
+  }
+  // The flap actually bit, tripped the breaker, and healed at least once.
+  EXPECT_GT(total.transport_errors, 0u);
+  ShardedBackendStats rs = router.router_stats();
+  EXPECT_GE(rs.shard_trips, 1u);
+  EXPECT_GE(rs.shard_recoveries, 1u);
+  EXPECT_GT(rs.transport_errors, 0u);
+  // Both shards did real work between the flaps.
+  EXPECT_GT(s0.Stats().i_granted + s0.Stats().q_ref_granted, 0u);
+  EXPECT_GT(s1.Stats().i_granted + s1.Stats().q_ref_granted, 0u);
+
+  // Exact grant-side balance: a failed call never reached the child and a
+  // granted call always did — transport errors cannot manufacture or lose
+  // grants on either side.
+  IQServerStats a = s0.Stats();
+  IQServerStats b = s1.Stats();
+  EXPECT_EQ(a.i_granted + b.i_granted, total.i_granted);
+  EXPECT_EQ(a.q_ref_granted + b.q_ref_granted, total.q_granted);
+  EXPECT_EQ(a.q_rejected + b.q_rejected, total.q_rejected);
+
+  // Heal shard0, then let every lease stranded by a skipped Commit/Abort
+  // expire; the sweep must drain both children to zero.
+  std::string probe_key;
+  for (int i = 0; router.ShardFor(probe_key = "k" + std::to_string(i)) != 0;
+       ++i) {
+  }
+  for (int i = 0; i < 1000 && router.ShardDown(0); ++i) {
+    router.IQget(probe_key);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_FALSE(router.ShardDown(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  s0.SweepExpired();
+  s1.SweepExpired();
+  EXPECT_EQ(s0.LeaseCount(), 0u);
+  EXPECT_EQ(s1.LeaseCount(), 0u);
 }
 
 TEST(StressTest, LoopbackRequestCounterExactUnderThreads) {

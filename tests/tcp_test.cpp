@@ -335,6 +335,53 @@ TEST(TcpServerBackpressure, UnreadResponsesThrottleInsteadOfGrowingMemory) {
   ::close(fd);
 }
 
+// A server that accepts the connection and then never replies must not hang
+// the client: the io deadline expires, the operation fails as a transport
+// error, and the channel reports itself dead.
+TEST(TcpChannelDeadlineTest, SilentServerTripsTheIoDeadline) {
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  // Accept in the background, read the request, never answer.
+  std::thread mute([lfd] {
+    int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd >= 0) {
+      char buf[256];
+      while (::read(fd, buf, sizeof(buf)) > 0) {
+      }
+      ::close(fd);
+    }
+  });
+
+  TcpChannel::Options opt;
+  opt.connect_timeout_ms = 1000;
+  opt.io_timeout_ms = 100;
+  std::string error;
+  auto channel =
+      TcpChannel::Connect("127.0.0.1", ntohs(addr.sin_port), opt, &error);
+  ASSERT_NE(channel, nullptr) << error;
+
+  const Clock& clock = SteadyClock::Instance();
+  Nanos start = clock.Now();
+  std::string reply;
+  EXPECT_FALSE(channel->RoundTrip("get k\r\n", &reply));
+  Nanos elapsed = clock.Now() - start;
+  EXPECT_GE(elapsed, 90 * kNanosPerMilli);  // waited for the deadline...
+  EXPECT_LT(elapsed, 2 * kNanosPerSec);     // ...but nowhere near forever
+  // The deadline tore the connection down; later operations fail fast.
+  EXPECT_FALSE(channel->RoundTrip("get k\r\n", &reply));
+
+  channel.reset();  // EOF lets the mute server's read loop exit
+  mute.join();
+  ::close(lfd);
+}
+
 TEST_F(TcpServerTest, StopIsIdempotentAndDropsConnections) {
   auto channel = Connect();
   RemoteCacheClient client(*channel);

@@ -68,6 +68,9 @@ struct Options {
   Nanos lease_lifetime = 10 * kNanosPerSec;
   bool deferred_delete = true;
   std::string connect;  // host:port of a running iqcached; empty = in-process
+  /// Remote mode: connect/read/write deadline per socket operation. Bounds
+  /// how long any request can block on a dead or wedged server.
+  int timeout_ms = 2000;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -90,7 +93,7 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--lease-ms=N] [--eager-delete]\n"
                "       iqbench --connect=host:port[,host:port,...]\n"
                "               [--threads=N] [--seconds=S] [--mix=PCT]\n"
-               "               [--seed=N]\n");
+               "               [--seed=N] [--timeout-ms=N]\n");
   std::exit(2);
 }
 
@@ -157,6 +160,8 @@ Options Parse(int argc, char** argv) {
       opt.deferred_delete = false;
     } else if (StartsWith(arg, "--connect=", &v)) {
       opt.connect = v;
+    } else if (StartsWith(arg, "--timeout-ms=", &v)) {
+      opt.timeout_ms = std::atoi(v);
     } else {
       Usage(arg);
     }
@@ -169,10 +174,13 @@ Options Parse(int argc, char** argv) {
 constexpr int kRemoteCounters = 8;
 constexpr int kRemoteDataKeys = 64;
 
-/// One client thread's view of the remote tier: one pipelined connection
-/// per endpoint, a RemoteBackend per connection, and (for >1 endpoint) a
-/// ShardedBackend routing over them. All threads use the same shard names
-/// (the endpoint labels), so every thread's ring agrees on key placement.
+/// One client thread's view of the remote tier: one reconnecting pipelined
+/// connection per endpoint, a RemoteBackend per connection, and (for >1
+/// endpoint) a ShardedBackend routing over them. All threads use the same
+/// shard names (the endpoint labels), so every thread's ring agrees on key
+/// placement. The stack survives a server kill: the channel fails fast and
+/// reconnects lazily, and the router's circuit breaker keeps the healthy
+/// shards unaffected while the dead one heals.
 struct RemoteStack {
   std::unique_ptr<net::ChannelPool> pool;
   std::vector<std::unique_ptr<net::RemoteBackend>> backends;
@@ -180,20 +188,29 @@ struct RemoteStack {
   KvsBackend* backend = nullptr;  // router, or the single backend
 
   static std::unique_ptr<RemoteStack> Connect(
-      const std::vector<net::Endpoint>& endpoints, std::string* error) {
+      const std::vector<net::Endpoint>& endpoints, int timeout_ms,
+      std::string* error) {
     auto stack = std::make_unique<RemoteStack>();
-    stack->pool = net::ChannelPool::Connect(endpoints, error);
+    net::ChannelPool::Config pool_cfg;
+    pool_cfg.channel.channel.connect_timeout_ms = timeout_ms;
+    pool_cfg.channel.channel.io_timeout_ms = timeout_ms;
+    // A shard may be mid-restart when a worker (re)builds its stack; let
+    // its channel come up "down" and heal through backoff.
+    pool_cfg.require_initial_connect = false;
+    stack->pool = net::ChannelPool::Connect(endpoints, pool_cfg, error);
     if (!stack->pool) return nullptr;
     std::vector<ShardedBackend::Shard> shards;
     for (std::size_t i = 0; i < stack->pool->size(); ++i) {
       stack->backends.push_back(
           std::make_unique<net::RemoteBackend>(stack->pool->channel(i)));
-      net::TcpChannel* channel = &stack->pool->channel(i);
+      net::ReconnectingChannel* channel = &stack->pool->channel(i);
       shards.push_back({net::Name(stack->pool->endpoint(i)),
-                        stack->backends.back().get(), 1, [channel] {
+                        stack->backends.back().get(), 1,
+                        [channel] {
                           return net::ParseIQStats(
                               net::RemoteCacheClient(*channel).Stats());
-                        }});
+                        },
+                        [channel] { return channel->reconnects(); }});
     }
     if (endpoints.size() == 1) {
       stack->backend = stack->backends[0].get();
@@ -205,34 +222,54 @@ struct RemoteStack {
   }
 };
 
-/// One increment of a shared counter via the refresh protocol. Returns
-/// true once committed (retries internally on lease rejection). Every
-/// session ends with Commit/Abort so a routing backend can retire its
-/// per-shard session state.
-bool RemoteIncrement(KvsBackend& backend, const std::string& key) {
+/// One increment of a shared counter via the refresh protocol, retried
+/// with exponential backoff across lease rejections AND transport failures
+/// until it commits or `deadline` passes. Every session ends with
+/// Commit/Abort so a routing backend can retire its per-shard session
+/// state.
+///
+/// `tally` is the authoritative count of committed increments — the stand-in
+/// for the RDBMS of a real CASQL deployment. It serves double duty: the
+/// final balance check compares cache contents against it, and a KVS miss
+/// under the Q lease (the cache server was restarted and lost the counter)
+/// reseeds the key from it, exactly as a CASQL refresh would recompute the
+/// value from the database.
+bool RemoteIncrement(KvsBackend& backend, const std::string& key,
+                     std::atomic<long long>& tally, Nanos deadline, Rng& rng) {
   const Clock& clock = SteadyClock::Instance();
-  for (int attempt = 0; attempt < 1000; ++attempt) {
+  ExponentialBackoff backoff(50 * kNanosPerMicro, 20 * kNanosPerMilli);
+  for (int attempt = 0; clock.Now() < deadline; ++attempt) {
     SessionId session = backend.GenID();
-    if (session == 0) return false;  // connection lost
+    if (session == 0) {
+      // Shard unreachable; back off while the channel reconnects.
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
+      continue;
+    }
     QaReadReply q = backend.QaRead(key, session);
     if (q.status != QaReadReply::Status::kGranted) {
       backend.Abort(session);
-      SleepFor(clock, 50 * kNanosPerMicro);
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
       continue;
     }
-    long long current = q.value ? std::atoll(q.value->c_str()) : 0;
+    // The Q lease serializes writers, so at most one session reseeds a lost
+    // counter at a time and concurrent increments still can't be lost.
+    long long current =
+        q.value ? std::atoll(q.value->c_str()) : tally.load();
     std::string next = std::to_string(current + 1);
     if (backend.SaR(key, std::string_view(next), q.token) ==
         StoreResult::kStored) {
+      // Tally immediately after the ack: a kill between the ack and this
+      // increment could strand one unseeded commit, but that window is
+      // sub-microsecond against a kill cadence of seconds.
+      tally.fetch_add(1, std::memory_order_relaxed);
       backend.Commit(session);
       return true;
     }
     // SaR not acknowledged (lease expired/evicted, or the connection
     // dropped): the store did not commit, so it must not be counted —
-    // release the session and retry. A dead connection surfaces as GenID()
-    // returning 0 on the next attempt.
+    // release the session and retry.
     backend.Abort(session);
-    SleepFor(clock, 50 * kNanosPerMicro);
+    SleepFor(clock, backoff.DelayFor(attempt, rng));
   }
   return false;
 }
@@ -255,7 +292,7 @@ int RunRemote(const Options& opt) {
   // Seed the keyspace through the routing stack: shared counters for the
   // write protocol, data keys for the read path.
   {
-    auto setup = RemoteStack::Connect(endpoints, &error);
+    auto setup = RemoteStack::Connect(endpoints, opt.timeout_ms, &error);
     if (!setup) {
       std::fprintf(stderr, "iqbench: %s\n", error.c_str());
       return 1;
@@ -272,6 +309,13 @@ int RunRemote(const Options& opt) {
   for (auto& c : committed) c.store(0);
   std::atomic<std::uint64_t> ops{0};
   std::atomic<bool> failed{false};
+  // Fault-recovery evidence, harvested from each worker's own stack before it
+  // exits: the settle-pass stack below connects fresh and would report zeros
+  // even after a mid-run shard kill.
+  std::atomic<std::uint64_t> worker_reconnects{0};
+  std::atomic<std::uint64_t> worker_transport_errors{0};
+  std::atomic<std::uint64_t> worker_shard_trips{0};
+  std::atomic<std::uint64_t> worker_shard_recoveries{0};
   std::vector<LatencyHistogram> latencies(opt.threads);
   const Clock& clock = SteadyClock::Instance();
   Nanos deadline = clock.Now() + static_cast<Nanos>(opt.seconds * kNanosPerSec);
@@ -280,7 +324,7 @@ int RunRemote(const Options& opt) {
   for (int t = 0; t < opt.threads; ++t) {
     threads.emplace_back([&, t] {
       std::string conn_error;
-      auto stack = RemoteStack::Connect(endpoints, &conn_error);
+      auto stack = RemoteStack::Connect(endpoints, opt.timeout_ms, &conn_error);
       if (!stack) {
         std::fprintf(stderr, "iqbench: thread %d: %s\n", t, conn_error.c_str());
         failed.store(true);
@@ -298,11 +342,11 @@ int RunRemote(const Options& opt) {
         Nanos start = clock.Now();
         if (rng.NextUint64(10000) < static_cast<std::uint64_t>(opt.mix * 100)) {
           int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
-          if (!RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx))) {
-            failed.store(true);
-            return;
-          }
-          committed[idx].fetch_add(1, std::memory_order_relaxed);
+          // A false return means the run deadline arrived while the
+          // counter's shard was unreachable — not an error: the increment
+          // never committed, so it is not tallied and the balance holds.
+          RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx),
+                          committed[idx], deadline, rng);
         } else if (multi) {
           std::vector<std::string> keys;
           for (int k = 0; k < 3; ++k) {
@@ -320,6 +364,15 @@ int RunRemote(const Options& opt) {
         ++local_ops;
       }
       ops.fetch_add(local_ops, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < stack->pool->size(); ++i) {
+        worker_reconnects += stack->pool->channel(i).reconnects();
+        worker_transport_errors += stack->pool->channel(i).transport_errors();
+      }
+      if (stack->router) {
+        auto rs = stack->router->router_stats();
+        worker_shard_trips += rs.shard_trips;
+        worker_shard_recoveries += rs.shard_recoveries;
+      }
     });
   }
   for (auto& thread : threads) thread.join();
@@ -332,15 +385,31 @@ int RunRemote(const Options& opt) {
   // else — must be visible, wherever the ring placed each counter. A lost
   // lease, a desynced pipeline, or a mis-routed fan-out shows up here as a
   // mismatch.
-  auto check = RemoteStack::Connect(endpoints, &error);
+  auto check = RemoteStack::Connect(endpoints, opt.timeout_ms, &error);
   if (!check) {
     std::fprintf(stderr, "iqbench: %s\n", error.c_str());
     return 1;
   }
+  // Settle pass: one more increment per counter through the Q-lease path.
+  // A counter whose shard was killed and restarted is missing from the
+  // restarted server; the settle increment reseeds it from the tally (the
+  // same recovery every worker performs), so the read below checks real
+  // end-to-end recovery rather than special-casing restarted shards. The
+  // deadline also gives a just-restarted shard time to accept connections.
+  Rng settle_rng(opt.seed ^ 0xC0FFEE);
+  Nanos settle_deadline = clock.Now() + 10 * kNanosPerSec;
   long long total_commits = 0;
   bool balanced = true;
   for (int i = 0; i < kRemoteCounters; ++i) {
-    auto item = check->backend->Get("ctr:" + std::to_string(i));
+    std::string key = "ctr:" + std::to_string(i);
+    if (!RemoteIncrement(*check->backend, key, committed[i], settle_deadline,
+                         settle_rng)) {
+      std::fprintf(stderr, "iqbench: %s unreachable during settle pass\n",
+                   key.c_str());
+      balanced = false;
+      continue;
+    }
+    auto item = check->backend->Get(key);
     long long expect = committed[i].load();
     long long got = item ? std::atoll(item->value.c_str()) : -1;
     total_commits += expect;
@@ -359,6 +428,13 @@ int RunRemote(const Options& opt) {
               static_cast<unsigned long long>(ops.load()), total_commits);
   std::printf("latency        %s\n", merged.Summary().c_str());
   std::printf("counter balance %s\n", balanced ? "exact" : "VIOLATED");
+  std::printf(
+      "fault recovery  %llu transport errors, %llu reconnects, "
+      "%llu trips, %llu recoveries (worker-side)\n",
+      static_cast<unsigned long long>(worker_transport_errors.load()),
+      static_cast<unsigned long long>(worker_reconnects.load()),
+      static_cast<unsigned long long>(worker_shard_trips.load()),
+      static_cast<unsigned long long>(worker_shard_recoveries.load()));
   if (check->router) {
     std::printf("\ncache tier (aggregated + per-shard):\n%s",
                 check->router->FormatStats().c_str());

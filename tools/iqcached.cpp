@@ -4,9 +4,14 @@
 // (or any memcached text-protocol client) at it from others.
 //
 //   iqcached [--port=N] [--host=A] [--workers=N]
-//            [--lease-ms=N] [--eager-delete] [--cache-mb=N]
+//            [--lease-ms=N] [--eager-delete] [--cache-mb=N] [--sweep-ms=N]
 //
 // Runs until SIGINT/SIGTERM, then prints the server's STAT lines.
+//
+// --sweep-ms starts a background thread that calls SweepExpired() on that
+// period, deleting keys whose leases expired while no request touched them
+// (crashed clients). 0 disables the thread; expired leases are then only
+// collected on access or by an explicit `sweep` wire command.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +44,8 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
   std::fprintf(stderr, "iqcached: bad argument '%s'\n", bad);
   std::fprintf(stderr,
                "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
-               "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n");
+               "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n"
+               "                [--sweep-ms=N]\n");
   std::exit(2);
 }
 
@@ -50,6 +56,7 @@ int main(int argc, char** argv) {
   net_cfg.port = 11211;
   IQServer::Config server_cfg;
   CacheStore::Config store_cfg;
+  long long sweep_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     const char* arg = argv[i];
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--cache-mb=", &v)) {
       store_cfg.memory_budget_bytes =
           static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
+    } else if (StartsWith(arg, "--sweep-ms=", &v)) {
+      sweep_ms = std::atoll(v);
     } else {
       Usage(arg);
     }
@@ -78,15 +87,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "iqcached: %s\n", error.c_str());
     return 1;
   }
-  std::printf("iqcached: listening on %s:%u (%d workers)\n",
-              net_cfg.host.c_str(), tcp.port(), net_cfg.workers);
+  std::printf("iqcached: listening on %s:%u (%d workers, sweep %lldms)\n",
+              net_cfg.host.c_str(), tcp.port(), net_cfg.workers, sweep_ms);
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+
+  // Lease reaper: without it, keys quarantined by clients that died (or
+  // were partitioned away) sit dead until some request happens to touch
+  // them. The sweep turns lease expiry into an upper bound on how long a
+  // crashed writer can keep a key out of the cache.
+  std::thread sweeper;
+  if (sweep_ms > 0) {
+    sweeper = std::thread([&server, sweep_ms] {
+      while (!g_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sweep_ms));
+        server.SweepExpired();
+      }
+    });
+  }
+
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  if (sweeper.joinable()) sweeper.join();
 
   // Snapshot the wire counters before Stop() tears the workers down.
   std::string stats = net::FormatStats(server);
