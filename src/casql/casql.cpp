@@ -39,13 +39,18 @@ CasqlSystem::CasqlSystem(sql::Database& db, KvsBackend& backend,
       client_(backend, config.client) {}
 
 std::unique_ptr<CasqlConnection> CasqlSystem::Connect() {
-  return std::unique_ptr<CasqlConnection>(
-      new CasqlConnection(*this, client_.NewSession()));
+  // Each connection's audit sampler gets an independent, reproducible
+  // stream: same seed + connection order => same audited hits.
+  std::uint64_t n = connections_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<CasqlConnection>(new CasqlConnection(
+      *this, client_.NewSession(),
+      config_.client.seed ^ (0x9E3779B97F4A7C15ULL * (n + 1))));
 }
 
 CasqlConnection::CasqlConnection(CasqlSystem& system,
-                                 std::unique_ptr<IQSession> session)
-    : system_(system), session_(std::move(session)) {}
+                                 std::unique_ptr<IQSession> session,
+                                 std::uint64_t audit_seed)
+    : system_(system), session_(std::move(session)), audit_rng_(audit_seed) {}
 
 std::optional<std::string> CasqlConnection::ComputeFresh(
     const ComputeFn& compute) {
@@ -56,6 +61,46 @@ std::optional<std::string> CasqlConnection::ComputeFresh(
   auto value = compute(*txn);
   txn->Rollback();
   return value;
+}
+
+void CasqlConnection::MaybeAudit(const std::string& key,
+                                 const std::optional<std::string>& observed,
+                                 const ComputeFn& compute) {
+  const CasqlConfig& cfg = system_.config_;
+  if (cfg.audit_rate <= 0 || !audit_rng_.NextBool(cfg.audit_rate)) return;
+  if (cfg.consistency == Consistency::kIQ) {
+    // Serialize against writers: a granted Q(refresh) lease proves no write
+    // session is in flight on this key, so strong consistency demands the
+    // value under the lease equal the RDBMS ground truth right now. The
+    // just-observed hit value is NOT the comparand — a writer may have
+    // legitimately committed between the hit and the audit.
+    std::optional<std::string> current;
+    if (session_->QaRead(key, current) != ClientQResult::kGranted) {
+      // Conflict (a writer is mid-session) or transport error: no verdict.
+      system_.audit_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::optional<std::string> truth = ComputeFresh(compute);
+    // A KVS miss under the lease is never stale (the KVS is a subset of the
+    // RDBMS); a present value disagreeing with the ground truth is.
+    bool stale = current && (!truth || *truth != *current);
+    session_->SaR(key, std::nullopt);  // release, leave the value in place
+    system_.audit_samples_.fetch_add(1, std::memory_order_relaxed);
+    if (stale) {
+      system_.stale_reads_detected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Baselines are audited lease-free (a Q lease would drop their concurrent
+  // plain Sets, perturbing the system under measurement): compare the hit
+  // the application saw against fresh ground truth. Racy by construction —
+  // but unbounded staleness is exactly what the baselines exhibit.
+  std::optional<std::string> truth = ComputeFresh(compute);
+  bool stale = observed && (!truth || *truth != *observed);
+  system_.audit_samples_.fetch_add(1, std::memory_order_relaxed);
+  if (stale) {
+    system_.stale_reads_detected_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---- read sessions ----------------------------------------------------------
@@ -80,6 +125,7 @@ ReadOutcome CasqlConnection::ReadPlain(const std::string& key,
   if (item) {
     out.hit = true;
     out.value = std::move(item->value);
+    MaybeAudit(key, out.value, compute);
     return out;
   }
   out.computed = true;
@@ -98,6 +144,7 @@ ReadOutcome CasqlConnection::ReadLeased(const std::string& key,
     case ClientGetResult::Status::kHit:
       out.hit = true;
       out.value = std::move(got.value);
+      MaybeAudit(key, out.value, compute);
       return out;
     case ClientGetResult::Status::kMissRecompute:
       out.computed = true;

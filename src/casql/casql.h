@@ -18,6 +18,7 @@
 // write-write conflicts or Q-lease rejections (non-blocking, deadlock-free).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +28,7 @@
 
 #include "core/iq_client.h"
 #include "rdbms/database.h"
+#include "util/rng.h"
 
 namespace iq::casql {
 
@@ -50,7 +52,23 @@ struct CasqlConfig {
   /// baseline R-M-W (models the client<->server round trips of a networked
   /// deployment, which widen the Figure 2 window; IQ paths ignore it).
   Nanos baseline_rmw_delay = 0;
+  /// Online staleness auditor: on this fraction of cache hits, re-read the
+  /// RDBMS ground truth inside the same session and compare. In IQ mode the
+  /// audit serializes against writers via QaRead, so any mismatch is a real
+  /// consistency violation (zero false positives); baselines are audited
+  /// lease-free (taking a Q lease would drop their concurrent plain Sets,
+  /// perturbing the system under measurement), so their count is the racy
+  /// staleness the paper's Table 1 quantifies. 0 disables auditing.
+  double audit_rate = 0.0;
   IQClient::Config client;
+};
+
+/// Shared tally of the online staleness auditor (see CasqlConfig).
+struct AuditStats {
+  std::uint64_t samples = 0;              // hits audited to a verdict
+  std::uint64_t stale_reads_detected = 0; // audited hits that mismatched
+  std::uint64_t skipped = 0;              // audits abandoned (Q conflict /
+                                          // transport error)
 };
 
 /// One impacted key in a write session.
@@ -111,7 +129,8 @@ class CasqlConnection {
 
  private:
   friend class CasqlSystem;
-  CasqlConnection(CasqlSystem& system, std::unique_ptr<IQSession> session);
+  CasqlConnection(CasqlSystem& system, std::unique_ptr<IQSession> session,
+                  std::uint64_t audit_seed);
 
   ReadOutcome ReadPlain(const std::string& key, const ComputeFn& compute);
   ReadOutcome ReadLeased(const std::string& key, const ComputeFn& compute);
@@ -125,8 +144,17 @@ class CasqlConnection {
   /// separate-connection approach, Section 6.2).
   std::optional<std::string> ComputeFresh(const ComputeFn& compute);
 
+  /// Staleness auditor: with probability config.audit_rate, re-read the
+  /// RDBMS ground truth for a key that just hit in the KVS and bump the
+  /// system-wide AuditStats. `observed` is the hit value handed to the
+  /// application (the comparand in the lease-free baseline audit).
+  void MaybeAudit(const std::string& key,
+                  const std::optional<std::string>& observed,
+                  const ComputeFn& compute);
+
   CasqlSystem& system_;
   std::unique_ptr<IQSession> session_;
+  Rng audit_rng_;
 };
 
 /// Binds a Database and a cache backend (in-process IQServer or a
@@ -141,6 +169,16 @@ class CasqlSystem {
   KvsBackend& backend() { return backend_; }
   const CasqlConfig& config() const { return config_; }
 
+  /// Snapshot of the staleness-auditor tally across all connections.
+  AuditStats audit_stats() const {
+    AuditStats s;
+    s.samples = audit_samples_.load(std::memory_order_relaxed);
+    s.stale_reads_detected =
+        stale_reads_detected_.load(std::memory_order_relaxed);
+    s.skipped = audit_skipped_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   friend class CasqlConnection;
 
@@ -148,6 +186,10 @@ class CasqlSystem {
   KvsBackend& backend_;
   CasqlConfig config_;
   IQClient client_;
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> audit_samples_{0};
+  std::atomic<std::uint64_t> stale_reads_detected_{0};
+  std::atomic<std::uint64_t> audit_skipped_{0};
 };
 
 }  // namespace iq::casql

@@ -1,5 +1,6 @@
 #include "core/iq_server.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace iq {
@@ -65,14 +66,22 @@ IQServer::IQServer(CacheStore::Config store_config, Config config)
       }()),
       clock_(config.clock != nullptr ? *config.clock : SteadyClock::Instance()),
       leases_(store_.shard_count()),
-      shard_stats_(store_.shard_count()) {}
+      shard_stats_(store_.shard_count()) {
+  if (config_.trace_capacity > 0) {
+    trace_rings_.reserve(store_.shard_count());
+    for (std::size_t i = 0; i < store_.shard_count(); ++i) {
+      trace_rings_.push_back(
+          std::make_unique<TraceRing>(config_.trace_capacity));
+    }
+  }
+}
 
 IQServer::IQServer() : IQServer(CacheStore::Config{}, Config{}) {}
 
 bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
-                           const std::string& key) {
+                           const std::string& key, const LazyNow& now) {
   LeaseEntry* entry = leases_.Find(g.shard_index(), key);
-  if (entry == nullptr || !LeaseTable::Expired(*entry, clock_.Now())) {
+  if (entry == nullptr || !LeaseTable::Expired(*entry, now())) {
     return false;
   }
   // An expired Q lease deletes the key-value pair: the lease holder may be
@@ -87,17 +96,21 @@ bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
   } else if (entry->holder != 0) {
     registry_.RemoveKey(entry->holder, key);
   }
+  SessionId holder = entry->kind == LeaseKind::kQInvalidate ? 0 : entry->holder;
   leases_.Erase(g.shard_index(), key);
   IQShardStats& st = StatsFor(g);
   st.leases_expired.fetch_add(1, std::memory_order_relaxed);
   if (deleted) st.expiry_deletes.fetch_add(1, std::memory_order_relaxed);
+  Trace(g, deleted ? LeaseTraceKind::kExpireDelete : LeaseTraceKind::kExpire,
+        holder, key, now);
   return true;
 }
 
 GetReply IQServer::IQget(std::string_view key, SessionId session) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
 
   if (entry != nullptr) {
@@ -121,7 +134,10 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
       case LeaseKind::kQRefresh: {
         if (session != 0 && entry->holder == session) {
           // Own-update visibility (Section 4.2.2): the holder sees its
-          // buffered deltas applied.
+          // buffered deltas applied. A holder touch also extends the lease:
+          // the session is demonstrably alive, and letting the lease lapse
+          // mid-session would delete the key and no-op the coming SaR.
+          entry->expires_at = Deadline(now);
           auto item = store_.GetLocked(g, key);
           if (item) {
             std::string value = std::move(item->value);
@@ -155,10 +171,11 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
   lease.kind = LeaseKind::kInhibit;
   lease.token = NewToken();
   lease.holder = session;
-  lease.expires_at = Deadline();
+  lease.expires_at = Deadline(now);
   LeaseToken token = lease.token;
   leases_.Put(g.shard_index(), skey, std::move(lease));
   StatsFor(g).i_granted.fetch_add(1, std::memory_order_relaxed);
+  Trace(g, LeaseTraceKind::kIGrant, session, key, now);
   return {GetReply::Status::kMissGrantedI, {}, token};
 }
 
@@ -166,12 +183,15 @@ StoreResult IQServer::IQset(std::string_view key, std::string_view value,
                             LeaseToken token) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry != nullptr && entry->kind == LeaseKind::kInhibit &&
       entry->token == token && token != 0) {
+    SessionId holder = entry->holder;
     store_.SetLocked(g, key, value);
     leases_.Erase(g.shard_index(), skey);
+    Trace(g, LeaseTraceKind::kRelease, holder, key, now);
     return StoreResult::kStored;
   }
   // The I lease was voided by a Q request, expired, or never existed: the
@@ -183,27 +203,40 @@ StoreResult IQServer::IQset(std::string_view key, std::string_view value,
 QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
 
   if (entry != nullptr) {
     if (entry->kind == LeaseKind::kInhibit) {
       // A writer preempts a reader's I lease: the RDBMS ordering between
       // them is unknown, so the reader's eventual IQset must be dropped.
+      SessionId reader = entry->holder;
       leases_.Erase(g.shard_index(), skey);
       entry = nullptr;
       StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
+      Trace(g, LeaseTraceKind::kIVoid, reader, key, now);
     } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == session) {
-      // Idempotent re-acquisition by the same session.
+      // Idempotent re-acquisition by the same session: a holder touch, so
+      // the deadline extends (the session is alive; an expiry here would
+      // delete the key and silently no-op the coming SaR/Commit), and the
+      // reply must show the session's own buffered deltas — the same
+      // own-update visibility rule (Section 4.2.2) IQget applies. Without
+      // the replay, an IQDelta'd update would be visible through IQget but
+      // vanish from the very QaRead that re-reads the key.
+      entry->expires_at = Deadline(now);
       auto item = store_.GetLocked(g, key);
-      return {QaReadReply::Status::kGranted,
-              item ? std::optional<std::string>(std::move(item->value))
-                   : std::nullopt,
-              entry->token};
+      if (!item) {
+        return {QaReadReply::Status::kGranted, std::nullopt, entry->token};
+      }
+      std::string value = std::move(item->value);
+      for (const auto& d : entry->pending_deltas) ApplyDeltaToValue(value, d);
+      return {QaReadReply::Status::kGranted, std::move(value), entry->token};
     } else {
       // Another write session holds Q (Figure 5b): reject; the caller
       // releases everything, rolls back its RDBMS transaction, retries.
       StatsFor(g).q_rejected.fetch_add(1, std::memory_order_relaxed);
+      Trace(g, LeaseTraceKind::kReject, session, key, now);
       return {QaReadReply::Status::kReject, std::nullopt, 0};
     }
   }
@@ -212,11 +245,12 @@ QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
   lease.kind = LeaseKind::kQRefresh;
   lease.token = NewToken();
   lease.holder = session;
-  lease.expires_at = Deadline();
+  lease.expires_at = Deadline(now);
   LeaseToken token = lease.token;
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(session, skey);
   StatsFor(g).q_ref_granted.fetch_add(1, std::memory_order_relaxed);
+  Trace(g, LeaseTraceKind::kQRefGrant, session, key, now);
   auto item = store_.GetLocked(g, key);
   return {QaReadReply::Status::kGranted,
           item ? std::optional<std::string>(std::move(item->value)) : std::nullopt,
@@ -228,7 +262,8 @@ StoreResult IQServer::SaR(std::string_view key,
                           LeaseToken token) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry == nullptr || entry->kind != LeaseKind::kQRefresh ||
       entry->token != token || token == 0) {
@@ -241,38 +276,48 @@ StoreResult IQServer::SaR(std::string_view key,
   SessionId holder = entry->holder;
   leases_.Erase(g.shard_index(), skey);
   registry_.RemoveKey(holder, skey);
+  Trace(g, LeaseTraceKind::kRelease, holder, key, now);
   return StoreResult::kStored;
 }
 
 QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
 
   if (entry != nullptr) {
     switch (entry->kind) {
       case LeaseKind::kInhibit: {
+        SessionId reader = entry->holder;
         leases_.Erase(g.shard_index(), skey);
         entry = nullptr;
         StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
+        Trace(g, LeaseTraceKind::kIVoid, reader, key, now);
         break;
       }
       case LeaseKind::kQInvalidate:
         // Deletes are idempotent: Q(invalidate) leases share (Figure 5a).
+        // Sharing is a holder touch: the deadline extends to cover the
+        // newest quarantining session.
         entry->inv_holders.insert(tid);
+        entry->expires_at = Deadline(now);
         registry_.AddKey(tid, skey);
         if (!config_.deferred_delete) store_.DeleteLocked(g, key);
         StatsFor(g).q_inv_granted.fetch_add(1, std::memory_order_relaxed);
+        Trace(g, LeaseTraceKind::kQInvGrant, tid, key, now);
         return QuarantineResult::kGranted;
       case LeaseKind::kQRefresh: {
         // Cross-technique collision: invalidation always wins because a
         // delete is always safe. Void the refresh lease - its SaR/Commit
         // becomes a no-op - and quarantine for deletion.
+        SessionId writer = entry->holder;
         registry_.RemoveKey(entry->holder, skey);
         leases_.Erase(g.shard_index(), skey);
         entry = nullptr;
         StatsFor(g).q_ref_voided.fetch_add(1, std::memory_order_relaxed);
+        Trace(g, LeaseTraceKind::kQRefVoid, writer, key, now);
         break;
       }
     }
@@ -281,11 +326,12 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
   LeaseEntry lease;
   lease.kind = LeaseKind::kQInvalidate;
   lease.inv_holders.insert(tid);
-  lease.expires_at = Deadline();
+  lease.expires_at = Deadline(now);
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(tid, skey);
   if (!config_.deferred_delete) store_.DeleteLocked(g, key);
   StatsFor(g).q_inv_granted.fetch_add(1, std::memory_order_relaxed);
+  Trace(g, LeaseTraceKind::kQInvGrant, tid, key, now);
   return QuarantineResult::kGranted;
 }
 
@@ -293,19 +339,27 @@ QuarantineResult IQServer::IQDelta(SessionId tid, std::string_view key,
                                    DeltaOp delta) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
 
   if (entry != nullptr) {
     if (entry->kind == LeaseKind::kInhibit) {
+      SessionId reader = entry->holder;
       leases_.Erase(g.shard_index(), skey);
       entry = nullptr;
       StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
+      Trace(g, LeaseTraceKind::kIVoid, reader, key, now);
     } else if (entry->kind == LeaseKind::kQRefresh && entry->holder == tid) {
+      // Holder touch: extend the deadline so a long multi-delta session's
+      // lease cannot expire between buffered updates (expiry would delete
+      // the key and no-op the eventual Commit).
+      entry->expires_at = Deadline(now);
       entry->pending_deltas.push_back(std::move(delta));
       return QuarantineResult::kGranted;
     } else {
       StatsFor(g).q_rejected.fetch_add(1, std::memory_order_relaxed);
+      Trace(g, LeaseTraceKind::kReject, tid, key, now);
       return QuarantineResult::kReject;
     }
   }
@@ -314,11 +368,12 @@ QuarantineResult IQServer::IQDelta(SessionId tid, std::string_view key,
   lease.kind = LeaseKind::kQRefresh;
   lease.token = NewToken();
   lease.holder = tid;
-  lease.expires_at = Deadline();
+  lease.expires_at = Deadline(now);
   lease.pending_deltas.push_back(std::move(delta));
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(tid, skey);
   StatsFor(g).q_ref_granted.fetch_add(1, std::memory_order_relaxed);
+  Trace(g, LeaseTraceKind::kQRefGrant, tid, key, now);
   return QuarantineResult::kGranted;
 }
 
@@ -332,6 +387,7 @@ void IQServer::ApplyDeltaLocked(const CacheStore::ShardGuard& g,
 }
 
 void IQServer::Commit(SessionId tid) {
+  const LazyNow now(clock_);
   for (const std::string& key : registry_.Keys(tid)) {
     auto g = store_.LockKey(key);
     LeaseEntry* entry = leases_.Find(g.shard_index(), key);
@@ -341,10 +397,12 @@ void IQServer::Commit(SessionId tid) {
         store_.DeleteLocked(g, key);
         entry->inv_holders.erase(tid);
         if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        Trace(g, LeaseTraceKind::kCommit, tid, key, now);
         break;
       case LeaseKind::kQRefresh:
         for (const auto& d : entry->pending_deltas) ApplyDeltaLocked(g, key, d);
         leases_.Erase(g.shard_index(), key);
+        Trace(g, LeaseTraceKind::kCommit, tid, key, now);
         break;
       case LeaseKind::kInhibit:
         break;  // I leases are not registered; defensive
@@ -357,6 +415,7 @@ void IQServer::Commit(SessionId tid) {
 void IQServer::DaR(SessionId tid) { Commit(tid); }
 
 void IQServer::Abort(SessionId tid) {
+  const LazyNow now(clock_);
   for (const std::string& key : registry_.Keys(tid)) {
     auto g = store_.LockKey(key);
     LeaseEntry* entry = leases_.Find(g.shard_index(), key);
@@ -366,9 +425,11 @@ void IQServer::Abort(SessionId tid) {
         // Leave the current version in place (paper Section 3.3).
         entry->inv_holders.erase(tid);
         if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        Trace(g, LeaseTraceKind::kAbort, tid, key, now);
         break;
       case LeaseKind::kQRefresh:
         leases_.Erase(g.shard_index(), key);  // pending deltas discarded
+        Trace(g, LeaseTraceKind::kAbort, tid, key, now);
         break;
       case LeaseKind::kInhibit:
         break;
@@ -381,6 +442,11 @@ void IQServer::Abort(SessionId tid) {
 void IQServer::ReleaseKey(SessionId tid, std::string_view key) {
   std::string skey(key);
   auto g = store_.LockKey(key);
+  const LazyNow now(clock_);
+  // An overdue lease takes the expiry path first — the quarantine delete
+  // plus the leases_expired/expiry_deletes accounting every other lease-
+  // mutating entry point performs — and the release is then a no-op.
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry == nullptr || !entry->HeldBy(tid)) return;
   if (entry->kind == LeaseKind::kQInvalidate) {
@@ -390,16 +456,20 @@ void IQServer::ReleaseKey(SessionId tid, std::string_view key) {
     leases_.Erase(g.shard_index(), skey);
   }
   registry_.RemoveKey(tid, skey);
+  Trace(g, LeaseTraceKind::kRelease, tid, key, now);
 }
 
 bool IQServer::DeleteVoid(std::string_view key) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry != nullptr && entry->kind == LeaseKind::kInhibit) {
+    SessionId reader = entry->holder;
     leases_.Erase(g.shard_index(), skey);
     StatsFor(g).i_voided.fetch_add(1, std::memory_order_relaxed);
+    Trace(g, LeaseTraceKind::kIVoid, reader, key, now);
   }
   return store_.DeleteLocked(g, key);
 }
@@ -422,6 +492,38 @@ IQServerStats IQServer::Stats() const {
     total.aborts += s.aborts.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+StatsWindowSample IQServer::WindowedStats() {
+  return metrics_window_.Advance(Stats(), clock_.Now());
+}
+
+std::vector<TraceEvent> IQServer::TraceSnapshot(std::size_t max_events) const {
+  std::vector<TraceEvent> merged;
+  if (trace_rings_.empty() || max_events == 0) return merged;
+  for (const auto& ring : trace_rings_) {
+    std::vector<TraceEvent> part = ring->Snapshot(max_events);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  // Per-ring snapshots are already ordered; merge across shards by
+  // timestamp (ties broken by shard then ring sequence for determinism).
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  if (merged.size() > max_events) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return merged;
+}
+
+std::uint64_t IQServer::TraceRecorded() const {
+  std::uint64_t n = 0;
+  for (const auto& ring : trace_rings_) n += ring->recorded();
+  return n;
 }
 
 std::size_t IQServer::LeaseCount() const {
@@ -448,8 +550,9 @@ std::size_t IQServer::SweepExpired() {
     leases_.ForEach(shard, [&](const std::string& key, LeaseEntry& entry) {
       if (LeaseTable::Expired(entry, now)) overdue.push_back(key);
     });
+    const LazyNow batch_now(now);
     for (const std::string& key : overdue) {
-      if (MaybeExpire(g, key)) ++reclaimed;
+      if (MaybeExpire(g, key, batch_now)) ++reclaimed;
     }
   }
   return reclaimed;
@@ -458,7 +561,8 @@ std::size_t IQServer::SweepExpired() {
 std::optional<LeaseKind> IQServer::LeaseOn(std::string_view key) {
   std::string skey(key);
   auto g = store_.LockKey(key);
-  MaybeExpire(g, skey);
+  const LazyNow now(clock_);
+  MaybeExpire(g, skey, now);
   LeaseEntry* entry = leases_.Find(g.shard_index(), skey);
   if (entry == nullptr) return std::nullopt;
   return entry->kind;

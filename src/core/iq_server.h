@@ -28,30 +28,14 @@
 #include <string_view>
 #include <vector>
 
+#include "core/iq_stats.h"
 #include "core/kvs_backend.h"
 #include "kvs/kvs.h"
 #include "leases/lease_table.h"
 #include "util/histogram.h"
+#include "util/trace_ring.h"
 
 namespace iq {
-
-/// Server-side counters for the evaluation harness. This is the aggregated
-/// snapshot returned by IQServer::Stats(); the live counters are sharded
-/// (see IQShardStats) so the hot path never takes a statistics lock.
-struct IQServerStats {
-  std::uint64_t i_granted = 0;
-  std::uint64_t i_voided = 0;       // I leases preempted by Q requests
-  std::uint64_t q_ref_voided = 0;   // Q(refresh) leases voided by QaReg
-  std::uint64_t backoffs = 0;       // IQget told a session to back off
-  std::uint64_t stale_sets_dropped = 0;  // IQset/SaR with invalid token ignored
-  std::uint64_t q_inv_granted = 0;
-  std::uint64_t q_ref_granted = 0;
-  std::uint64_t q_rejected = 0;     // QaRead/IQDelta aborted a requester
-  std::uint64_t leases_expired = 0;
-  std::uint64_t expiry_deletes = 0; // keys deleted because a Q lease expired
-  std::uint64_t commits = 0;
-  std::uint64_t aborts = 0;
-};
 
 /// Live counters for one CacheStore shard. Commands increment these while
 /// already holding that shard's lock, so distinct shards never contend; the
@@ -109,6 +93,9 @@ class IQServer final : public KvsBackend {
     /// Q(invalidate) lease is pending, deleting only at DaR/Commit.
     /// When false, QaReg deletes the key immediately.
     bool deferred_delete = true;
+    /// Lease-event trace ring capacity per CacheStore shard (rounded up to
+    /// a power of two). 0 disables tracing entirely.
+    std::size_t trace_capacity = 1024;
     const Clock* clock = nullptr;
   };
 
@@ -204,6 +191,19 @@ class IQServer final : public KvsBackend {
 
   /// Aggregated counter snapshot (relaxed reads; no lock taken).
   IQServerStats Stats() const;
+  /// Advance the server's metrics window and return lifetime totals plus
+  /// the delta since the previous call. The window is shared by every
+  /// scraper of this server (the `metrics` wire verb and the iqcached
+  /// shutdown report), so run at most one logical scraper; the plain
+  /// `stats` verb never touches it.
+  StatsWindowSample WindowedStats();
+  /// The newest (up to) `max_events` lease-trace events across all shard
+  /// rings, merged oldest first. Safe against concurrent commands.
+  std::vector<TraceEvent> TraceSnapshot(std::size_t max_events) const;
+  bool trace_enabled() const { return !trace_rings_.empty(); }
+  /// Lifetime trace records emitted across all shard rings (including
+  /// events the rings have since overwritten).
+  std::uint64_t TraceRecorded() const;
   /// Live (unexpired) lease on `key`, if any (testing).
   std::optional<LeaseKind> LeaseOn(std::string_view key);
   /// Live lease entries, aggregated shard by shard under each shard's lock
@@ -222,9 +222,13 @@ class IQServer final : public KvsBackend {
   std::size_t SweepExpired();
 
  private:
-  /// Expire `entry` if due: Q leases delete the key value. Returns true if
-  /// the entry was removed. Caller holds the shard lock.
-  bool MaybeExpire(const CacheStore::ShardGuard& g, const std::string& key);
+  /// Expire `entry` if due as of `now`: Q leases delete the key value.
+  /// Returns true if the entry was removed. Caller holds the shard lock.
+  /// `now` is the operation's shared lazy timestamp: lease-free fast paths
+  /// never read the clock, and paths that expire + grant + trace read it
+  /// once.
+  bool MaybeExpire(const CacheStore::ShardGuard& g, const std::string& key,
+                   const LazyNow& now);
 
   /// Apply one buffered delta to the key's current value. Missing keys are
   /// skipped for append/prepend/incr/decr (memcached semantics).
@@ -232,8 +236,8 @@ class IQServer final : public KvsBackend {
                         const DeltaOp& delta);
 
   LeaseToken NewToken() { return next_token_.fetch_add(1, std::memory_order_relaxed); }
-  Nanos Deadline() const {
-    return config_.lease_lifetime == 0 ? 0 : clock_.Now() + config_.lease_lifetime;
+  Nanos Deadline(const LazyNow& now) const {
+    return config_.lease_lifetime == 0 ? 0 : now() + config_.lease_lifetime;
   }
 
   /// Counter block for the shard whose lock `g` holds.
@@ -246,6 +250,19 @@ class IQServer final : public KvsBackend {
     return shard_stats_[tid % shard_stats_.size()];
   }
 
+  /// Record one lease transition in the shard's trace ring. Called with the
+  /// shard lock already held, so the ring sees one writer at a time; the
+  /// empty-vector check keeps the disabled case to a single branch. `now`
+  /// is the operation's shared lazy timestamp, so tracing reuses a clock
+  /// read the lease transition usually already paid for.
+  void Trace(const CacheStore::ShardGuard& g, LeaseTraceKind kind,
+             SessionId session, std::string_view key, const LazyNow& now) {
+    if (trace_rings_.empty()) return;
+    trace_rings_[g.shard_index()]->Record(
+        kind, static_cast<std::uint32_t>(g.shard_index()), session,
+        TraceKeyHash(key), now());
+  }
+
   Config config_;
   CacheStore store_;
   const Clock& clock_;
@@ -256,6 +273,10 @@ class IQServer final : public KvsBackend {
 
   /// One counter block per CacheStore shard; see IQShardStats.
   std::vector<IQShardStats> shard_stats_;
+  /// One trace ring per CacheStore shard (empty when tracing is disabled);
+  /// unique_ptr because TraceRing is immovable (atomics).
+  std::vector<std::unique_ptr<TraceRing>> trace_rings_;
+  StatsWindow metrics_window_;
   StripedLatencyRecorder cmd_latencies_{kCommandClassCount};
 };
 

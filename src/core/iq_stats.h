@@ -1,0 +1,109 @@
+// IQServerStats and everything generic over its fields: the canonical
+// (name, member) table driving STAT rendering, ParseIQStats, per-shard
+// breakdowns and Prometheus export, plus the StatsWindow used for interval
+// (rate) metrics. Split out of iq_server.h so observers that only handle
+// counter snapshots need not pull in the server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace iq {
+
+/// Server-side counters for the evaluation harness. This is the aggregated
+/// snapshot returned by IQServer::Stats(); the live counters are sharded
+/// (see IQShardStats) so the hot path never takes a statistics lock.
+struct IQServerStats {
+  std::uint64_t i_granted = 0;
+  std::uint64_t i_voided = 0;       // I leases preempted by Q requests
+  std::uint64_t q_ref_voided = 0;   // Q(refresh) leases voided by QaReg
+  std::uint64_t backoffs = 0;       // IQget told a session to back off
+  std::uint64_t stale_sets_dropped = 0;  // IQset/SaR with invalid token ignored
+  std::uint64_t q_inv_granted = 0;
+  std::uint64_t q_ref_granted = 0;
+  std::uint64_t q_rejected = 0;     // QaRead/IQDelta aborted a requester
+  std::uint64_t leases_expired = 0;
+  std::uint64_t expiry_deletes = 0; // keys deleted because a Q lease expired
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+/// One row of the canonical IQServerStats field table.
+struct IQStatsField {
+  const char* name;  // wire name, as emitted in "STAT <name> <value>" lines
+  std::uint64_t IQServerStats::* member;
+};
+
+/// The single source of truth mapping wire names to IQServerStats members.
+/// Shared by net::FormatStats / net::ParseIQStats, the ShardedBackend
+/// aggregate and per-shard breakdowns, StatsWindow deltas, and the
+/// Prometheus metrics export — add new counters here once.
+inline constexpr IQStatsField kIQStatsFields[] = {
+    {"i_leases_granted", &IQServerStats::i_granted},
+    {"i_leases_voided", &IQServerStats::i_voided},
+    {"q_ref_voided", &IQServerStats::q_ref_voided},
+    {"backoffs", &IQServerStats::backoffs},
+    {"stale_sets_dropped", &IQServerStats::stale_sets_dropped},
+    {"q_inv_granted", &IQServerStats::q_inv_granted},
+    {"q_ref_granted", &IQServerStats::q_ref_granted},
+    {"q_rejected", &IQServerStats::q_rejected},
+    {"leases_expired", &IQServerStats::leases_expired},
+    {"expiry_deletes", &IQServerStats::expiry_deletes},
+    {"commits", &IQServerStats::commits},
+    {"aborts", &IQServerStats::aborts},
+};
+
+/// One scrape from a StatsWindow: the lifetime totals plus what changed
+/// since the previous scrape.
+struct StatsWindowSample {
+  IQServerStats lifetime;
+  IQServerStats delta;
+  /// Window width. 0 on the very first Advance (no previous scrape: delta
+  /// equals lifetime and no rate can be formed).
+  double seconds = 0;
+};
+
+/// Windowed metrics over IQServerStats: an observer keeps one StatsWindow
+/// and calls Advance() on each scrape, getting deltas/rates instead of only
+/// cumulative counters. One window supports one logical scraper — two
+/// pollers sharing a window would each see roughly half of every delta, so
+/// the plain `stats` verb never advances a window; only the `metrics` verb
+/// (and the iqcached shutdown report) does.
+class StatsWindow {
+ public:
+  /// Record `current` as the new baseline and return what changed since the
+  /// previous call. Thread-safe; serialized internally.
+  StatsWindowSample Advance(const IQServerStats& current, Nanos now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatsWindowSample s;
+    s.lifetime = current;
+    s.delta = current;
+    if (primed_) {
+      for (const IQStatsField& f : kIQStatsFields) {
+        std::uint64_t cur = current.*(f.member);
+        std::uint64_t old = prev_.*(f.member);
+        // Counters are monotonic; guard anyway so a swapped-in server
+        // yields a zero delta instead of an underflowed one.
+        s.delta.*(f.member) = cur >= old ? cur - old : 0;
+      }
+      if (now > prev_at_) {
+        s.seconds = static_cast<double>(now - prev_at_) / kNanosPerSec;
+      }
+    }
+    prev_ = current;
+    prev_at_ = now;
+    primed_ = true;
+    return s;
+  }
+
+ private:
+  std::mutex mu_;
+  bool primed_ = false;
+  IQServerStats prev_{};
+  Nanos prev_at_ = 0;
+};
+
+}  // namespace iq

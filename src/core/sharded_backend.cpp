@@ -25,31 +25,11 @@ std::uint64_t Fnv1a(std::string_view s) {
   return h;
 }
 
-/// The IQ counter list shared by Stats() aggregation and FormatStats()
-/// breakdown lines. Names match net::FormatStats so the per-shard lines are
-/// grep-compatible with a child's own `stats` output.
-struct CounterField {
-  const char* name;
-  std::uint64_t IQServerStats::* field;
-};
-
-constexpr CounterField kCounterFields[] = {
-    {"i_leases_granted", &IQServerStats::i_granted},
-    {"i_leases_voided", &IQServerStats::i_voided},
-    {"q_ref_voided", &IQServerStats::q_ref_voided},
-    {"backoffs", &IQServerStats::backoffs},
-    {"stale_sets_dropped", &IQServerStats::stale_sets_dropped},
-    {"q_inv_granted", &IQServerStats::q_inv_granted},
-    {"q_ref_granted", &IQServerStats::q_ref_granted},
-    {"q_rejected", &IQServerStats::q_rejected},
-    {"leases_expired", &IQServerStats::leases_expired},
-    {"expiry_deletes", &IQServerStats::expiry_deletes},
-    {"commits", &IQServerStats::commits},
-    {"aborts", &IQServerStats::aborts},
-};
-
+// Counter names and members come from the canonical kIQStatsFields table
+// (core/iq_stats.h), shared with net::FormatStats/ParseIQStats so the
+// per-shard lines stay grep-compatible with a child's own `stats` output.
 void Accumulate(IQServerStats& total, const IQServerStats& s) {
-  for (const CounterField& f : kCounterFields) total.*f.field += s.*f.field;
+  for (const IQStatsField& f : kIQStatsFields) total.*f.member += s.*f.member;
 }
 
 }  // namespace
@@ -474,7 +454,7 @@ std::string ShardedBackend::FormatStats() const {
   }
   stat("reconnects", reconnects);
   IQServerStats total = Stats();
-  for (const CounterField& f : kCounterFields) stat(f.name, total.*f.field);
+  for (const IQStatsField& f : kIQStatsFields) stat(f.name, total.*f.member);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::string prefix = "shard" + std::to_string(i) + "_";
     out << "STAT " << prefix << "endpoint " << shards_[i].name << "\r\n";
@@ -487,11 +467,15 @@ std::string ShardedBackend::FormatStats() const {
     }
     if (!shards_[i].stats) continue;
     IQServerStats s = shards_[i].stats();
-    for (const CounterField& f : kCounterFields) {
-      stat(prefix + f.name, s.*f.field);
+    for (const IQStatsField& f : kIQStatsFields) {
+      stat(prefix + f.name, s.*f.member);
     }
   }
   return out.str();
+}
+
+StatsWindowSample ShardedBackend::WindowedStats() {
+  return metrics_window_.Advance(Stats(), clock_.Now());
 }
 
 }  // namespace iq

@@ -83,6 +83,8 @@ const std::unordered_map<std::string_view, CommandInfo>& CommandTable() {
       {"abort", {Command::kAbort, false}},
       {"release", {Command::kRelease, false}},
       {"sweep", {Command::kSweep, false}},
+      {"metrics", {Command::kMetrics, false}},
+      {"trace", {Command::kTrace, false}},
   };
   return *table;
 }
@@ -155,8 +157,20 @@ std::optional<std::size_t> ParseCommandLine(
     case Command::kQuit:
     case Command::kGenId:
     case Command::kSweep:
+    case Command::kMetrics:
       if (tok.size() != 1) return fail("bad argument count");
       return 0;
+    case Command::kTrace: {
+      // Optional event count: `trace` or `trace <n>`. 0 (or omitted) means
+      // the server default.
+      if (tok.size() > 2) return fail("bad argument count");
+      if (tok.size() == 2) {
+        auto n = ParseU64(tok[1]);
+        if (!n) return fail("bad event count");
+        req->amount = *n;
+      }
+      return 0;
+    }
     case Command::kIQGet:
     case Command::kQaRead: {
       if (tok.size() != 3) return fail("bad argument count");
@@ -261,6 +275,8 @@ const char* ToString(Command c) {
     case Command::kAbort: return "abort";
     case Command::kRelease: return "release";
     case Command::kSweep: return "sweep";
+    case Command::kMetrics: return "metrics";
+    case Command::kTrace: return "trace";
   }
   return "?";
 }
@@ -428,6 +444,15 @@ void AppendTo(const Request& r, std::string* out) {
       return;
     case Command::kGenId: out->append("genid\r\n"); return;
     case Command::kSweep: out->append("sweep\r\n"); return;
+    case Command::kMetrics: out->append("metrics\r\n"); return;
+    case Command::kTrace:
+      out->append("trace");
+      if (r.amount != 0) {
+        out->push_back(' ');
+        AppendU64(out, r.amount);
+      }
+      out->append("\r\n");
+      return;
     case Command::kQaReg:
     case Command::kRelease:
       out->append(ToString(r.command));
@@ -562,6 +587,22 @@ void AppendTo(const Response& r, std::string* out) {
       AppendU64(out, r.number);
       out->append("\r\n");
       return;
+    case ResponseType::kMetrics:
+      // Sized block like QVALUE: the Prometheus text contains arbitrary
+      // lines ('#' comments, label braces) that must not be re-scanned as
+      // protocol heads.
+      out->append("METRICS ");
+      AppendU64(out, r.data.size());
+      out->append("\r\n");
+      out->append(r.data);
+      out->append("\r\n");
+      return;
+    case ResponseType::kTrace:
+      // Zero or more self-describing TRACE lines, END-terminated (the STAT
+      // pattern; an empty trace is a bare END and parses as kEnd).
+      out->append(r.message);
+      out->append("END\r\n");
+      return;
     case ResponseType::kTransportError:
       out->append("SERVER_ERROR ");
       out->append(r.message.empty() ? "transport failure" : r.message);
@@ -684,6 +725,26 @@ std::optional<Response> ParseResponse(std::string_view bytes,
     std::size_t end = bytes.find("END\r\n");
     if (end == std::string_view::npos) return std::nullopt;
     resp.type = ResponseType::kStats;
+    resp.message = std::string(bytes.substr(0, end));
+    *consumed = end + 5;
+    return resp;
+  }
+  if (head == "METRICS") {
+    if (tokens.size() != 2) return std::nullopt;
+    auto size = ParseU64(tokens[1]);
+    if (!size || *size > kMaxPayloadBytes) return std::nullopt;
+    std::size_t avail = bytes.size() - (eol + 2);
+    if (avail < *size || avail - *size < 2) return std::nullopt;
+    resp.type = ResponseType::kMetrics;
+    resp.data = std::string(bytes.substr(eol + 2, *size));
+    *consumed = eol + 2 + *size + 2;
+    return resp;
+  }
+  if (head == "TRACE") {
+    // Collect TRACE lines up to END (same shape as STAT).
+    std::size_t end = bytes.find("END\r\n");
+    if (end == std::string_view::npos) return std::nullopt;
+    resp.type = ResponseType::kTrace;
     resp.message = std::string(bytes.substr(0, end));
     *consumed = end + 5;
     return resp;

@@ -33,6 +33,13 @@
 //   sweep\r\n                                  -> <number of leases expired>
 //     (force one pass over the lease table, expiring overdue leases — the
 //      same reclamation a periodic server-side sweep thread performs)
+//   metrics\r\n                                -> METRICS <bytes>\r\n<data>\r\n
+//     (Prometheus exposition text: lifetime totals plus rates over the
+//      window since the previous metrics scrape; see net/metrics.h)
+//   trace [<n>]\r\n                            -> TRACE lines + END\r\n
+//     (the newest n — default 128 — lease-trace events, one
+//      "TRACE <seq> <at> <shard> <kind> <session> <key_hash>" line each;
+//      see util/trace_ring.h)
 //
 // The parser is incremental: feed bytes, take complete requests.
 #pragma once
@@ -85,6 +92,8 @@ enum class Command {
   kAbort,
   kRelease,
   kSweep,
+  kMetrics,
+  kTrace,
 };
 
 const char* ToString(Command c);
@@ -164,6 +173,9 @@ enum class ResponseType {
   kReject,       // REJECT
   kGranted,      // GRANTED
   kId,           // ID <session>
+  // Observability
+  kMetrics,      // METRICS <bytes>\r\n<data>\r\n (Prometheus text in data)
+  kTrace,        // TRACE lines + END (raw lines in message)
   // Failure signalling
   kTransportError,  // SERVER_ERROR <msg>. Synthesized client-side by
                     // RemoteCacheClient::Call when the channel itself fails

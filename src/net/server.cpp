@@ -1,7 +1,10 @@
 #include "net/server.h"
 
 #include <charconv>
+#include <cstdio>
 #include <sstream>
+
+#include "net/metrics.h"
 
 namespace iq::net {
 namespace {
@@ -295,6 +298,23 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
       resp.type = ResponseType::kNumber;
       resp.number = server_.SweepExpired();
       return resp;
+    case Command::kMetrics:
+      resp.type = ResponseType::kMetrics;
+      resp.data = FormatMetrics(server_);
+      if (stats_augmenter_) {
+        // The wire tier's STAT lines, re-rendered as Prometheus gauges so
+        // one scrape carries both layers.
+        std::string wire;
+        stats_augmenter_(wire);
+        AppendStatsAsMetrics(wire, &resp.data);
+      }
+      return resp;
+    case Command::kTrace:
+      resp.type = ResponseType::kTrace;
+      resp.message = FormatTraceEvents(server_.TraceSnapshot(
+          r.amount != 0 ? static_cast<std::size_t>(r.amount)
+                        : kDefaultTraceEvents));
+      return resp;
     default:
       break;
   }
@@ -319,18 +339,7 @@ std::string FormatStats(const IQServer& server) {
   stat("expirations", store.expirations);
   stat("bytes_used", store.bytes_used);
   stat("item_count", store.item_count);
-  stat("i_leases_granted", iq.i_granted);
-  stat("i_leases_voided", iq.i_voided);
-  stat("q_ref_voided", iq.q_ref_voided);
-  stat("backoffs", iq.backoffs);
-  stat("stale_sets_dropped", iq.stale_sets_dropped);
-  stat("q_inv_granted", iq.q_inv_granted);
-  stat("q_ref_granted", iq.q_ref_granted);
-  stat("q_rejected", iq.q_rejected);
-  stat("leases_expired", iq.leases_expired);
-  stat("expiry_deletes", iq.expiry_deletes);
-  stat("commits", iq.commits);
-  stat("aborts", iq.aborts);
+  for (const IQStatsField& f : kIQStatsFields) stat(f.name, iq.*f.member);
   // Per-command service-time percentiles, recorded by the dispatcher.
   // Classes with no observations are omitted (a fresh server emits none).
   const StripedLatencyRecorder& lat = server.command_latencies();
@@ -352,26 +361,26 @@ std::string FormatStats(const IQServer& server) {
   return out.str();
 }
 
+std::string FormatWindowedStats(const StatsWindowSample& sample) {
+  std::ostringstream out;
+  out << "STAT window_ms "
+      << static_cast<std::uint64_t>(sample.seconds * 1000.0) << "\r\n";
+  for (const IQStatsField& f : kIQStatsFields) {
+    out << "STAT w_" << f.name << " " << sample.delta.*f.member << "\r\n";
+    if (sample.seconds > 0) {
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.3f",
+                    static_cast<double>(sample.delta.*f.member) /
+                        sample.seconds);
+      out << "STAT w_" << f.name << "_per_sec " << rate << "\r\n";
+    }
+  }
+  return out.str();
+}
+
 IQServerStats ParseIQStats(std::string_view stats_text) {
-  // Same name <-> field mapping as FormatStats above; keep the two in sync.
-  struct Field {
-    std::string_view name;
-    std::uint64_t IQServerStats::* member;
-  };
-  static constexpr Field kFields[] = {
-      {"i_leases_granted", &IQServerStats::i_granted},
-      {"i_leases_voided", &IQServerStats::i_voided},
-      {"q_ref_voided", &IQServerStats::q_ref_voided},
-      {"backoffs", &IQServerStats::backoffs},
-      {"stale_sets_dropped", &IQServerStats::stale_sets_dropped},
-      {"q_inv_granted", &IQServerStats::q_inv_granted},
-      {"q_ref_granted", &IQServerStats::q_ref_granted},
-      {"q_rejected", &IQServerStats::q_rejected},
-      {"leases_expired", &IQServerStats::leases_expired},
-      {"expiry_deletes", &IQServerStats::expiry_deletes},
-      {"commits", &IQServerStats::commits},
-      {"aborts", &IQServerStats::aborts},
-  };
+  // Names and members come straight from the canonical kIQStatsFields table
+  // (core/iq_stats.h), the same one FormatStats renders from.
   IQServerStats out{};
   std::size_t pos = 0;
   while (pos < stats_text.size()) {
@@ -386,7 +395,7 @@ IQServerStats ParseIQStats(std::string_view stats_text) {
     if (space == std::string_view::npos) continue;
     std::string_view name = line.substr(0, space);
     std::string_view value = line.substr(space + 1);
-    for (const Field& f : kFields) {
+    for (const IQStatsField& f : kIQStatsFields) {
       if (name != f.name) continue;
       std::uint64_t v = 0;
       auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);

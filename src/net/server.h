@@ -12,6 +12,9 @@
 
 namespace iq::net {
 
+/// Events returned by a bare `trace` request (no count argument).
+inline constexpr std::size_t kDefaultTraceEvents = 128;
+
 class CommandDispatcher {
  public:
   explicit CommandDispatcher(IQServer& server) : server_(server) {}
@@ -47,6 +50,12 @@ CommandClass ClassOf(Command c);
 /// percentiles ("cmd_<class>_{count,mean_us,p95_us,p99_us,max_us}") for
 /// every command class observed so far.
 std::string FormatStats(const IQServer& server);
+
+/// Render one StatsWindowSample as "STAT" lines: window_ms, then per IQ
+/// counter the windowed delta ("w_<name>") and, when the window has width,
+/// the rate ("w_<name>_per_sec", 3 decimals). The STAT-format twin of the
+/// Prometheus export in net/metrics.h.
+std::string FormatWindowedStats(const StatsWindowSample& sample);
 
 /// Inverse of FormatStats for the IQ lease counters: pick the
 /// "STAT <name> <value>" lines that map onto IQServerStats fields out of a

@@ -53,6 +53,30 @@ class ManualClock final : public Clock {
   std::atomic<Nanos> now_;
 };
 
+/// Lazily-read, cached timestamp for one logical operation: the clock is
+/// consulted on the first call and the same value returned thereafter, so
+/// code paths that never need the time pay nothing and paths that need it
+/// several times (expiry check, lease deadline, trace record) pay for one
+/// read. Can be pre-seeded with a known time for batch loops.
+class LazyNow {
+ public:
+  explicit LazyNow(const Clock& clock) : clock_(&clock) {}
+  explicit LazyNow(Nanos known) : clock_(nullptr), value_(known), set_(true) {}
+
+  Nanos operator()() const {
+    if (!set_) {
+      value_ = clock_->Now();
+      set_ = true;
+    }
+    return value_;
+  }
+
+ private:
+  const Clock* clock_;
+  mutable Nanos value_ = 0;
+  mutable bool set_ = false;
+};
+
 /// RAII stopwatch measuring elapsed time against a Clock.
 class Stopwatch {
  public:

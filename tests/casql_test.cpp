@@ -293,6 +293,69 @@ TEST_F(CasqlTest, QLeaseConflictRestartsAndEventuallySucceeds) {
   EXPECT_EQ(server_.store().Get("K")->value, "150");
 }
 
+// ---- staleness auditor ---------------------------------------------------
+
+TEST_F(CasqlTest, AuditDetectsPoisonedCacheEntry) {
+  CasqlConfig cfg = Config(Technique::kRefresh, Consistency::kIQ);
+  cfg.audit_rate = 1.0;
+  CasqlSystem system(db_, server_, cfg);
+  auto conn = system.Connect();
+  conn->Read("K", ComputeK());  // miss + install
+  // Corrupt the entry behind the framework's back — the kind of bug the
+  // auditor exists to catch.
+  server_.store().Set("K", "31337");
+  auto out = conn->Read("K", ComputeK());
+  EXPECT_TRUE(out.hit);
+  AuditStats a = system.audit_stats();
+  EXPECT_GE(a.samples, 1u);
+  EXPECT_GE(a.stale_reads_detected, 1u);
+  // The audit is an observer: it must leave the entry in place (SaR with no
+  // replacement value), not silently repair it.
+  EXPECT_EQ(server_.store().Get("K")->value, "31337");
+}
+
+TEST_F(CasqlTest, AuditDetectsPoisonUnderBaselineConsistency) {
+  CasqlConfig cfg = Config(Technique::kRefresh, Consistency::kNone);
+  cfg.audit_rate = 1.0;
+  CasqlSystem system(db_, server_, cfg);
+  auto conn = system.Connect();
+  conn->Read("K", ComputeK());
+  server_.store().Set("K", "31337");
+  auto out = conn->Read("K", ComputeK());
+  EXPECT_TRUE(out.hit);
+  AuditStats a = system.audit_stats();
+  EXPECT_GE(a.samples, 1u);
+  EXPECT_GE(a.stale_reads_detected, 1u);
+}
+
+TEST_F(CasqlTest, AuditCleanRunHasNoFalsePositives) {
+  CasqlConfig cfg = Config(Technique::kRefresh, Consistency::kIQ);
+  cfg.audit_rate = 1.0;
+  CasqlSystem system(db_, server_, cfg);
+  auto conn = system.Connect();
+  conn->Read("K", ComputeK());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(conn->Write(AddSpec(+1)).committed);
+    auto out = conn->Read("K", ComputeK());
+    EXPECT_EQ(out.value, std::to_string(DbValue()));
+  }
+  AuditStats a = system.audit_stats();
+  EXPECT_GE(a.samples, 1u);
+  EXPECT_EQ(a.stale_reads_detected, 0u);
+}
+
+TEST_F(CasqlTest, AuditDisabledRecordsNothing) {
+  CasqlSystem system(db_, server_,
+                     Config(Technique::kRefresh, Consistency::kIQ));
+  auto conn = system.Connect();
+  conn->Read("K", ComputeK());
+  conn->Read("K", ComputeK());
+  AuditStats a = system.audit_stats();
+  EXPECT_EQ(a.samples, 0u);
+  EXPECT_EQ(a.stale_reads_detected, 0u);
+  EXPECT_EQ(a.skipped, 0u);
+}
+
 TEST_F(CasqlTest, ToStringsAreHumanReadable) {
   EXPECT_STREQ(ToString(Technique::kInvalidate), "invalidate");
   EXPECT_STREQ(ToString(Technique::kRefresh), "refresh");

@@ -334,6 +334,38 @@ TEST_F(IQServerTest, DeltaVoidsILease) {
   EXPECT_EQ(server_.IQset("k", "stale", reader.token), StoreResult::kNotStored);
 }
 
+TEST_F(IQServerTest, QaReadAfterDeltaSeesOwnPendingDeltas) {
+  // Delta first, then the same session re-reads via QaRead: the reply must
+  // replay the buffered deltas (Section 4.2.2 own-update visibility), not
+  // return the pre-delta store value.
+  server_.store().Set("k", "A");
+  SessionId tid = server_.GenID();
+  server_.IQDelta(tid, "k", DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+  QaReadReply r = server_.QaRead("k", tid);
+  ASSERT_EQ(r.status, QaReadReply::Status::kGranted);
+  ASSERT_TRUE(r.value);
+  EXPECT_EQ(*r.value, "AB");
+  // Other sessions still see the committed version through IQget.
+  EXPECT_EQ(server_.IQget("k", 9999).value, "A");
+}
+
+TEST_F(IQServerTest, QaReadReacquisitionSeesOwnPendingDeltas) {
+  // QaRead first (taking the Q lease), deltas buffered after, then the
+  // idempotent re-acquisition: same rule, other order.
+  server_.store().Set("k", "A");
+  SessionId tid = server_.GenID();
+  QaReadReply first = server_.QaRead("k", tid);
+  ASSERT_EQ(first.status, QaReadReply::Status::kGranted);
+  EXPECT_EQ(*first.value, "A");
+  server_.IQDelta(tid, "k", DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+  server_.IQDelta(tid, "k", DeltaOp{DeltaOp::Kind::kAppend, "C", 0});
+  QaReadReply again = server_.QaRead("k", tid);
+  ASSERT_EQ(again.status, QaReadReply::Status::kGranted);
+  EXPECT_EQ(again.token, first.token);
+  ASSERT_TRUE(again.value);
+  EXPECT_EQ(*again.value, "ABC");
+}
+
 // ---- expiry -------------------------------------------------------------------
 
 class IQServerExpiryTest : public ::testing::Test {
@@ -417,6 +449,64 @@ TEST_F(IQServerExpiryTest, SweepLeavesLiveLeasesAlone) {
 
 TEST_F(IQServerExpiryTest, SweepOnEmptyServerIsZero) {
   EXPECT_EQ(server_.SweepExpired(), 0u);
+}
+
+TEST_F(IQServerExpiryTest, QaReadReacquisitionExtendsLease) {
+  // Every holder touch renews the deadline: a session alive at t=600 must
+  // not lose its lease at t=1000 just because it was granted at t=0.
+  server_.store().Set("k", "v");
+  ASSERT_EQ(server_.QaRead("k", 1).status, QaReadReply::Status::kGranted);
+  clock_.Advance(600);
+  ASSERT_EQ(server_.QaRead("k", 1).status, QaReadReply::Status::kGranted);
+  clock_.Advance(600);  // t=1200, past the original deadline of 1000
+  EXPECT_EQ(server_.QaRead("k", 2).status, QaReadReply::Status::kReject);
+  EXPECT_EQ(server_.Stats().leases_expired, 0u);
+  EXPECT_TRUE(server_.store().Get("k"));
+}
+
+TEST_F(IQServerExpiryTest, BufferedDeltaExtendsLease) {
+  server_.store().Set("k", "A");
+  server_.IQDelta(1, "k", DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+  clock_.Advance(600);
+  server_.IQDelta(1, "k", DeltaOp{DeltaOp::Kind::kAppend, "C", 0});
+  clock_.Advance(600);  // t=1200: lease renewed at 600, deadline 1600
+  EXPECT_EQ(server_.LeaseOn("k"), LeaseKind::kQRefresh);
+  server_.Commit(1);
+  EXPECT_EQ(server_.store().Get("k")->value, "ABC");
+  EXPECT_EQ(server_.Stats().expiry_deletes, 0u);
+}
+
+TEST_F(IQServerExpiryTest, OwnHolderGetExtendsLease) {
+  server_.store().Set("k", "A");
+  server_.IQDelta(1, "k", DeltaOp{DeltaOp::Kind::kAppend, "B", 0});
+  clock_.Advance(600);
+  // The holder's own-update read is a touch too.
+  EXPECT_EQ(server_.IQget("k", 1).value, "AB");
+  clock_.Advance(600);
+  EXPECT_EQ(server_.LeaseOn("k"), LeaseKind::kQRefresh);
+}
+
+TEST_F(IQServerExpiryTest, SharedQaRegExtendsLease) {
+  server_.store().Set("k", "v");
+  server_.QaReg(1, "k");
+  clock_.Advance(600);
+  server_.QaReg(2, "k");  // sharing renews the deadline for both holders
+  clock_.Advance(600);
+  EXPECT_EQ(server_.LeaseOn("k"), LeaseKind::kQInvalidate);
+}
+
+TEST_F(IQServerExpiryTest, ReleaseOfExpiredLeaseTakesExpiryPath) {
+  // A release arriving after the deadline must account the lease as
+  // expired (and delete the Q-leased key), not silently drop it as if the
+  // session had finished in time.
+  server_.store().Set("k", "v");
+  ASSERT_EQ(server_.QaRead("k", 1).status, QaReadReply::Status::kGranted);
+  clock_.Advance(1000);
+  server_.ReleaseKey(1, "k");
+  EXPECT_EQ(server_.Stats().leases_expired, 1u);
+  EXPECT_EQ(server_.Stats().expiry_deletes, 1u);
+  EXPECT_FALSE(server_.store().Get("k"));
+  EXPECT_FALSE(server_.LeaseOn("k"));
 }
 
 // ---- misc -----------------------------------------------------------------------

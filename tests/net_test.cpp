@@ -195,6 +195,7 @@ TEST_P(RoundTripTest, SerializeThenParseIsIdentity) {
     case Command::kDecr:
     case Command::kIQIncr:
     case Command::kIQDecr:
+    case Command::kTrace:
       EXPECT_EQ(parsed.amount, original.amount);
       break;
     case Command::kIQSet:
@@ -218,7 +219,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Command::kSaRNull, Command::kGenId, Command::kQaReg,
                       Command::kDaR, Command::kIQAppend, Command::kIQPrepend,
                       Command::kIQIncr, Command::kIQDecr, Command::kCommit,
-                      Command::kAbort, Command::kRelease),
+                      Command::kAbort, Command::kRelease, Command::kSweep,
+                      Command::kMetrics, Command::kTrace),
     [](const ::testing::TestParamInfo<Command>& info) {
       std::string name = ToString(info.param);
       for (char& c : name) {
@@ -292,6 +294,52 @@ TEST(ResponseCodec, IncompleteBytesReturnNullopt) {
   std::size_t consumed = 0;
   EXPECT_FALSE(ParseResponse("VALUE k 0 100\r\nshort", &consumed));
   EXPECT_FALSE(ParseResponse("STO", &consumed));
+}
+
+TEST(ResponseCodec, MetricsIsASizedBlock) {
+  Response r;
+  r.type = ResponseType::kMetrics;
+  // The payload contains '#' comment heads, bare newlines, and even a
+  // protocol keyword — the sized framing must carry all of it opaquely.
+  r.data = "# TYPE iq_commits_total counter\niq_commits_total 7\nEND\nSTORED\n";
+  std::size_t consumed = 0;
+  std::string bytes = Serialize(r);
+  auto parsed = ParseResponse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kMetrics);
+  EXPECT_EQ(parsed->data, r.data);
+  EXPECT_EQ(consumed, bytes.size());
+  // Truncated payload: not yet a complete response.
+  EXPECT_FALSE(ParseResponse(std::string_view(bytes).substr(0, bytes.size() - 5),
+                             &consumed));
+}
+
+TEST(ResponseCodec, TraceLinesRoundTripLikeStats) {
+  Response r;
+  r.type = ResponseType::kTrace;
+  r.message =
+      "TRACE 1 100 0 q_ref_grant 42 7\r\n"
+      "TRACE 2 200 0 release 42 7\r\n";
+  std::size_t consumed = 0;
+  std::string bytes = Serialize(r);
+  auto parsed = ParseResponse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kTrace);
+  EXPECT_EQ(parsed->message, r.message);
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(ResponseCodec, EmptyTraceSerializesAsBareEnd) {
+  Response r;
+  r.type = ResponseType::kTrace;
+  std::size_t consumed = 0;
+  std::string bytes = Serialize(r);
+  EXPECT_EQ(bytes, "END\r\n");
+  // Indistinguishable from a get miss on the wire — clients treat kEnd as
+  // "no trace events", which is exactly what it means.
+  auto parsed = ParseResponse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kEnd);
 }
 
 // ---- dispatcher over a loopback channel ----------------------------------------

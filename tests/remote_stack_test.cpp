@@ -159,6 +159,36 @@ TEST_F(RemoteStackTest, BgWorkloadOverTheWireHasZeroUnpredictableReads) {
   EXPECT_GT(channel_.requests(), result.actions);  // wire traffic happened
 }
 
+TEST_F(RemoteStackTest, AuditDetectsPoisonedEntryOverTheWire) {
+  sql::Database db;
+  db.CreateTable(
+      SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("T", {V(1), V(7)});
+    txn->Commit();
+  }
+  CasqlConfig cfg = Config(Technique::kRefresh);
+  cfg.audit_rate = 1.0;
+  CasqlSystem system(db, backend_, cfg);
+  auto conn = system.Connect();
+  auto compute = [](Transaction& txn) -> std::optional<std::string> {
+    auto row = txn.SelectByPk("T", {V(1)});
+    if (!row) return std::nullopt;
+    return std::to_string(*sql::AsInt((*row)[1]));
+  };
+  conn->Read("K", compute);
+  // Corrupt the remote store directly, bypassing the lease protocol.
+  server_.store().Set("K", "666");
+  auto out = conn->Read("K", compute);
+  EXPECT_TRUE(out.hit);
+  casql::AuditStats a = system.audit_stats();
+  EXPECT_GE(a.samples, 1u);
+  EXPECT_GE(a.stale_reads_detected, 1u);
+  // The audit QaRead/SaR round trip crossed the wire and released cleanly.
+  EXPECT_EQ(server_.LeaseCount(), 0u);
+}
+
 // ---- the same stack on a 2-shard tier: one in-process child, one TCP child ----
 
 class ShardedStackTest : public ::testing::Test {
@@ -308,6 +338,41 @@ TEST_F(ShardedStackTest, WriteSessionsSpanBothShardsForEveryTechnique) {
     EXPECT_EQ(local_child_.LeaseCount(), 0u) << casql::ToString(t);
     EXPECT_EQ(tcp_child_.LeaseCount(), 0u) << casql::ToString(t);
   }
+}
+
+TEST_F(ShardedStackTest, AuditDetectsPoisonOnEitherShard) {
+  sql::Database db;
+  db.CreateTable(
+      SchemaBuilder("T").AddInt("id").AddInt("n").PrimaryKey({"id"}).Build());
+  {
+    auto txn = db.Begin();
+    txn->Insert("T", {V(1), V(7)});
+    txn->Commit();
+  }
+  std::string k_local = KeyOnShard(0, "L");
+  std::string k_tcp = KeyOnShard(1, "R");
+  CasqlConfig cfg = Config(Technique::kRefresh);
+  cfg.audit_rate = 1.0;
+  CasqlSystem system(db, *router_, cfg);
+  auto conn = system.Connect();
+  auto compute = [](Transaction& txn) -> std::optional<std::string> {
+    auto row = txn.SelectByPk("T", {V(1)});
+    if (!row) return std::nullopt;
+    return std::to_string(*sql::AsInt((*row)[1]));
+  };
+  conn->Read(k_local, compute);
+  conn->Read(k_tcp, compute);
+  // Poison one entry per shard; the auditor must see both through the
+  // router, including the one behind the TCP transport.
+  local_child_.store().Set(k_local, "666");
+  tcp_child_.store().Set(k_tcp, "667");
+  EXPECT_TRUE(conn->Read(k_local, compute).hit);
+  EXPECT_TRUE(conn->Read(k_tcp, compute).hit);
+  casql::AuditStats a = system.audit_stats();
+  EXPECT_GE(a.samples, 2u);
+  EXPECT_GE(a.stale_reads_detected, 2u);
+  EXPECT_EQ(local_child_.LeaseCount(), 0u);
+  EXPECT_EQ(tcp_child_.LeaseCount(), 0u);
 }
 
 // ---- server kill + restart mid-session -----------------------------------

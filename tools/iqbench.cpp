@@ -71,6 +71,9 @@ struct Options {
   /// Remote mode: connect/read/write deadline per socket operation. Bounds
   /// how long any request can block on a dead or wedged server.
   int timeout_ms = 2000;
+  /// Online staleness audit: fraction of reads re-checked against ground
+  /// truth. Any detected stale read fails the run (exit 1).
+  double audit_rate = 0.0;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -91,9 +94,10 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--no-validate] [--db-read-us=N]\n"
                "               [--db-write-us=N] [--db-commit-us=N]\n"
                "               [--lease-ms=N] [--eager-delete]\n"
+               "               [--audit-rate=F]\n"
                "       iqbench --connect=host:port[,host:port,...]\n"
                "               [--threads=N] [--seconds=S] [--mix=PCT]\n"
-               "               [--seed=N] [--timeout-ms=N]\n");
+               "               [--seed=N] [--timeout-ms=N] [--audit-rate=F]\n");
   std::exit(2);
 }
 
@@ -162,6 +166,8 @@ Options Parse(int argc, char** argv) {
       opt.connect = v;
     } else if (StartsWith(arg, "--timeout-ms=", &v)) {
       opt.timeout_ms = std::atoi(v);
+    } else if (StartsWith(arg, "--audit-rate=", &v)) {
+      opt.audit_rate = std::atof(v);
     } else {
       Usage(arg);
     }
@@ -274,6 +280,45 @@ bool RemoteIncrement(KvsBackend& backend, const std::string& key,
   return false;
 }
 
+enum class AuditVerdict { kOk, kStale, kSkip };
+
+/// Online staleness audit of one shared counter. A granted Q lease
+/// serializes against the writers, so the value read under it must fall in
+/// a bound derived from the tally of committed increments: every increment
+/// tallied before the QaRead (t1) had its SaR acked first, and at most
+/// `threads` acked increments can still be un-tallied by the time we load
+/// t2 afterwards — so t1 <= value <= t2 + threads, or the cache lost or
+/// invented an update. A KVS miss means a restarted shard dropped the
+/// counter (reseeded by the next increment): no verdict.
+AuditVerdict AuditRemoteCounter(KvsBackend& backend, const std::string& key,
+                                std::atomic<long long>& tally, int threads) {
+  SessionId session = backend.GenID();
+  if (session == 0) return AuditVerdict::kSkip;
+  long long t1 = tally.load();
+  QaReadReply q = backend.QaRead(key, session);
+  if (q.status != QaReadReply::Status::kGranted) {
+    backend.Abort(session);
+    return AuditVerdict::kSkip;
+  }
+  std::optional<long long> got;
+  if (q.value) got = std::atoll(q.value->c_str());
+  backend.SaR(key, std::nullopt, q.token);  // release, value left in place
+  backend.Commit(session);
+  if (!got) return AuditVerdict::kSkip;
+  long long t2 = tally.load();
+  return (*got >= t1 && *got <= t2 + threads) ? AuditVerdict::kOk
+                                              : AuditVerdict::kStale;
+}
+
+/// Data keys are never written after seeding, so any hit must return the
+/// seeded constant; a miss is a restarted shard (no verdict).
+AuditVerdict AuditRemoteDataKey(KvsBackend& backend, const std::string& key) {
+  auto item = backend.Get(key);
+  if (!item) return AuditVerdict::kSkip;
+  return item->value == std::string(100, 'x') ? AuditVerdict::kOk
+                                              : AuditVerdict::kStale;
+}
+
 int RunRemote(const Options& opt) {
   std::string error;
   std::vector<net::Endpoint> endpoints = net::ParseEndpoints(opt.connect, &error);
@@ -316,6 +361,9 @@ int RunRemote(const Options& opt) {
   std::atomic<std::uint64_t> worker_transport_errors{0};
   std::atomic<std::uint64_t> worker_shard_trips{0};
   std::atomic<std::uint64_t> worker_shard_recoveries{0};
+  std::atomic<std::uint64_t> audit_samples{0};
+  std::atomic<std::uint64_t> audit_stale{0};
+  std::atomic<std::uint64_t> audit_skipped{0};
   std::vector<LatencyHistogram> latencies(opt.threads);
   const Clock& clock = SteadyClock::Instance();
   Nanos deadline = clock.Now() + static_cast<Nanos>(opt.seconds * kNanosPerSec);
@@ -347,6 +395,26 @@ int RunRemote(const Options& opt) {
           // never committed, so it is not tallied and the balance holds.
           RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx),
                           committed[idx], deadline, rng);
+        } else if (opt.audit_rate > 0 && rng.NextBool(opt.audit_rate)) {
+          // Audit instead of a plain read: one shared counter under a Q
+          // lease and one never-written data key.
+          int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
+          AuditVerdict v =
+              AuditRemoteCounter(*stack->backend, "ctr:" + std::to_string(idx),
+                                 committed[idx], opt.threads);
+          AuditVerdict d = AuditRemoteDataKey(
+              *stack->backend,
+              "data:" + std::to_string(rng.NextUint64(kRemoteDataKeys)));
+          for (AuditVerdict verdict : {v, d}) {
+            switch (verdict) {
+              case AuditVerdict::kOk: ++audit_samples; break;
+              case AuditVerdict::kStale:
+                ++audit_samples;
+                ++audit_stale;
+                break;
+              case AuditVerdict::kSkip: ++audit_skipped; break;
+            }
+          }
         } else if (multi) {
           std::vector<std::string> keys;
           for (int k = 0; k < 3; ++k) {
@@ -428,6 +496,13 @@ int RunRemote(const Options& opt) {
               static_cast<unsigned long long>(ops.load()), total_commits);
   std::printf("latency        %s\n", merged.Summary().c_str());
   std::printf("counter balance %s\n", balanced ? "exact" : "VIOLATED");
+  if (opt.audit_rate > 0) {
+    std::printf("audit          %llu samples, stale_reads_detected=%llu, "
+                "%llu skipped\n",
+                static_cast<unsigned long long>(audit_samples.load()),
+                static_cast<unsigned long long>(audit_stale.load()),
+                static_cast<unsigned long long>(audit_skipped.load()));
+  }
   std::printf(
       "fault recovery  %llu transport errors, %llu reconnects, "
       "%llu trips, %llu recoveries (worker-side)\n",
@@ -442,7 +517,7 @@ int RunRemote(const Options& opt) {
     std::printf("\ncache server:\n%s",
                 net::RemoteCacheClient(check->pool->channel(0)).Stats().c_str());
   }
-  return balanced ? 0 : 1;
+  return balanced && audit_stale.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -485,6 +560,7 @@ int main(int argc, char** argv) {
   cfg.technique = opt.technique;
   cfg.consistency = opt.consistency;
   cfg.placement = opt.placement;
+  cfg.audit_rate = opt.audit_rate;
   casql::CasqlSystem system(db, server, cfg);
 
   if (opt.warm) {
@@ -523,6 +599,21 @@ int main(int argc, char** argv) {
               result.restarts.AvgRestarts(),
               static_cast<unsigned long long>(result.restarts.restarted_sessions),
               static_cast<unsigned long long>(result.restarts.max_q_restarts));
+  if (opt.audit_rate > 0) {
+    casql::AuditStats audit = system.audit_stats();
+    std::printf("audit          %llu samples, stale_reads_detected=%llu, "
+                "%llu skipped\n",
+                static_cast<unsigned long long>(audit.samples),
+                static_cast<unsigned long long>(audit.stale_reads_detected),
+                static_cast<unsigned long long>(audit.skipped));
+  }
   std::printf("\ncache server:\n%s", net::FormatStats(server).c_str());
+  // In IQ mode the audit has zero false positives, so any detection is a
+  // real consistency bug: fail the run. Baselines are expected to be stale
+  // (that is the paper's point), so they report without failing.
+  if (opt.consistency == casql::Consistency::kIQ &&
+      system.audit_stats().stale_reads_detected != 0) {
+    return 1;
+  }
   return 0;
 }

@@ -5,13 +5,21 @@
 //
 //   iqcached [--port=N] [--host=A] [--workers=N]
 //            [--lease-ms=N] [--eager-delete] [--cache-mb=N] [--sweep-ms=N]
+//            [--trace-capacity=N] [--trace-dump[=N]]
 //
-// Runs until SIGINT/SIGTERM, then prints the server's STAT lines.
+// Runs until SIGINT/SIGTERM, then prints the server's STAT lines — lifetime
+// totals plus the windowed deltas/rates since startup (the STAT twin of the
+// `metrics` wire verb).
 //
 // --sweep-ms starts a background thread that calls SweepExpired() on that
 // period, deleting keys whose leases expired while no request touched them
 // (crashed clients). 0 disables the thread; expired leases are then only
 // collected on access or by an explicit `sweep` wire command.
+//
+// --trace-capacity sizes the per-shard lease-event trace ring (0 disables
+// tracing; also disables the `trace` wire verb). --trace-dump[=N] prints the
+// newest N (default 512) lease-trace events at shutdown — the flight
+// recorder for post-mortems of a failed consistency check.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -45,7 +53,8 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
   std::fprintf(stderr,
                "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
                "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n"
-               "                [--sweep-ms=N]\n");
+               "                [--sweep-ms=N] [--trace-capacity=N]\n"
+               "                [--trace-dump[=N]]\n");
   std::exit(2);
 }
 
@@ -57,6 +66,7 @@ int main(int argc, char** argv) {
   IQServer::Config server_cfg;
   CacheStore::Config store_cfg;
   long long sweep_ms = 1000;
+  std::size_t trace_dump = 0;  // 0 = no dump at shutdown
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     const char* arg = argv[i];
@@ -75,6 +85,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
     } else if (StartsWith(arg, "--sweep-ms=", &v)) {
       sweep_ms = std::atoll(v);
+    } else if (StartsWith(arg, "--trace-capacity=", &v)) {
+      server_cfg.trace_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(arg, "--trace-dump") == 0) {
+      trace_dump = 512;
+    } else if (StartsWith(arg, "--trace-dump=", &v)) {
+      trace_dump = static_cast<std::size_t>(std::atoll(v));
     } else {
       Usage(arg);
     }
@@ -90,6 +106,10 @@ int main(int argc, char** argv) {
   std::printf("iqcached: listening on %s:%u (%d workers, sweep %lldms)\n",
               net_cfg.host.c_str(), tcp.port(), net_cfg.workers, sweep_ms);
   std::fflush(stdout);
+
+  // Prime the process-lifetime metrics window so the shutdown report (and a
+  // single `metrics` scrape) gets rates over a real interval.
+  server.WindowedStats();
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -116,7 +136,14 @@ int main(int argc, char** argv) {
   // Snapshot the wire counters before Stop() tears the workers down.
   std::string stats = net::FormatStats(server);
   tcp.AppendWireStats(stats);
+  // Windowed deltas/rates since the last scrape (or since startup when no
+  // `metrics` client ever connected).
+  stats += net::FormatWindowedStats(server.WindowedStats());
   tcp.Stop();
   std::printf("iqcached: shutting down\n%s", stats.c_str());
+  if (trace_dump > 0) {
+    std::printf("iqcached: lease trace (newest %zu)\n%s", trace_dump,
+                FormatTraceEvents(server.TraceSnapshot(trace_dump)).c_str());
+  }
   return 0;
 }
