@@ -33,6 +33,60 @@ void BM_KvsGetHit(benchmark::State& state) {
 }
 BENCHMARK(BM_KvsGetHit);
 
+void BM_KvsGetHitLocked(benchmark::State& state) {
+  // A/B baseline: same hit path with optimistic reads disabled, so every
+  // read takes the shard mutex.
+  CacheStore store({.shard_count = 16,
+                    .memory_budget_bytes = 0,
+                    .optimistic_value_cap = 0});
+  for (int i = 0; i < 1024; ++i) store.Set("key" + std::to_string(i), "value");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("key" + std::to_string(i++ % 1024)));
+  }
+}
+BENCHMARK(BM_KvsGetHitLocked);
+
+// Shared-keyspace read-hit scaling: every thread reads the SAME hot keys,
+// the worst case for the mutex (all hits funnel through 16 shard locks) and
+// the best case for the seqlock mirror (readers never write shared state
+// except two relaxed touch-buffer ops).
+void BM_KvsGetHitThreaded(benchmark::State& state) {
+  static CacheStore* store = nullptr;
+  if (state.thread_index() == 0) {
+    store = new CacheStore({.shard_count = 16, .memory_budget_bytes = 0});
+    for (int i = 0; i < 256; ++i) store->Set("hot" + std::to_string(i), "value");
+  }
+  std::uint64_t i = state.thread_index() * 37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get("hot" + std::to_string(i++ % 256)));
+  }
+  if (state.thread_index() == 0) {
+    delete store;
+    store = nullptr;
+  }
+}
+BENCHMARK(BM_KvsGetHitThreaded)->Threads(8)->UseRealTime();
+
+void BM_KvsGetHitThreadedLocked(benchmark::State& state) {
+  static CacheStore* store = nullptr;
+  if (state.thread_index() == 0) {
+    store = new CacheStore({.shard_count = 16,
+                            .memory_budget_bytes = 0,
+                            .optimistic_value_cap = 0});
+    for (int i = 0; i < 256; ++i) store->Set("hot" + std::to_string(i), "value");
+  }
+  std::uint64_t i = state.thread_index() * 37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get("hot" + std::to_string(i++ % 256)));
+  }
+  if (state.thread_index() == 0) {
+    delete store;
+    store = nullptr;
+  }
+}
+BENCHMARK(BM_KvsGetHitThreadedLocked)->Threads(8)->UseRealTime();
+
 void BM_KvsGetMiss(benchmark::State& state) {
   CacheStore store;
   for (auto _ : state) {

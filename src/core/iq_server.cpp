@@ -107,6 +107,21 @@ bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
 }
 
 GetReply IQServer::IQget(std::string_view key, SessionId session) {
+  // Mutex-free fast path (DESIGN.md §4.6): when the key's shard holds no
+  // lease at all, a read hit is just a plain cache hit — serve it from the
+  // seqlock mirror without taking the shard lock. The shard-level count is
+  // conservative: any lease anywhere in the shard sends us to the locked
+  // path, which also preserves own-update visibility (a session that holds
+  // a lease on this key observes its own grant in program order, so the
+  // count it reads here is nonzero).
+  if (store_.optimistic_enabled()) {
+    const std::uint64_t h = CacheStore::HashKey(key);
+    if (leases_.ShardSizeRelaxed(store_.ShardIndexForHash(h)) == 0) {
+      if (auto item = store_.OptimisticGet(key, h)) {
+        return {GetReply::Status::kHit, std::move(item->value), 0};
+      }
+    }
+  }
   std::string skey(key);
   auto g = store_.LockKey(key);
   const LazyNow now(clock_);

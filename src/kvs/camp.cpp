@@ -79,6 +79,12 @@ std::optional<std::string> CampPolicy::Victim() const {
   return *best;
 }
 
+void CampPolicy::Clear() {
+  queues_.clear();
+  items_.clear();
+  inflation_ = 0;
+}
+
 void CampPolicy::OnEvict(const std::string& key) {
   auto it = items_.find(key);
   if (it == items_.end()) return;

@@ -52,6 +52,11 @@ class CampPolicy {
   /// Called when the chosen victim is actually evicted: advances L.
   void OnEvict(const std::string& key);
 
+  /// Forget every tracked key and reset the inflation value L. Pairs with
+  /// CacheStore::Flush — without it the policy keeps ghost entries for keys
+  /// that no longer exist and keeps aging from a stale L.
+  void Clear();
+
   std::size_t Size() const { return items_.size(); }
   std::uint64_t inflation() const { return inflation_; }
   std::size_t QueueCount() const { return queues_.size(); }

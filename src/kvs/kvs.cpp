@@ -1,9 +1,72 @@
 #include "kvs/kvs.h"
 
+#include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <functional>
 
 namespace iq {
+
+namespace {
+
+/// val_len sentinel: the live value exceeds the mirror cap, so only the
+/// locked path can serve it.
+constexpr std::uint32_t kOptOversize = 0xFFFFFFFFu;
+/// Optimistic readers give up after this many slots and fall back.
+constexpr std::size_t kOptMaxProbes = 32;
+constexpr std::size_t kOptInitialCapacity = 256;
+
+/// splitmix64 finalizer. Shard selection consumes the raw hash modulo the
+/// shard count, so within one shard every key agrees on those low bits;
+/// probe positions must come from an independent mix or the open-addressing
+/// table would only ever use one residue class of its slots.
+std::uint64_t MixHash(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// The open-addressing tombstone. A template so the (private) entry type
+/// can be named from CacheStore's member functions only.
+template <typename E>
+E* Tomb() {
+  return reinterpret_cast<E*>(static_cast<std::uintptr_t>(1));
+}
+
+/// Seqlock writer brackets (see the OptEntry comment in kvs.h). SeqBegin on
+/// an already-odd (dead) entry keeps it odd, so kill-then-recycle never
+/// passes back through an even value mid-write.
+template <typename E>
+void SeqBegin(E& e) {
+  std::uint64_t v = e.version.load(std::memory_order_relaxed);
+  if ((v & 1) == 0) e.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+template <typename E>
+void SeqEnd(E& e) {
+  e.version.store(e.version.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+}
+
+void StoreWords(std::atomic<std::uint64_t>* words, std::string_view src) {
+  for (std::size_t i = 0; i < src.size(); i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, src.data() + i, std::min<std::size_t>(8, src.size() - i));
+    words[i / 8].store(w, std::memory_order_relaxed);
+  }
+}
+
+void LoadWords(const std::atomic<std::uint64_t>* words, char* dst,
+               std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 8) {
+    std::uint64_t w = words[i / 8].load(std::memory_order_relaxed);
+    std::memcpy(dst + i, &w, std::min<std::size_t>(8, n - i));
+  }
+}
+
+}  // namespace
 
 const char* ToString(StoreResult r) {
   switch (r) {
@@ -23,17 +86,23 @@ CacheStore::CacheStore(Config config)
       per_shard_budget_(config.shard_count > 0 && config.memory_budget_bytes > 0
                             ? config.memory_budget_bytes / config.shard_count
                             : 0),
+      opt_val_cap_(config.optimistic_value_cap),
+      opt_key_words_((kOptKeyCap + 7) / 8),
+      opt_val_words_((config.optimistic_value_cap + 7) / 8),
       shards_(config.shard_count > 0 ? config.shard_count : 1) {
-  if (config.eviction == EvictionPolicy::kCamp) {
-    for (auto& s : shards_) {
+  for (auto& s : shards_) {
+    if (config.eviction == EvictionPolicy::kCamp) {
       s.camp = std::make_unique<CampPolicy>(config.camp_precision);
+    }
+    if (opt_val_cap_ > 0) {
+      s.opt_tables.push_back(std::make_unique<OptTable>(kOptInitialCapacity));
+      s.opt_table.store(s.opt_tables.back().get(), std::memory_order_release);
+      s.touch_slots = std::make_unique<std::atomic<OptEntry*>[]>(kTouchSlots);
     }
   }
 }
 
-std::size_t CacheStore::ShardIndexFor(std::string_view key) const {
-  return std::hash<std::string_view>{}(key) % shards_.size();
-}
+CacheStore::~CacheStore() = default;
 
 CacheStore::Shard& CacheStore::ShardFor(std::string_view key) {
   return shards_[ShardIndexFor(key)];
@@ -58,25 +127,163 @@ bool CacheStore::ExpiredLocked(Shard&, const Item& item) const {
   return item.expires_at != 0 && clock_.Now() >= item.expires_at;
 }
 
-void CacheStore::EraseLocked(Shard& s,
-                             std::unordered_map<std::string, Item>::iterator it) {
+// ---- optimistic-mirror maintenance (all under the shard lock) --------------
+
+void CacheStore::OptUpsertLocked(Shard& s, const std::string& key, Item& item) {
+  if (opt_val_cap_ == 0 || key.size() > kOptKeyCap) return;
+  OptEntry* e = item.opt;
+  const bool fresh = (e == nullptr);
+  if (fresh) {
+    if (!s.opt_free.empty()) {
+      e = s.opt_free.back();
+      s.opt_free.pop_back();
+    } else {
+      s.opt_pool.push_back(std::make_unique<OptEntry>());
+      e = s.opt_pool.back().get();
+      e->words = std::make_unique<std::atomic<std::uint64_t>[]>(opt_key_words_ +
+                                                                opt_val_words_);
+    }
+    item.opt = e;
+  }
+  const std::uint64_t h = HashKey(key);
+  SeqBegin(*e);
+  e->key_hash.store(h, std::memory_order_relaxed);
+  e->key_len.store(static_cast<std::uint32_t>(key.size()),
+                   std::memory_order_relaxed);
+  StoreWords(e->words.get(), key);
+  if (item.value.size() <= opt_val_cap_) {
+    e->val_len.store(static_cast<std::uint32_t>(item.value.size()),
+                     std::memory_order_relaxed);
+    StoreWords(e->words.get() + opt_key_words_, item.value);
+  } else {
+    e->val_len.store(kOptOversize, std::memory_order_relaxed);
+  }
+  e->flags.store(item.flags, std::memory_order_relaxed);
+  e->cas.store(item.cas, std::memory_order_relaxed);
+  e->expires_at.store(item.expires_at, std::memory_order_relaxed);
+  SeqEnd(*e);
+  if (fresh) {
+    OptEnsureCapacityLocked(s);
+    OptTable* t = s.opt_table.load(std::memory_order_relaxed);
+    OptEntry* tomb = Tomb<OptEntry>();
+    for (std::uint64_t i = MixHash(h);; ++i) {
+      auto& slot = t->slots[i & t->mask];
+      OptEntry* cur = slot.load(std::memory_order_relaxed);
+      if (cur == nullptr || cur == tomb) {
+        if (cur == tomb) --s.opt_tombs;
+        slot.store(e, std::memory_order_release);
+        break;
+      }
+    }
+    ++s.opt_live;
+  }
+}
+
+void CacheStore::OptEraseLocked(Shard& s, Item& item) {
+  OptEntry* e = item.opt;
+  if (e == nullptr) return;
+  item.opt = nullptr;
+  // Leave the version odd: a reader holding this pointer (directly or via a
+  // retired table) can never validate, even after the entry is recycled.
+  SeqBegin(*e);
+  OptTable* t = s.opt_table.load(std::memory_order_relaxed);
+  OptEntry* tomb = Tomb<OptEntry>();
+  const std::uint64_t h = e->key_hash.load(std::memory_order_relaxed);
+  for (std::uint64_t i = MixHash(h), n = 0; n < t->capacity; ++i, ++n) {
+    auto& slot = t->slots[i & t->mask];
+    OptEntry* cur = slot.load(std::memory_order_relaxed);
+    if (cur == e) {
+      slot.store(tomb, std::memory_order_release);
+      ++s.opt_tombs;
+      break;
+    }
+    if (cur == nullptr) break;  // defensive; CheckInvariants would flag this
+  }
+  --s.opt_live;
+  s.opt_free.push_back(e);
+}
+
+void CacheStore::OptEnsureCapacityLocked(Shard& s) {
+  OptTable* old = s.opt_table.load(std::memory_order_relaxed);
+  if ((s.opt_live + s.opt_tombs + 1) * 4 <= old->capacity * 3) return;
+  std::size_t cap = old->capacity;
+  if ((s.opt_live + 1) * 4 > cap * 3) cap *= 2;  // genuinely full: grow
+  // else: tombstone-dominated; rebuild at the same capacity.
+  auto fresh = std::make_unique<OptTable>(cap);
+  OptEntry* tomb = Tomb<OptEntry>();
+  for (std::size_t j = 0; j < old->capacity; ++j) {
+    OptEntry* e = old->slots[j].load(std::memory_order_relaxed);
+    if (e == nullptr || e == tomb) continue;
+    std::uint64_t h = e->key_hash.load(std::memory_order_relaxed);
+    for (std::uint64_t i = MixHash(h);; ++i) {
+      auto& slot = fresh->slots[i & fresh->mask];
+      if (slot.load(std::memory_order_relaxed) == nullptr) {
+        slot.store(e, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  s.opt_tombs = 0;
+  // Publish, retiring the old table in place (readers holding it stay
+  // memory-safe; they just may not see fresh keys and fall back).
+  s.opt_tables.push_back(std::move(fresh));
+  s.opt_table.store(s.opt_tables.back().get(), std::memory_order_release);
+}
+
+void CacheStore::DrainTouchesLocked(Shard& s) {
+  if (opt_val_cap_ == 0) return;
+  const std::uint32_t head = s.touch_head.load(std::memory_order_relaxed);
+  if (head == s.touch_drained) return;
+  // Under wrap, older pushes were overwritten: skip ahead and only replay
+  // the last kTouchSlots hints (approximate LRU by design).
+  if (head - s.touch_drained > kTouchSlots) s.touch_drained = head - kTouchSlots;
+  while (s.touch_drained != head) {
+    OptEntry* e = s.touch_slots[s.touch_drained & (kTouchSlots - 1)].exchange(
+        nullptr, std::memory_order_relaxed);
+    ++s.touch_drained;
+    if (e == nullptr) continue;
+    // The entry may have been erased or recycled for another key since the
+    // reader queued it; resolve it through the live table and ignore hints
+    // that no longer match (a wrong touch would only perturb LRU order).
+    if (e->version.load(std::memory_order_relaxed) & 1) continue;
+    const std::uint32_t klen = e->key_len.load(std::memory_order_relaxed);
+    if (klen == 0 || klen > kOptKeyCap) continue;
+    char kbuf[kOptKeyCap];
+    LoadWords(e->words.get(), kbuf, klen);
+    auto it = s.items.find(std::string_view(kbuf, klen));
+    if (it == s.items.end() || it->second.opt != e) continue;
+    TouchLocked(s, it->second, it->first);
+  }
+}
+
+// ---- locked core -----------------------------------------------------------
+
+void CacheStore::EraseLocked(Shard& s, ItemMap::iterator it) {
+  OptEraseLocked(s, it->second);
   s.bytes -= ItemBytes(it->first, it->second.value);
   s.lru.erase(it->second.lru_pos);
   if (s.camp) s.camp->OnErase(it->first);
   s.items.erase(it);
 }
 
-void CacheStore::TouchLocked(Shard& s, Item& item, const std::string& key) {
+void CacheStore::BumpLruLocked(Shard& s, Item& item, const std::string& key) {
   s.lru.erase(item.lru_pos);
   s.lru.push_front(key);
   item.lru_pos = s.lru.begin();
+}
+
+void CacheStore::TouchLocked(Shard& s, Item& item, const std::string& key) {
+  BumpLruLocked(s, item, key);
   if (s.camp) s.camp->OnAccess(key);
 }
 
 void CacheStore::EvictIfNeededLocked(Shard& s) {
-  if (per_shard_budget_ == 0) return;
+  if (per_shard_budget_ == 0 || s.bytes <= per_shard_budget_) return;
+  // Replay queued optimistic-read touches first so recently-read items get
+  // their LRU/CAMP protection before victims are chosen.
+  DrainTouchesLocked(s);
   while (s.bytes > per_shard_budget_ && !s.items.empty()) {
-    std::unordered_map<std::string, Item>::iterator victim;
+    ItemMap::iterator victim;
     if (s.camp) {
       auto key = s.camp->Victim();
       if (!key) break;
@@ -99,9 +306,9 @@ void CacheStore::EvictIfNeededLocked(Shard& s) {
   }
 }
 
-std::unordered_map<std::string, CacheStore::Item>::iterator CacheStore::FindLive(
-    Shard& s, std::string_view key) {
-  auto it = s.items.find(std::string(key));
+CacheStore::ItemMap::iterator CacheStore::FindLive(Shard& s,
+                                                   std::string_view key) {
+  auto it = s.items.find(key);  // heterogeneous: no std::string temporary
   if (it == s.items.end()) return s.items.end();
   if (ExpiredLocked(s, it->second)) {
     EraseLocked(s, it);
@@ -113,8 +320,8 @@ std::unordered_map<std::string, CacheStore::Item>::iterator CacheStore::FindLive
 
 void CacheStore::StoreLocked(Shard& s, std::string_view key,
                              std::string_view value, std::uint32_t flags,
-                             Nanos ttl, std::uint64_t cost) {
-  auto it = s.items.find(std::string(key));
+                             Nanos ttl, std::optional<std::uint64_t> cost) {
+  auto it = s.items.find(key);
   Nanos expires = ttl > 0 ? clock_.Now() + ttl : 0;
   if (it != s.items.end()) {
     s.bytes -= ItemBytes(it->first, it->second.value);
@@ -122,11 +329,16 @@ void CacheStore::StoreLocked(Shard& s, std::string_view key,
     it->second.flags = flags;
     it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
     it->second.expires_at = expires;
+    // cas/replace/refresh overwrites keep the cost recorded at Set: the
+    // recomputation cost of the query result did not change.
+    if (cost) it->second.cost = *cost;
     s.bytes += ItemBytes(it->first, it->second.value);
     if (s.camp) {
-      s.camp->OnInsert(it->first, cost, ItemBytes(it->first, it->second.value));
+      s.camp->OnInsert(it->first, it->second.cost,
+                       ItemBytes(it->first, it->second.value));
     }
-    TouchLocked(s, it->second, it->first);
+    BumpLruLocked(s, it->second, it->first);
+    OptUpsertLocked(s, it->first, it->second);
   } else {
     auto [ins, ok] = s.items.emplace(std::string(key), Item{});
     (void)ok;
@@ -134,18 +346,38 @@ void CacheStore::StoreLocked(Shard& s, std::string_view key,
     ins->second.flags = flags;
     ins->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
     ins->second.expires_at = expires;
+    ins->second.cost = cost.value_or(1);
     s.lru.push_front(ins->first);
     ins->second.lru_pos = s.lru.begin();
     s.bytes += ItemBytes(ins->first, ins->second.value);
     if (s.camp) {
-      s.camp->OnInsert(ins->first, cost, ItemBytes(ins->first, ins->second.value));
+      s.camp->OnInsert(ins->first, ins->second.cost,
+                       ItemBytes(ins->first, ins->second.value));
     }
+    OptUpsertLocked(s, ins->first, ins->second);
   }
   EvictIfNeededLocked(s);
 }
 
+void CacheStore::FinishResizeLocked(Shard& s, ItemMap::iterator it) {
+  // CAMP must see the new size (at the preserved cost) or its cost/size heap
+  // drifts from reality; the resize also counts as an access, and a grown
+  // value must re-check the byte budget.
+  if (s.camp) {
+    s.camp->OnInsert(it->first, it->second.cost,
+                     ItemBytes(it->first, it->second.value));
+  }
+  BumpLruLocked(s, it->second, it->first);
+  OptUpsertLocked(s, it->first, it->second);
+  EvictIfNeededLocked(s);
+}
+
+// ---- public command set ----------------------------------------------------
+
 std::optional<CacheItem> CacheStore::Get(std::string_view key) {
-  Shard& s = ShardFor(key);
+  const std::uint64_t h = HashKey(key);
+  if (auto hit = OptimisticGet(key, h)) return hit;
+  Shard& s = shards_[h % shards_.size()];
   std::lock_guard lock(s.mu);
   ++s.stats.gets;
   auto it = FindLive(s, key);
@@ -156,6 +388,68 @@ std::optional<CacheItem> CacheStore::Get(std::string_view key) {
   ++s.stats.get_hits;
   TouchLocked(s, it->second, it->first);
   return CacheItem{it->second.value, it->second.flags, it->second.cas};
+}
+
+std::optional<CacheItem> CacheStore::OptimisticGet(std::string_view key) {
+  return OptimisticGet(key, HashKey(key));
+}
+
+std::optional<CacheItem> CacheStore::OptimisticGet(std::string_view key,
+                                                   std::uint64_t h) {
+  if (opt_val_cap_ == 0 || key.size() > kOptKeyCap) return std::nullopt;
+  Shard& s = shards_[h % shards_.size()];
+  OptTable* t = s.opt_table.load(std::memory_order_acquire);
+  OptEntry* tomb = Tomb<OptEntry>();
+  const std::size_t probe_cap = std::min(kOptMaxProbes, t->capacity);
+  for (std::uint64_t i = MixHash(h), n = 0; n < probe_cap; ++i, ++n) {
+    OptEntry* e = t->slots[i & t->mask].load(std::memory_order_acquire);
+    if (e == nullptr) break;  // not indexed: the locked path decides hit/miss
+    if (e == tomb) continue;
+    const std::uint64_t v1 = e->version.load(std::memory_order_acquire);
+    if (v1 & 1) {  // writer mid-update or dead entry: bounce, never spin
+      s.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    // Pre-validation loads below may be torn; any decision they feed ends in
+    // "keep probing" or "fall back to the locked path", never a wrong answer.
+    if (e->key_hash.load(std::memory_order_relaxed) != h) continue;
+    const std::uint32_t klen = e->key_len.load(std::memory_order_relaxed);
+    if (klen != key.size()) continue;
+    char kbuf[kOptKeyCap];
+    LoadWords(e->words.get(), kbuf, klen);
+    if (std::memcmp(kbuf, key.data(), klen) != 0) continue;
+    const std::uint32_t vlen = e->val_len.load(std::memory_order_relaxed);
+    const std::uint32_t flags = e->flags.load(std::memory_order_relaxed);
+    const std::uint64_t cas = e->cas.load(std::memory_order_relaxed);
+    const Nanos expires = e->expires_at.load(std::memory_order_relaxed);
+    const bool oversize = vlen > opt_val_cap_;  // covers kOptOversize + tears
+    CacheItem out;
+    if (!oversize) {
+      out.value.resize(vlen);
+      LoadWords(e->words.get() + opt_key_words_, out.value.data(), vlen);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e->version.load(std::memory_order_relaxed) != v1) {
+      s.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;  // raced a writer; the locked path settles it
+    }
+    // Snapshot is consistent as of v1.
+    if (oversize || (expires != 0 && clock_.Now() >= expires)) {
+      // Big values and TTL hits are served (and expired) by the locked path.
+      s.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    out.flags = flags;
+    out.cas = cas;
+    // Approximate recency: queue the touch; the next locked mutation on
+    // this shard replays it into the real LRU/CAMP structures.
+    const std::uint32_t ti = s.touch_head.fetch_add(1, std::memory_order_relaxed);
+    s.touch_slots[ti & (kTouchSlots - 1)].store(e, std::memory_order_relaxed);
+    s.opt_hits.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  return std::nullopt;  // genuine miss or overlong probe chain: locked path
+                        // gives the authoritative answer either way
 }
 
 StoreResult CacheStore::Set(std::string_view key, std::string_view value,
@@ -224,8 +518,7 @@ StoreResult CacheStore::Append(std::string_view key, std::string_view suffix) {
   it->second.value.append(suffix);
   it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
   s.bytes += ItemBytes(it->first, it->second.value);
-  TouchLocked(s, it->second, it->first);
-  EvictIfNeededLocked(s);
+  FinishResizeLocked(s, it);
   return StoreResult::kStored;
 }
 
@@ -239,8 +532,7 @@ StoreResult CacheStore::Prepend(std::string_view key, std::string_view prefix) {
   it->second.value.insert(0, prefix);
   it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
   s.bytes += ItemBytes(it->first, it->second.value);
-  TouchLocked(s, it->second, it->first);
-  EvictIfNeededLocked(s);
+  FinishResizeLocked(s, it);
   return StoreResult::kStored;
 }
 
@@ -269,6 +561,7 @@ std::optional<std::uint64_t> CacheStore::Incr(std::string_view key,
   it->second.value = std::to_string(next);
   it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
   s.bytes += ItemBytes(it->first, it->second.value);
+  FinishResizeLocked(s, it);
   return next;
 }
 
@@ -286,15 +579,41 @@ std::optional<std::uint64_t> CacheStore::Decr(std::string_view key,
   it->second.value = std::to_string(next);
   it->second.cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
   s.bytes += ItemBytes(it->first, it->second.value);
+  FinishResizeLocked(s, it);
   return next;
 }
 
 void CacheStore::Flush() {
   for (auto& s : shards_) {
     std::lock_guard lock(s.mu);
+    if (opt_val_cap_ > 0) {
+      // Discard queued touches and kill every mirror before dropping items.
+      s.touch_drained = s.touch_head.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < kTouchSlots; ++i) {
+        s.touch_slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+      for (auto& [key, item] : s.items) {
+        if (item.opt != nullptr) {
+          SeqBegin(*item.opt);  // leave odd = dead
+          s.opt_free.push_back(item.opt);
+          item.opt = nullptr;
+        }
+      }
+      OptTable* t = s.opt_table.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < t->capacity; ++i) {
+        t->slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+      s.opt_live = 0;
+      s.opt_tombs = 0;
+    }
     s.items.clear();
     s.lru.clear();
     s.bytes = 0;
+    // Without this, CAMP keeps ghost entries for flushed keys and its
+    // victim choices (and Size accounting) drift from the live store.
+    if (s.camp) s.camp->Clear();
+    // Count the flush once, not once per shard.
+    if (&s == &shards_.front()) ++s.stats.flushes;
   }
 }
 
@@ -302,8 +621,11 @@ CacheStats CacheStore::Stats() const {
   CacheStats total;
   for (const auto& s : shards_) {
     std::lock_guard lock(s.mu);
-    total.gets += s.stats.gets;
-    total.get_hits += s.stats.get_hits;
+    const std::uint64_t opt_hits = s.opt_hits.load(std::memory_order_relaxed);
+    // Optimistic hits bypass the locked counters; fold them in so gets/
+    // get_hits keep meaning "every get / every hit" regardless of path.
+    total.gets += s.stats.gets + opt_hits;
+    total.get_hits += s.stats.get_hits + opt_hits;
     total.get_misses += s.stats.get_misses;
     total.sets += s.stats.sets;
     total.deletes += s.stats.deletes;
@@ -315,10 +637,98 @@ CacheStats CacheStore::Stats() const {
     total.incr_decrs += s.stats.incr_decrs;
     total.evictions += s.stats.evictions;
     total.expirations += s.stats.expirations;
+    total.flushes += s.stats.flushes;
+    total.opt_hits += opt_hits;
+    total.opt_fallbacks += s.opt_fallbacks.load(std::memory_order_relaxed);
     total.bytes_used += s.bytes;
     total.item_count += s.items.size();
   }
   return total;
+}
+
+std::string CacheStore::CheckInvariants() {
+  OptEntry* tomb = Tomb<OptEntry>();
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = shards_[si];
+    std::lock_guard lock(s.mu);
+    const std::string where = "shard " + std::to_string(si) + ": ";
+    std::size_t bytes = 0;
+    for (const auto& [key, item] : s.items) bytes += ItemBytes(key, item.value);
+    if (bytes != s.bytes) {
+      return where + "bytes accounting drift: counted " + std::to_string(bytes) +
+             " recorded " + std::to_string(s.bytes);
+    }
+    if (s.lru.size() != s.items.size()) {
+      return where + "lru size " + std::to_string(s.lru.size()) +
+             " != item count " + std::to_string(s.items.size());
+    }
+    for (const auto& key : s.lru) {
+      auto it = s.items.find(key);
+      if (it == s.items.end()) return where + "lru ghost key '" + key + "'";
+      if (&*it->second.lru_pos != &key) {
+        return where + "lru_pos desync for '" + key + "'";
+      }
+    }
+    if (s.camp && s.camp->Size() != s.items.size()) {
+      return where + "camp tracks " + std::to_string(s.camp->Size()) +
+             " keys, store has " + std::to_string(s.items.size());
+    }
+    if (opt_val_cap_ > 0) {
+      std::size_t mirrored = 0;
+      for (const auto& [key, item] : s.items) {
+        if (key.size() > kOptKeyCap) {
+          if (item.opt != nullptr) return where + "long key has a mirror";
+          continue;
+        }
+        const OptEntry* e = item.opt;
+        if (e == nullptr) return where + "short key '" + key + "' lacks mirror";
+        ++mirrored;
+        if (e->version.load(std::memory_order_relaxed) & 1) {
+          return where + "mirror for '" + key + "' is dead/odd";
+        }
+        if (e->key_hash.load(std::memory_order_relaxed) != HashKey(key)) {
+          return where + "mirror hash mismatch for '" + key + "'";
+        }
+        if (e->cas.load(std::memory_order_relaxed) != item.cas) {
+          return where + "mirror cas drift for '" + key + "'";
+        }
+        const std::uint32_t vlen = e->val_len.load(std::memory_order_relaxed);
+        if (item.value.size() <= opt_val_cap_) {
+          if (vlen != item.value.size()) {
+            return where + "mirror length drift for '" + key + "'";
+          }
+          std::string mirror(vlen, '\0');
+          LoadWords(e->words.get() + opt_key_words_, mirror.data(), vlen);
+          if (mirror != item.value) {
+            return where + "mirror value drift for '" + key + "'";
+          }
+        } else if (vlen != kOptOversize) {
+          return where + "oversize value not flagged for '" + key + "'";
+        }
+      }
+      if (mirrored != s.opt_live) {
+        return where + "opt_live " + std::to_string(s.opt_live) +
+               " != mirrored items " + std::to_string(mirrored);
+      }
+      OptTable* t = s.opt_table.load(std::memory_order_relaxed);
+      std::size_t slots_live = 0, slots_tomb = 0;
+      for (std::size_t i = 0; i < t->capacity; ++i) {
+        OptEntry* e = t->slots[i].load(std::memory_order_relaxed);
+        if (e == tomb) {
+          ++slots_tomb;
+        } else if (e != nullptr) {
+          ++slots_live;
+        }
+      }
+      if (slots_live != s.opt_live || slots_tomb != s.opt_tombs) {
+        return where + "index slot counts drift: live " +
+               std::to_string(slots_live) + "/" + std::to_string(s.opt_live) +
+               " tombs " + std::to_string(slots_tomb) + "/" +
+               std::to_string(s.opt_tombs);
+      }
+    }
+  }
+  return "";
 }
 
 // ---- Locked extension API --------------------------------------------------

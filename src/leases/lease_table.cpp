@@ -29,11 +29,15 @@ const LeaseEntry* LeaseTable::Find(std::size_t shard,
 
 LeaseEntry& LeaseTable::Put(std::size_t shard, const std::string& key,
                             LeaseEntry entry) {
-  return shards_[shard].insert_or_assign(key, std::move(entry)).first->second;
+  auto [it, inserted] = shards_[shard].insert_or_assign(key, std::move(entry));
+  if (inserted) counts_[shard].fetch_add(1, std::memory_order_relaxed);
+  return it->second;
 }
 
 void LeaseTable::Erase(std::size_t shard, const std::string& key) {
-  shards_[shard].erase(key);
+  if (shards_[shard].erase(key) > 0) {
+    counts_[shard].fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 std::size_t LeaseTable::Size() const {

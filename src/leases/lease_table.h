@@ -17,7 +17,9 @@
 // shard lock. LeaseTable itself performs no locking.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -72,7 +74,8 @@ struct LeaseEntry {
 class LeaseTable {
  public:
   explicit LeaseTable(std::size_t shard_count)
-      : shards_(shard_count > 0 ? shard_count : 1) {}
+      : shards_(shard_count > 0 ? shard_count : 1),
+        counts_(std::make_unique<std::atomic<std::size_t>[]>(shards_.size())) {}
 
   /// Lease on `key`, or nullptr. Does NOT check expiry (see Expired()).
   LeaseEntry* Find(std::size_t shard, const std::string& key);
@@ -91,6 +94,17 @@ class LeaseTable {
   /// when commands may be running concurrently.
   std::size_t ShardSize(std::size_t shard) const { return shards_[shard].size(); }
 
+  /// Lock-free entry count for one shard, maintained by Put/Erase with
+  /// relaxed atomics. Powers the mutex-free read fast path: a reader that
+  /// observes 0 here knows no key in this shard carried a lease at some
+  /// point during its read, which is all the optimistic hit needs to
+  /// linearize (see DESIGN.md §4.6). May be momentarily stale — stale-
+  /// nonzero just costs a locked fallback, and a concurrent grant after the
+  /// load races the read exactly as it would race a locked read.
+  std::size_t ShardSizeRelaxed(std::size_t shard) const {
+    return counts_[shard].load(std::memory_order_relaxed);
+  }
+
   /// Count of live entries across all shards WITHOUT locking: safe only on
   /// a quiescent table (single-threaded tests). Concurrent use must
   /// aggregate ShardSize() under each shard's lock instead — see
@@ -107,6 +121,10 @@ class LeaseTable {
 
  private:
   std::vector<std::unordered_map<std::string, LeaseEntry>> shards_;
+  /// Mirrors shards_[i].size(); the only member written without the caller
+  /// holding the shard lock being read lock-free (writes still happen under
+  /// it, via Put/Erase).
+  std::unique_ptr<std::atomic<std::size_t>[]> counts_;
 };
 
 /// Per-session registry of quarantined keys, needed so Commit/Abort/DaR can

@@ -57,6 +57,10 @@ std::string FormatMetrics(IQServer& server) {
   AppendGauge(&out, "iq_store_deletes", static_cast<double>(store.deletes));
   AppendGauge(&out, "iq_store_evictions",
               static_cast<double>(store.evictions));
+  AppendGauge(&out, "iq_store_opt_hits",
+              static_cast<double>(store.opt_hits));
+  AppendGauge(&out, "iq_store_opt_fallbacks",
+              static_cast<double>(store.opt_fallbacks));
   AppendGauge(&out, "iq_store_bytes_used",
               static_cast<double>(store.bytes_used));
   AppendGauge(&out, "iq_store_item_count",

@@ -337,6 +337,9 @@ std::string FormatStats(const IQServer& server) {
   stat("deletes", store.deletes);
   stat("evictions", store.evictions);
   stat("expirations", store.expirations);
+  stat("opt_hits", store.opt_hits);
+  stat("opt_fallbacks", store.opt_fallbacks);
+  stat("flushes", store.flushes);
   stat("bytes_used", store.bytes_used);
   stat("item_count", store.item_count);
   for (const IQStatsField& f : kIQStatsFields) stat(f.name, iq.*f.member);

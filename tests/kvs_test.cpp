@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -281,6 +282,288 @@ TEST_P(ShardCountTest, BasicProtocolHoldsForAllShardCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ShardCountTest,
                          ::testing::Values(1, 2, 3, 8, 64));
+
+// ---- accounting fixes -----------------------------------------------------
+
+TEST(CacheStore, IncrCountsAsAccessForLru) {
+  // ItemBytes = key + value + 64. Three 66-byte items, then a 215-byte one
+  // pushes past 400 and forces one eviction.
+  CacheStore store({.shard_count = 1, .memory_budget_bytes = 400});
+  store.Set("a", "1");
+  store.Set("b", "1");
+  store.Set("c", "1");
+  // Incr must count as an access: "a" becomes most-recent, "b" the victim.
+  for (int i = 0; i < 3; ++i) store.Incr("a", 1);
+  store.Set("d", std::string(150, 'x'));
+  EXPECT_GT(store.Stats().evictions, 0u);
+  EXPECT_TRUE(store.Get("a"));
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, IncrGrowthReenforcesByteBudget) {
+  CacheStore store({.shard_count = 1, .memory_budget_bytes = 340});
+  for (int i = 0; i < 5; ++i) store.Set("n" + std::to_string(i), "9");
+  // 5 * 67 = 335 <= 340. Grow n4 from "9" to a 20-digit number: the shard
+  // crosses its budget and must evict, not silently blow past it.
+  ASSERT_TRUE(store.Incr("n4", 18'446'744'073'709'551'000ULL));
+  auto stats = store.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 340u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, CasKeepsCostForCampVictimChoice) {
+  CacheStore store({.shard_count = 1,
+                    .memory_budget_bytes = 400,
+                    .eviction = EvictionPolicy::kCamp});
+  store.Set("cheap", "1", 0, 0, /*cost=*/1);
+  store.Set("dear", "1", 0, 0, /*cost=*/100000);
+  // A cas swap must not clobber the cost recorded at Set...
+  auto item = store.Get("dear");
+  ASSERT_TRUE(item);
+  ASSERT_EQ(store.Cas("dear", "2", item->cas), StoreResult::kStored);
+  // ...so when the fill forces an eviction, CAMP still sees "dear" as
+  // expensive and sacrifices "cheap".
+  store.Get("cheap");
+  store.Set("fill", std::string(200, 'x'), 0, 0, /*cost=*/1000000);
+  EXPECT_GT(store.Stats().evictions, 0u);
+  EXPECT_TRUE(store.Get("dear"));
+  EXPECT_FALSE(store.Get("cheap"));
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, AppendUpdatesCampRecordedSize) {
+  CacheStore store({.shard_count = 1,
+                    .memory_budget_bytes = 800,
+                    .eviction = EvictionPolicy::kCamp});
+  store.Set("small", "y", 0, 0, /*cost=*/1000);
+  store.Set("grow", "x", 0, 0, /*cost=*/1000);
+  // Equal cost and size so far. Growing "grow" by 400 bytes crushes its
+  // cost/size ratio; CAMP must be told, or it keeps the stale high ratio
+  // and evicts "small" instead.
+  ASSERT_EQ(store.Append("grow", std::string(400, 'z')), StoreResult::kStored);
+  store.Set("fill", std::string(300, 'f'), 0, 0, /*cost=*/1000000);
+  EXPECT_GT(store.Stats().evictions, 0u);
+  EXPECT_TRUE(store.Get("small"));
+  EXPECT_FALSE(store.Get("grow"));
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, FlushClearsCampGhosts) {
+  CacheStore store({.shard_count = 2,
+                    .memory_budget_bytes = 2000,
+                    .eviction = EvictionPolicy::kCamp});
+  for (int i = 0; i < 20; ++i) {
+    store.Set("pre" + std::to_string(i), std::string(30, 'a'), 0, 0, 50);
+  }
+  store.Flush();
+  EXPECT_EQ(store.CheckInvariants(), "");
+  EXPECT_EQ(store.Stats().flushes, 1u);
+  // Refill past the budget: victim selection must work against live keys
+  // only (ghost CAMP entries would stall or misdirect the eviction loop).
+  for (int i = 0; i < 40; ++i) {
+    store.Set("post" + std::to_string(i), std::string(50, 'b'), 0, 0, 50);
+  }
+  auto stats = store.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 2000u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, InvariantsHoldAcrossMutationMix) {
+  for (auto policy : {EvictionPolicy::kLru, EvictionPolicy::kCamp}) {
+    CacheStore store({.shard_count = 4,
+                      .memory_budget_bytes = 3000,
+                      .eviction = policy});
+    std::uint64_t rng = 0x9e3779b9;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < 2000; ++i) {
+      std::string key = "k" + std::to_string(next() % 48);
+      switch (next() % 8) {
+        case 0:
+        case 1:
+          store.Set(key, std::string(next() % 60, 'v'), 0, 0, 1 + next() % 100);
+          break;
+        case 2:
+          store.Incr(key, next() % 1000);
+          break;
+        case 3:
+          store.Append(key, std::string(next() % 20, 'x'));
+          break;
+        case 4: {
+          if (auto item = store.Get(key)) store.Cas(key, "swap", item->cas);
+          break;
+        }
+        case 5:
+          store.Delete(key);
+          break;
+        case 6:
+          store.Get(key);
+          break;
+        case 7:
+          if (next() % 97 == 0) store.Flush();
+          break;
+      }
+      if (i % 50 == 0) {
+        ASSERT_EQ(store.CheckInvariants(), "")
+            << "policy=" << (policy == EvictionPolicy::kLru ? "lru" : "camp")
+            << " op=" << i;
+      }
+    }
+    EXPECT_EQ(store.CheckInvariants(), "");
+  }
+}
+
+// ---- optimistic (mutex-free) reads ----------------------------------------
+
+TEST(CacheStore, OptimisticGetServesHitWithoutLock) {
+  CacheStore store;
+  store.Set("k", "value", 0xBEEF);
+  auto opt = store.OptimisticGet("k");
+  ASSERT_TRUE(opt);
+  EXPECT_EQ(opt->value, "value");
+  EXPECT_EQ(opt->flags, 0xBEEFu);
+  EXPECT_EQ(opt->cas, store.Get("k")->cas);
+  EXPECT_GE(store.Stats().opt_hits, 1u);
+}
+
+TEST(CacheStore, OptimisticGetFallsBackWhereItMust) {
+  CacheStore store;  // default optimistic_value_cap = 256
+  EXPECT_FALSE(store.OptimisticGet("absent"));
+  // Oversize value: mirror flags it, optimistic path refuses, Get serves it.
+  std::string big(300, 'b');
+  store.Set("big", big);
+  EXPECT_FALSE(store.OptimisticGet("big"));
+  EXPECT_EQ(store.Get("big")->value, big);
+  // Long key: never mirrored.
+  std::string long_key(CacheStore::kOptKeyCap + 1, 'k');
+  store.Set(long_key, "v");
+  EXPECT_FALSE(store.OptimisticGet(long_key));
+  EXPECT_TRUE(store.Get(long_key));
+  // Deleted key: mirror dies with the item.
+  store.Set("gone", "v");
+  ASSERT_TRUE(store.OptimisticGet("gone"));
+  store.Delete("gone");
+  EXPECT_FALSE(store.OptimisticGet("gone"));
+  EXPECT_GE(store.Stats().opt_fallbacks, 1u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, OptimisticGetDisabledByZeroCap) {
+  CacheStore store({.shard_count = 4,
+                    .memory_budget_bytes = 0,
+                    .optimistic_value_cap = 0});
+  store.Set("k", "v");
+  EXPECT_FALSE(store.OptimisticGet("k"));
+  EXPECT_EQ(store.Get("k")->value, "v");
+  EXPECT_EQ(store.Stats().opt_hits, 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, OptimisticGetTracksEveryMutation) {
+  CacheStore store;
+  store.Set("k", "a");
+  std::uint64_t cas1 = store.OptimisticGet("k")->cas;
+  store.Append("k", "b");
+  auto after_append = store.OptimisticGet("k");
+  ASSERT_TRUE(after_append);
+  EXPECT_EQ(after_append->value, "ab");
+  EXPECT_NE(after_append->cas, cas1);
+  store.Set("n", "41");
+  ASSERT_TRUE(store.Incr("n", 1));
+  EXPECT_EQ(store.OptimisticGet("n")->value, "42");
+  auto item = store.Get("k");
+  ASSERT_EQ(store.Cas("k", "swapped", item->cas), StoreResult::kStored);
+  EXPECT_EQ(store.OptimisticGet("k")->value, "swapped");
+  store.Flush();
+  EXPECT_FALSE(store.OptimisticGet("k"));
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(CacheStore, OptimisticGetRespectsTtl) {
+  ManualClock clock;
+  CacheStore store(
+      {.shard_count = 2, .memory_budget_bytes = 0, .clock = &clock});
+  store.Set("k", "v", 0, 100);
+  clock.Advance(99);
+  EXPECT_TRUE(store.OptimisticGet("k"));
+  clock.Advance(1);
+  // Expired: the optimistic path must not serve it (and must not expire it
+  // either — that is locked-path bookkeeping).
+  EXPECT_FALSE(store.OptimisticGet("k"));
+  EXPECT_FALSE(store.Get("k"));
+  EXPECT_EQ(store.Stats().expirations, 1u);
+}
+
+TEST(CacheStore, OptimisticHitsFoldIntoGetCounters) {
+  CacheStore store;
+  store.Set("k", "v");
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(store.Get("k"));
+  auto stats = store.Stats();
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.get_hits, 3u);
+  EXPECT_EQ(stats.opt_hits, 3u);
+}
+
+TEST(CacheStore, OptimisticReadsUnderConcurrentWrites) {
+  // Readers hammer Get while writers churn the same keys through set/
+  // delete/append and evictions. Any value a reader observes must be one
+  // the key legitimately held (prefix-tagged); TSan checks the seqlock.
+  CacheStore store({.shard_count = 4, .memory_budget_bytes = 8000});
+  constexpr int kKeys = 32;
+  auto key_for = [](int k) { return "key" + std::to_string(k); };
+  for (int k = 0; k < kKeys; ++k) {
+    store.Set(key_for(k), "k" + std::to_string(k) + ":0");
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < kKeys; ++k) {
+          auto item = store.Get(key_for(k));
+          if (!item) continue;
+          std::string want = "k" + std::to_string(k) + ":";
+          if (item->value.compare(0, want.size(), want) != 0) {
+            bad_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      for (int gen = 1; gen <= 1500; ++gen) {
+        int k = (gen * 7 + t * 13) % kKeys;
+        switch (gen % 4) {
+          case 0:
+            store.Delete(key_for(k));
+            break;
+          case 1:  // oversize values exercise the fallback path
+            store.Set(key_for(k), "k" + std::to_string(k) + ":" +
+                                      std::string(280, 'x'));
+            break;
+          default:
+            store.Set(key_for(k),
+                      "k" + std::to_string(k) + ":" + std::to_string(gen));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
 
 }  // namespace
 }  // namespace iq

@@ -6,6 +6,12 @@
 //   iqcached [--port=N] [--host=A] [--workers=N]
 //            [--lease-ms=N] [--eager-delete] [--cache-mb=N] [--sweep-ms=N]
 //            [--trace-capacity=N] [--trace-dump[=N]]
+//            [--opt-value-cap=N] [--no-opt-reads]
+//
+// --opt-value-cap bounds the value size (bytes) served by the mutex-free
+// optimistic read path (DESIGN.md §4.6); larger values fall back to the
+// locked path. --no-opt-reads (= --opt-value-cap=0) disables the optimistic
+// path entirely — the A/B baseline where every read takes its shard mutex.
 //
 // Runs until SIGINT/SIGTERM, then prints the server's STAT lines — lifetime
 // totals plus the windowed deltas/rates since startup (the STAT twin of the
@@ -54,7 +60,8 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
                "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n"
                "                [--sweep-ms=N] [--trace-capacity=N]\n"
-               "                [--trace-dump[=N]]\n");
+               "                [--trace-dump[=N]] [--opt-value-cap=N]\n"
+               "                [--no-opt-reads]\n");
   std::exit(2);
 }
 
@@ -85,6 +92,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
     } else if (StartsWith(arg, "--sweep-ms=", &v)) {
       sweep_ms = std::atoll(v);
+    } else if (StartsWith(arg, "--opt-value-cap=", &v)) {
+      store_cfg.optimistic_value_cap = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(arg, "--no-opt-reads") == 0) {
+      store_cfg.optimistic_value_cap = 0;
     } else if (StartsWith(arg, "--trace-capacity=", &v)) {
       server_cfg.trace_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (std::strcmp(arg, "--trace-dump") == 0) {
