@@ -186,15 +186,21 @@ int main() {
     std::fprintf(stderr, "bench_kvs: cannot write %s\n", out_path);
     return 1;
   }
+  // `mode`/`workers` mirror BENCH_tpc.json so the artifacts compare
+  // like-for-like: bench_kvs drives the in-process store (the shared-mode
+  // execution model — any thread touches any shard), with `workers` = the
+  // largest reader count exercised.
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_kvs\",\n"
+               "  \"mode\": \"shared\",\n"
+               "  \"workers\": %d,\n"
                "  \"keys\": %d,\n"
                "  \"value_bytes\": %d,\n"
                "  \"window_seconds\": %.2f,\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"read_hit_cells\": [\n",
-               kKeys, kValueBytes, seconds, hw);
+               thread_counts[3], kKeys, kValueBytes, seconds, hw);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     std::fprintf(f,
                  "    {\"threads\": %d, \"optimistic_ops_per_sec\": %.0f, "

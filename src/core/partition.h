@@ -1,0 +1,66 @@
+// ShardPartition: the ownership map behind the thread-per-core `iqcached`
+// mode (DESIGN.md §4.7). The CacheStore's shard space is divided among N
+// execution partitions (TcpServer workers); every single-key command runs on
+// the worker that owns its key's shard, so a shard's mutex, LRU list, lease
+// map and stats block are only ever touched from one core and the data-plane
+// hot path never bounces cache lines between cores.
+//
+// The map is pure arithmetic over the same `CacheStore::HashKey` both the
+// store and the optimistic-read index already use: shard = hash % shards,
+// owner = shard % partitions. It is fixed for the life of a server (online
+// resharding is a separate roadmap item) and deliberately stateless so every
+// layer — dispatch, tests, benches — derives identical placement without
+// sharing anything.
+//
+// Session-scoped commands (Commit/Abort/DaR) have no single key; they hash
+// by session id to a stable "home" partition so one session's fan-out always
+// runs on one core. The fan-out itself may lock shards other partitions own —
+// that cross-core handoff is the documented exception the shard mutexes
+// still exist for (the Misra et al. sharded-store discipline: the per-key
+// lock remains the serialization point, so IQ lease semantics are unchanged
+// no matter which core executes the command).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "leases/lease_table.h"
+
+namespace iq {
+
+class ShardPartition {
+ public:
+  /// `partitions` is clamped to [1, shard_count]: more partitions than
+  /// shards would leave workers owning nothing while still paying the
+  /// forwarding hop to reach every key.
+  ShardPartition(std::size_t shard_count, std::size_t partitions)
+      : shard_count_(std::max<std::size_t>(shard_count, 1)),
+        partitions_(std::clamp<std::size_t>(partitions, 1, shard_count_)) {}
+
+  std::size_t shard_count() const { return shard_count_; }
+  std::size_t partitions() const { return partitions_; }
+
+  /// The partition that owns shard `shard` outright.
+  std::size_t OwnerOfShard(std::size_t shard) const {
+    return shard % partitions_;
+  }
+
+  /// The partition that owns the key whose CacheStore::HashKey is `hash`.
+  std::size_t OwnerOfHash(std::uint64_t hash) const {
+    return OwnerOfShard(static_cast<std::size_t>(hash % shard_count_));
+  }
+
+  /// Stable home partition for a session's Commit/Abort/DaR fan-out.
+  std::size_t HomeOfSession(SessionId tid) const { return tid % partitions_; }
+
+  /// True when `partition` owns `shard` — the inline-execution test.
+  bool Owns(std::size_t partition, std::size_t shard) const {
+    return OwnerOfShard(shard) == partition;
+  }
+
+ private:
+  std::size_t shard_count_;
+  std::size_t partitions_;
+};
+
+}  // namespace iq

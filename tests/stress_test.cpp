@@ -304,6 +304,66 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
   EXPECT_GT(tcp_child.Stats().commits, 0u);
 }
 
+TEST(StressTest, AffinityModeBalanceUnderContention) {
+  // The full command mix hammered through a shard-affinity TcpServer
+  // (DESIGN.md §4.7): every thread's requests scatter across worker-owned
+  // partitions, so the cross-core mailbox, ordered response slots and
+  // inline-fallback path all run hot under TSan — while the exact
+  // client-vs-server counter balance must come out identical to the
+  // in-process and shared-mode storms.
+  IQServer server(CacheStore::Config{.shard_count = 8},
+                  IQServer::Config{.lease_lifetime = 0});
+  net::TcpServer::Config cfg;
+  cfg.workers = 4;  // 8 shards -> 4 partitions of 2
+  cfg.affinity = true;
+  cfg.mailbox_capacity = 64;  // small enough that fallbacks happen too
+  net::TcpServer tcp(server, cfg);
+  std::string error;
+  ASSERT_TRUE(tcp.Start(&error)) << error;
+
+  constexpr int kAffThreads = 4;
+  constexpr int kAffIters = 1500;
+  std::vector<Tally> tallies(kAffThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kAffThreads);
+  for (int i = 0; i < kAffThreads; ++i) {
+    threads.emplace_back([&, i] {
+      std::string conn_error;
+      auto channel =
+          net::TcpChannel::Connect("127.0.0.1", tcp.port(), &conn_error);
+      ASSERT_NE(channel, nullptr) << conn_error;
+      net::RemoteBackend remote(*channel);
+      Worker(remote, /*seed=*/7200 + i, tallies[i], kAffIters);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Tally total;
+  for (const Tally& t : tallies) total += t;
+
+  IQServerStats s = server.Stats();
+  EXPECT_EQ(s.i_granted, total.tokens_granted);
+  EXPECT_EQ(s.backoffs, total.backoffs);
+  EXPECT_EQ(s.q_inv_granted, total.qaregs);
+  EXPECT_EQ(s.q_ref_granted, total.qaread_granted + total.delta_granted);
+  EXPECT_EQ(s.q_rejected, total.qaread_rejected + total.delta_rejected);
+  EXPECT_EQ(s.stale_sets_dropped, total.iqset_dropped + total.sar_dropped);
+  EXPECT_EQ(s.commits, total.commits + total.dars);
+  EXPECT_EQ(s.aborts, total.aborts);
+  EXPECT_EQ(s.i_voided, total.iqset_dropped);
+  EXPECT_GE(s.q_ref_voided, total.sar_dropped);
+  EXPECT_EQ(s.leases_expired, 0u);
+  EXPECT_EQ(server.LeaseCount(), 0u);
+
+  // Wire-side balance: every request was executed exactly once, via
+  // exactly one of the three affinity placements.
+  net::TcpServerStats w = tcp.Stats();
+  EXPECT_EQ(w.affinity_forwards + w.affinity_inline + w.affinity_fallbacks,
+            w.requests);
+  EXPECT_GT(w.affinity_forwards, 0u);
+  tcp.Stop();
+}
+
 TEST(StressTest, FlappingShardTripsHealsAndStrandsNoLeases) {
   // One shard flaps (a FaultBackend toggling down/up under the router's
   // circuit breaker) while worker threads run the IQ mix against a shared

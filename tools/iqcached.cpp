@@ -3,10 +3,18 @@
 // the paper's IQ-Twemcached: run this on one host, point iqbench --connect
 // (or any memcached text-protocol client) at it from others.
 //
-//   iqcached [--port=N] [--host=A] [--workers=N]
+//   iqcached [--port=N] [--host=A] [--workers=N] [--affinity] [--pin-cores]
 //            [--lease-ms=N] [--eager-delete] [--cache-mb=N] [--sweep-ms=N]
 //            [--trace-capacity=N] [--trace-dump[=N]]
 //            [--opt-value-cap=N] [--no-opt-reads]
+//
+// --workers defaults to the host's hardware concurrency. --affinity turns on
+// the shard-affinity (thread-per-core) execution mode (DESIGN.md §4.7):
+// CacheStore shards are partitioned across the workers, single-key commands
+// run on their shard's owner, and cross-shard work is forwarded through
+// per-worker mailboxes. Off = shared mode (any worker executes anything),
+// the A/B baseline. --pin-cores additionally pins worker i to CPU core
+// (i % hardware_concurrency) so each partition stays cache-resident.
 //
 // --opt-value-cap bounds the value size (bytes) served by the mutex-free
 // optimistic read path (DESIGN.md §4.6); larger values fall back to the
@@ -58,10 +66,13 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
   std::fprintf(stderr, "iqcached: bad argument '%s'\n", bad);
   std::fprintf(stderr,
                "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
+               "                [--affinity] [--pin-cores]\n"
                "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n"
                "                [--sweep-ms=N] [--trace-capacity=N]\n"
                "                [--trace-dump[=N]] [--opt-value-cap=N]\n"
-               "                [--no-opt-reads]\n");
+               "                [--no-opt-reads]\n"
+               "(--workers defaults to the hardware concurrency and must be "
+               ">= 1)\n");
   std::exit(2);
 }
 
@@ -70,6 +81,10 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
 int main(int argc, char** argv) {
   net::TcpServer::Config net_cfg;
   net_cfg.port = 11211;
+  // One worker per hardware thread by default — the natural shape for both
+  // modes, and exactly one partition per core under --affinity.
+  unsigned hw = std::thread::hardware_concurrency();
+  net_cfg.workers = hw > 0 ? static_cast<int>(hw) : 1;
   IQServer::Config server_cfg;
   CacheStore::Config store_cfg;
   long long sweep_ms = 1000;
@@ -83,6 +98,11 @@ int main(int argc, char** argv) {
       net_cfg.host = v;
     } else if (StartsWith(arg, "--workers=", &v)) {
       net_cfg.workers = std::atoi(v);
+      if (net_cfg.workers <= 0) Usage(arg);
+    } else if (std::strcmp(arg, "--affinity") == 0) {
+      net_cfg.affinity = true;
+    } else if (std::strcmp(arg, "--pin-cores") == 0) {
+      net_cfg.pin_cores = true;
     } else if (StartsWith(arg, "--lease-ms=", &v)) {
       server_cfg.lease_lifetime = std::atoll(v) * kNanosPerMilli;
     } else if (std::strcmp(arg, "--eager-delete") == 0) {
@@ -114,8 +134,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "iqcached: %s\n", error.c_str());
     return 1;
   }
-  std::printf("iqcached: listening on %s:%u (%d workers, sweep %lldms)\n",
-              net_cfg.host.c_str(), tcp.port(), net_cfg.workers, sweep_ms);
+  std::printf(
+      "iqcached: listening on %s:%u (%d workers, %s mode%s, sweep %lldms)\n",
+      net_cfg.host.c_str(), tcp.port(), net_cfg.workers,
+      net_cfg.affinity ? "affinity" : "shared",
+      net_cfg.pin_cores ? ", pinned" : "", sweep_ms);
   std::fflush(stdout);
 
   // Prime the process-lifetime metrics window so the shutdown report (and a
