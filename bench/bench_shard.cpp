@@ -165,7 +165,7 @@ CellResult RunSharded(int shard_count, Nanos window) {
     for (int i = 0; i < shard_count; ++i) {
       IQServer* child = children[static_cast<std::size_t>(i)].get();
       shards.push_back({"s" + std::to_string(i), child, 1,
-                        [child] { return child->Stats(); }});
+                        [child] { return child->Stats(); }, {}, {}, {}});
     }
     return std::make_shared<ShardedBackend>(std::move(shards));
   };

@@ -52,6 +52,26 @@ CasqlConnection::CasqlConnection(CasqlSystem& system,
                                  std::uint64_t audit_seed)
     : system_(system), session_(std::move(session)), audit_rng_(audit_seed) {}
 
+void CasqlConnection::LogOp(check::OpKind kind, std::string_view key,
+                            const std::optional<std::string>& value) {
+  check::OpLog* log = system_.config_.op_log;
+  if (log == nullptr) return;
+  log->Record(session_->id(), kind, TraceKeyHash(key),
+              check::OpValueHash(value));
+}
+
+void CasqlConnection::LogKeyOp(check::OpKind kind, std::string_view key) {
+  check::OpLog* log = system_.config_.op_log;
+  if (log == nullptr) return;
+  log->Record(session_->id(), kind, TraceKeyHash(key));
+}
+
+void CasqlConnection::LogSessionEnd(check::OpKind kind) {
+  check::OpLog* log = system_.config_.op_log;
+  if (log == nullptr) return;
+  log->Record(session_->id(), kind, 0);
+}
+
 std::optional<std::string> CasqlConnection::ComputeFresh(
     const ComputeFn& compute) {
   // A dedicated (fresh) RDBMS connection/transaction, so a miss inside a
@@ -80,7 +100,13 @@ void CasqlConnection::MaybeAudit(const std::string& key,
       system_.audit_skipped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    if (current) {
+      LogOp(check::OpKind::kReadHit, key, current);
+    } else {
+      LogKeyOp(check::OpKind::kReadMiss, key);
+    }
     std::optional<std::string> truth = ComputeFresh(compute);
+    LogOp(check::OpKind::kReadDb, key, truth);
     // A KVS miss under the lease is never stale (the KVS is a subset of the
     // RDBMS); a present value disagreeing with the ground truth is.
     bool stale = current && (!truth || *truth != *current);
@@ -96,6 +122,7 @@ void CasqlConnection::MaybeAudit(const std::string& key,
   // the application saw against fresh ground truth. Racy by construction —
   // but unbounded staleness is exactly what the baselines exhibit.
   std::optional<std::string> truth = ComputeFresh(compute);
+  LogOp(check::OpKind::kReadDb, key, truth);
   bool stale = observed && (!truth || *truth != *observed);
   system_.audit_samples_.fetch_add(1, std::memory_order_relaxed);
   if (stale) {
@@ -125,11 +152,14 @@ ReadOutcome CasqlConnection::ReadPlain(const std::string& key,
   if (item) {
     out.hit = true;
     out.value = std::move(item->value);
+    LogOp(check::OpKind::kReadHit, key, out.value);
     MaybeAudit(key, out.value, compute);
     return out;
   }
+  LogKeyOp(check::OpKind::kReadMiss, key);
   out.computed = true;
   out.value = ComputeFresh(compute);
+  LogOp(check::OpKind::kReadDb, key, out.value);
   // Race-prone: any number of concurrent sessions may install here, and a
   // value computed from a pre-update snapshot overwrites fresher data.
   if (out.value) system_.backend_.Set(key, *out.value);
@@ -144,11 +174,16 @@ ReadOutcome CasqlConnection::ReadLeased(const std::string& key,
     case ClientGetResult::Status::kHit:
       out.hit = true;
       out.value = std::move(got.value);
+      LogOp(check::OpKind::kReadHit, key, out.value);
       MaybeAudit(key, out.value, compute);
       return out;
     case ClientGetResult::Status::kMissRecompute:
+      LogKeyOp(check::OpKind::kReadMiss, key);
       out.computed = true;
       out.value = ComputeFresh(compute);
+      // read_db justifies the hash BEFORE Put installs it, so a concurrent
+      // reader hitting the fresh value is always covered.
+      LogOp(check::OpKind::kReadDb, key, out.value);
       if (out.value) {
         session_->Put(key, *out.value);
       } else {
@@ -158,12 +193,16 @@ ReadOutcome CasqlConnection::ReadLeased(const std::string& key,
     case ClientGetResult::Status::kMissNoInstall:
       // Our own quarantined key: recompute (observing our own RDBMS update)
       // but do not install - the key dies at our commit anyway.
+      LogKeyOp(check::OpKind::kReadMiss, key);
       out.computed = true;
       out.value = ComputeFresh(compute);
+      LogOp(check::OpKind::kReadDb, key, out.value);
       return out;
     case ClientGetResult::Status::kTimeout:
+      LogKeyOp(check::OpKind::kReadMiss, key);
       out.computed = true;
       out.value = ComputeFresh(compute);
+      LogOp(check::OpKind::kReadDb, key, out.value);
       return out;
   }
   return out;
@@ -190,25 +229,33 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
     auto txn = system_.db_.Begin();
     bool ok = spec.body(*txn);
     if (txn->state() == sql::Transaction::State::kAborted) {
+      LogSessionEnd(check::OpKind::kAbort);
       ++out.rdbms_restarts;
       session_->Backoff();
       continue;
     }
     if (!ok) {
       txn->Rollback();
+      LogSessionEnd(check::OpKind::kAbort);
       return out;
     }
     if (cfg.technique == Technique::kInvalidate) {
       // Trigger-style placement: the delete executes inside the RDBMS
       // transaction, before commit - the race-prone shape of Figure 3.
-      for (const auto& u : spec.updates) system_.backend_.DeleteVoid(u.key);
+      for (const auto& u : spec.updates) {
+        LogKeyOp(check::OpKind::kInval, u.key);
+        system_.backend_.DeleteVoid(u.key);
+      }
       txn->Commit();
+      LogSessionEnd(check::OpKind::kCommit);
       out.committed = true;
       return out;
     }
     // Mixed-mode updates that force invalidation are deleted trigger-style.
     for (const auto& u : spec.updates) {
-      if (u.invalidate) system_.backend_.DeleteVoid(u.key);
+      if (!u.invalidate) continue;
+      LogKeyOp(check::OpKind::kInval, u.key);
+      system_.backend_.DeleteVoid(u.key);
     }
     txn->Commit();
     switch (cfg.technique) {
@@ -221,11 +268,16 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
             std::optional<std::string> old =
                 item ? std::optional<std::string>(std::move(item->value))
                      : std::nullopt;
+            LogOp(old ? check::OpKind::kReadHit : check::OpKind::kReadMiss,
+                  u.key, old);
             auto v_new = u.refresh(old);
             if (cfg.baseline_rmw_delay > 0) {
               SleepFor(SteadyClock::Instance(), cfg.baseline_rmw_delay);
             }
-            if (v_new) store.Set(u.key, *v_new);
+            if (v_new) {
+              LogOp(check::OpKind::kWrite, u.key, v_new);
+              store.Set(u.key, *v_new);
+            }
           } else {
             // Figure 10: R-M-W via compare-and-swap with retry. Atomic per
             // key, yet still unable to impose the RDBMS serial order
@@ -233,16 +285,21 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
             for (int i = 0; i < cfg.max_cas_retries; ++i) {
               auto item = store.Get(u.key);
               if (!item) {
+                LogKeyOp(check::OpKind::kReadMiss, u.key);
                 auto v_new = u.refresh(std::nullopt);
                 if (!v_new) break;
+                LogOp(check::OpKind::kWrite, u.key, v_new);
                 if (store.Add(u.key, *v_new) == StoreResult::kStored) break;
                 continue;  // lost the add race; retry as an update
               }
+              LogOp(check::OpKind::kReadHit, u.key,
+                    std::optional<std::string>(item->value));
               auto v_new = u.refresh(item->value);
               if (!v_new) break;
               if (cfg.baseline_rmw_delay > 0) {
                 SleepFor(SteadyClock::Instance(), cfg.baseline_rmw_delay);
               }
+              LogOp(check::OpKind::kWrite, u.key, v_new);
               if (store.Cas(u.key, *v_new, item->cas) == StoreResult::kStored) {
                 break;
               }
@@ -253,6 +310,7 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
       case Technique::kIncremental:
         for (const auto& u : spec.updates) {
           if (u.invalidate || !u.delta) continue;
+          LogKeyOp(check::OpKind::kDelta, u.key);
           switch (u.delta->kind) {
             case DeltaOp::Kind::kAppend:
               store.Append(u.key, u.delta->blob);
@@ -272,6 +330,7 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
       case Technique::kInvalidate:
         break;  // handled above
     }
+    LogSessionEnd(check::OpKind::kCommit);
     out.committed = true;
     return out;
   }
@@ -305,9 +364,11 @@ WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
       for (const auto& u : spec.updates) {
         q = session_->Quarantine(u.key);
         if (q != ClientQResult::kGranted) break;
+        LogKeyOp(check::OpKind::kInval, u.key);
       }
       if (q != ClientQResult::kGranted) {
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         CountRestart(q, &out);
         session_->Backoff();
         continue;
@@ -317,6 +378,7 @@ WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
     bool ok = spec.body(*txn);
     if (txn->state() == sql::Transaction::State::kAborted) {
       session_->Abort();
+      LogSessionEnd(check::OpKind::kAbort);
       ++out.rdbms_restarts;
       session_->Backoff();
       continue;
@@ -324,16 +386,19 @@ WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
     if (!ok) {
       txn->Rollback();
       session_->Abort();  // leaves current versions in the KVS
+      LogSessionEnd(check::OpKind::kAbort);
       return out;
     }
     if (cfg.placement == LeasePlacement::kInsideTxn) {
       for (const auto& u : spec.updates) {
         q = session_->Quarantine(u.key);
         if (q != ClientQResult::kGranted) break;
+        LogKeyOp(check::OpKind::kInval, u.key);
       }
       if (q != ClientQResult::kGranted) {
         txn->Rollback();
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         CountRestart(q, &out);
         session_->Backoff();
         continue;
@@ -344,6 +409,7 @@ WriteOutcome CasqlConnection::WriteIQInvalidate(const WriteSpec& spec) {
     // so even if this DaR never reaches the server the Q leases expire and
     // delete the keys — the KVS stays a subset of the RDBMS.
     session_->Commit();  // DaR: delete quarantined keys, release Q leases
+    LogSessionEnd(check::OpKind::kCommit);
     out.committed = true;
     return out;
   }
@@ -366,6 +432,7 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
         bool conflicted = txn->state() == sql::Transaction::State::kAborted;
         txn->Rollback();
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         if (!conflicted) return out;
         ++out.rdbms_restarts;
         session_->Backoff();
@@ -379,6 +446,12 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
               ? session_->Quarantine(spec.updates[i].key)
               : session_->QaRead(spec.updates[i].key, olds[i]);
       if (q != ClientQResult::kGranted) break;
+      if (spec.updates[i].invalidate) {
+        LogKeyOp(check::OpKind::kInval, spec.updates[i].key);
+      } else {
+        LogOp(olds[i] ? check::OpKind::kReadHit : check::OpKind::kReadMiss,
+              spec.updates[i].key, olds[i]);
+      }
     }
     if (q != ClientQResult::kGranted) {
       // Figure 5b: release every lease, roll back the RDBMS transaction,
@@ -387,6 +460,7 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
       // unprotected against concurrent readers.
       if (txn) txn->Rollback();
       session_->Abort();
+      LogSessionEnd(check::OpKind::kAbort);
       CountRestart(q, &out);
       session_->Backoff();
       continue;
@@ -404,6 +478,7 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
         bool conflicted = txn->state() == sql::Transaction::State::kAborted;
         txn->Rollback();
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         if (!conflicted) return out;
         ++out.rdbms_restarts;
         session_->Backoff();
@@ -419,9 +494,12 @@ WriteOutcome CasqlConnection::WriteIQRefresh(const WriteSpec& spec) {
       if (spec.updates[i].invalidate) continue;
       auto v = news[i] ? std::optional<std::string_view>(*news[i])
                        : std::nullopt;
+      // Write intent BEFORE the install (check/oplog.h soundness rule).
+      if (news[i]) LogOp(check::OpKind::kWrite, spec.updates[i].key, news[i]);
       session_->SaR(spec.updates[i].key, v);
     }
     session_->Commit();  // also deletes any quarantined (invalidate) keys
+    LogSessionEnd(check::OpKind::kCommit);
     out.committed = true;
     return out;
   }
@@ -440,6 +518,7 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
         bool conflicted = txn->state() == sql::Transaction::State::kAborted;
         txn->Rollback();
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         if (!conflicted) return out;
         ++out.rdbms_restarts;
         session_->Backoff();
@@ -451,8 +530,14 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
     for (const auto& u : spec.updates) {
       if (u.invalidate) {
         q = session_->Quarantine(u.key);
+        if (q == ClientQResult::kGranted) {
+          LogKeyOp(check::OpKind::kInval, u.key);
+        }
       } else if (u.delta) {
         q = session_->Delta(u.key, *u.delta);
+        if (q == ClientQResult::kGranted) {
+          LogKeyOp(check::OpKind::kDelta, u.key);
+        }
       } else {
         continue;
       }
@@ -461,6 +546,7 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
     if (q != ClientQResult::kGranted) {
       if (txn) txn->Rollback();
       session_->Abort();
+      LogSessionEnd(check::OpKind::kAbort);
       CountRestart(q, &out);
       session_->Backoff();
       continue;
@@ -473,6 +559,7 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
         bool conflicted = txn->state() == sql::Transaction::State::kAborted;
         txn->Rollback();
         session_->Abort();
+        LogSessionEnd(check::OpKind::kAbort);
         if (!conflicted) return out;
         ++out.rdbms_restarts;
         session_->Backoff();
@@ -482,6 +569,7 @@ WriteOutcome CasqlConnection::WriteIQIncremental(const WriteSpec& spec) {
 
     txn->Commit();
     session_->Commit();  // server applies the buffered deltas
+    LogSessionEnd(check::OpKind::kCommit);
     out.committed = true;
     return out;
   }

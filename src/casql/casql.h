@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "check/oplog.h"
 #include "core/iq_client.h"
 #include "rdbms/database.h"
 #include "util/rng.h"
@@ -60,6 +61,13 @@ struct CasqlConfig {
   /// perturbing the system under measurement), so their count is the racy
   /// staleness the paper's Table 1 quantifies. 0 disables auditing.
   double audit_rate = 0.0;
+  /// Optional client-side op log for the offline history checker
+  /// (src/check, tools/iqcheck): every client-visible read, write intent,
+  /// delta, invalidation, commit, and abort is recorded with the session
+  /// id and key/value hashes. Write intents are logged before the install
+  /// (see check/oplog.h). Null disables logging. Not owned; must outlive
+  /// the system and be thread-safe (check::OpLog is).
+  check::OpLog* op_log = nullptr;
   IQClient::Config client;
 };
 
@@ -151,6 +159,12 @@ class CasqlConnection {
   void MaybeAudit(const std::string& key,
                   const std::optional<std::string>& observed,
                   const ComputeFn& compute);
+
+  /// Op-log helpers (no-ops when CasqlConfig::op_log is null).
+  void LogOp(check::OpKind kind, std::string_view key,
+             const std::optional<std::string>& value);
+  void LogKeyOp(check::OpKind kind, std::string_view key);
+  void LogSessionEnd(check::OpKind kind);
 
   CasqlSystem& system_;
   std::unique_ptr<IQSession> session_;

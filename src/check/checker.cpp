@@ -1,0 +1,421 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace iq::check {
+namespace {
+
+/// One row per AnomalyClass, indexed by the enum value.
+constexpr const char* kClassNames[kAnomalyClassCount] = {
+    "drops",            "protocol",         "overlap_q",
+    "unmatched_end",    "unjustified_read", "non_monotonic_session",
+};
+
+std::string Printf(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return std::string(buf, n > 0 ? std::min<std::size_t>(
+                                      static_cast<std::size_t>(n),
+                                      sizeof buf - 1)
+                                : 0);
+}
+
+/// Live lease state of one key, rebuilt from the merged trace.
+struct KeyState {
+  enum class Kind : std::uint8_t { kNone, kI, kQRef, kQInv };
+  Kind kind = Kind::kNone;
+  std::uint64_t holder = 0;             // kI / kQRef
+  std::set<std::uint64_t> inv_holders;  // kQInv (QaReg shares, Figure 5a)
+
+  const char* Name() const {
+    switch (kind) {
+      case Kind::kNone: return "none";
+      case Kind::kI: return "I";
+      case Kind::kQRef: return "Q_ref";
+      case Kind::kQInv: return "Q_inv";
+    }
+    return "?";
+  }
+};
+
+struct TaggedEvent {
+  const TraceEvent* e;
+  std::uint32_t source;
+};
+
+class HistoryChecker {
+ public:
+  HistoryChecker(const CheckerOptions& options) : options_(options) {}
+
+  void Emit(AnomalyClass cls, std::uint64_t session, std::uint64_t key,
+            Nanos at, std::string detail) {
+    report_.counts[static_cast<std::size_t>(cls)]++;
+    if (report_.anomalies.size() >= options_.max_anomalies) return;
+    Anomaly a;
+    a.cls = cls;
+    a.session = session;
+    a.key_hash = key;
+    a.at = at;
+    a.detail = std::move(detail);
+    report_.anomalies.push_back(std::move(a));
+  }
+
+  void CheckCompleteness(const std::vector<TraceSource>& sources) {
+    for (const TraceSource& s : sources) {
+      report_.trace_events += s.events.size();
+      std::string problem;
+      if (!s.has_info) {
+        problem = "no TRACE_INFO header (completeness unknown)";
+      } else if (s.info.dropped != 0) {
+        problem = Printf("ring wrapped: %llu of %llu events dropped",
+                         static_cast<unsigned long long>(s.info.dropped),
+                         static_cast<unsigned long long>(s.info.recorded));
+      } else if (s.info.recorded > s.events.size()) {
+        problem = Printf("short drain: %llu of %llu events",
+                         static_cast<unsigned long long>(s.events.size()),
+                         static_cast<unsigned long long>(s.info.recorded));
+      }
+      if (problem.empty()) continue;
+      report_.complete = false;
+      if (!options_.allow_drops) {
+        Emit(AnomalyClass::kDrops, 0, 0, 0, s.name + ": " + problem);
+      }
+    }
+  }
+
+  void CheckLifecycles(const std::vector<TraceSource>& sources) {
+    // A truncated history makes every lifecycle rule unsound (the matching
+    // grant may simply predate the drain horizon), so check only complete
+    // ones.
+    if (!report_.complete) {
+      report_.lifecycle_checked = false;
+      return;
+    }
+    // Stable merge on (at, source, shard, seq). Any one key's events all
+    // live in one (source, shard) ring where seq is program order and at
+    // is non-decreasing, so this total order preserves every key's true
+    // lifecycle — and equal timestamps (ManualClock) stay deterministic.
+    std::vector<TaggedEvent> merged;
+    merged.reserve(report_.trace_events);
+    for (std::uint32_t i = 0; i < sources.size(); ++i) {
+      for (const TraceEvent& e : sources[i].events) {
+        merged.push_back(TaggedEvent{&e, i});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TaggedEvent& a, const TaggedEvent& b) {
+                if (a.e->at != b.e->at) return a.e->at < b.e->at;
+                if (a.source != b.source) return a.source < b.source;
+                if (a.e->shard != b.e->shard) return a.e->shard < b.e->shard;
+                return a.e->seq < b.e->seq;
+              });
+    for (const TaggedEvent& t : merged) Step(*t.e);
+
+    for (const auto& [key, st] : keys_) {
+      if (st.kind == KeyState::Kind::kNone) continue;
+      report_.open_leases++;
+      if (options_.require_quiescent) {
+        Emit(AnomalyClass::kProtocol, st.holder, key, 0,
+             Printf("%s lease still live at end of history", st.Name()));
+      }
+    }
+  }
+
+  /// Advance one key's lease state machine by one trace event.
+  void Step(const TraceEvent& e) {
+    using Kind = KeyState::Kind;
+    KeyState& st = keys_[e.key_hash];
+    switch (e.kind) {
+      case LeaseTraceKind::kIGrant:
+        report_.grants++;
+        if (st.kind != Kind::kNone) {
+          Emit(AnomalyClass::kProtocol, e.session, e.key_hash, e.at,
+               Printf("i_grant while %s lease live (holder %llu)", st.Name(),
+                      static_cast<unsigned long long>(st.holder)));
+        }
+        st = KeyState{};
+        st.kind = Kind::kI;
+        st.holder = e.session;
+        return;
+      case LeaseTraceKind::kQRefGrant:
+        report_.grants++;
+        if (st.kind == Kind::kQRef) {
+          // Legitimate same-session re-acquisition never emits a grant, so
+          // ANY q_ref_grant inside a live Q window is an exclusivity
+          // violation: two write sessions now race this key.
+          Emit(AnomalyClass::kOverlapQ, e.session, e.key_hash, e.at,
+               Printf("q_ref_grant while session %llu holds Q_ref",
+                      static_cast<unsigned long long>(st.holder)));
+        } else if (st.kind != Kind::kNone) {
+          Emit(AnomalyClass::kProtocol, e.session, e.key_hash, e.at,
+               Printf("q_ref_grant while %s lease live", st.Name()));
+        }
+        st = KeyState{};
+        st.kind = Kind::kQRef;
+        st.holder = e.session;
+        return;
+      case LeaseTraceKind::kQInvGrant:
+        report_.grants++;
+        if (st.kind == Kind::kQInv || st.kind == Kind::kNone) {
+          // Q(invalidate) shares: deletes are idempotent (Figure 5a).
+          st.kind = Kind::kQInv;
+          st.holder = 0;
+          st.inv_holders.insert(e.session);
+        } else {
+          // The server voids an I/Q_ref first (traced); a direct grant
+          // over either is a protocol violation.
+          Emit(AnomalyClass::kProtocol, e.session, e.key_hash, e.at,
+               Printf("q_inv_grant while %s lease live", st.Name()));
+          st = KeyState{};
+          st.kind = Kind::kQInv;
+          st.inv_holders.insert(e.session);
+        }
+        return;
+      case LeaseTraceKind::kIVoid:
+        report_.ends++;
+        if (st.kind != Kind::kI || st.holder != e.session) {
+          Emit(AnomalyClass::kProtocol, e.session, e.key_hash, e.at,
+               Printf("i_void without matching I lease (state %s)",
+                      st.Name()));
+        }
+        if (st.kind == Kind::kI) st = KeyState{};
+        return;
+      case LeaseTraceKind::kQRefVoid:
+        report_.ends++;
+        if (st.kind != Kind::kQRef || st.holder != e.session) {
+          Emit(AnomalyClass::kProtocol, e.session, e.key_hash, e.at,
+               Printf("q_ref_void without matching Q_ref lease (state %s)",
+                      st.Name()));
+        }
+        if (st.kind == Kind::kQRef) st = KeyState{};
+        return;
+      case LeaseTraceKind::kReject:
+        // No state change; the contender got nothing.
+        return;
+      case LeaseTraceKind::kExpire:
+      case LeaseTraceKind::kExpireDelete:
+        report_.ends++;
+        CloseLease(e, /*allow_i=*/true,
+                   e.kind == LeaseTraceKind::kExpireDelete ? "expire_delete"
+                                                           : "expire");
+        return;
+      case LeaseTraceKind::kCommit:
+        report_.ends++;
+        CloseLease(e, /*allow_i=*/false, "commit");
+        return;
+      case LeaseTraceKind::kAbort:
+        report_.ends++;
+        CloseLease(e, /*allow_i=*/false, "abort");
+        return;
+      case LeaseTraceKind::kRelease:
+        report_.ends++;
+        CloseLease(e, /*allow_i=*/true, "release");
+        return;
+    }
+  }
+
+  /// End one session's lease on a key: the ISSUE's core protocol rule —
+  /// every commit/abort/release (and expiry) must land on a matching live
+  /// grant for that session+key. Expiry of a shared Q(invalidate) entry is
+  /// traced once with session 0 and clears every holder.
+  void CloseLease(const TraceEvent& e, bool allow_i, const char* what) {
+    using Kind = KeyState::Kind;
+    KeyState& st = keys_[e.key_hash];
+    switch (st.kind) {
+      case Kind::kQInv:
+        if (e.session == 0) {  // whole-entry expiry
+          st = KeyState{};
+          return;
+        }
+        if (st.inv_holders.erase(e.session) == 0) break;
+        if (st.inv_holders.empty()) st = KeyState{};
+        return;
+      case Kind::kQRef:
+        if (st.holder != e.session) break;
+        st = KeyState{};
+        return;
+      case Kind::kI:
+        if (!allow_i || st.holder != e.session) break;
+        st = KeyState{};
+        return;
+      case Kind::kNone:
+        break;
+    }
+    Emit(AnomalyClass::kUnmatchedEnd, e.session, e.key_hash, e.at,
+         Printf("%s without matching grant (state %s)", what, st.Name()));
+  }
+
+  void CheckOps(const std::vector<OpRecord>& ops) {
+    report_.op_records = ops.size();
+    // ops are replayed in append order: the OpLog mutex serializes records
+    // consistently with real time, and write intents are logged before the
+    // value is installed, so set-inclusion here can over-approximate but
+    // never miss a justification.
+    for (const OpRecord& r : ops) {
+      KeyFacts& kf = key_facts_[r.key_hash];
+      switch (r.kind) {
+        case OpKind::kSeed:
+          kf.justified.insert(r.value_hash);
+          break;
+        case OpKind::kWrite:
+          kf.justified.insert(r.value_hash);
+          Touched(r).wrote = true;
+          break;
+        case OpKind::kDelta:
+          // The delta result is unknowable client-side; hash justification
+          // is impossible for this key from here on.
+          kf.exempt = true;
+          Touched(r).wrote = true;
+          break;
+        case OpKind::kInval:
+          Touched(r).wrote = true;
+          break;
+        case OpKind::kReadHit: {
+          if (kf.exempt) {
+            report_.reads_exempt++;
+          } else {
+            report_.reads_checked++;
+            if (kf.justified.count(r.value_hash) == 0) {
+              Emit(AnomalyClass::kUnjustifiedRead, r.session, r.key_hash,
+                   r.at,
+                   Printf("observed hash %llu never seeded/written/db-read",
+                          static_cast<unsigned long long>(r.value_hash)));
+            }
+          }
+          Observe(r);
+          break;
+        }
+        case OpKind::kReadDb:
+          if (r.value_hash != kNoValueHash) kf.justified.insert(r.value_hash);
+          Observe(r);
+          break;
+        case OpKind::kReadMiss:
+          break;
+        case OpKind::kReadOwn: {
+          // The own-update probe: this read ran under the session's own
+          // live Q lease after its own delta, so the pre-delta value can
+          // only reappear if the server stopped replaying the session's
+          // buffered updates (Section 4.2.2).
+          report_.reads_exempt++;
+          SessKey& sk = Touched(r);
+          if (r.value_hash != kNoValueHash && sk.wrote &&
+              sk.pre_hashes.count(r.value_hash) != 0) {
+            Emit(AnomalyClass::kNonMonotonicSession, r.session, r.key_hash,
+                 r.at,
+                 Printf("re-read under own Q lease observed pre-update hash "
+                        "%llu again",
+                        static_cast<unsigned long long>(r.value_hash)));
+          }
+          break;
+        }
+        case OpKind::kCommit:
+        case OpKind::kAbort:
+          // Server session ids are re-used across logical sessions within
+          // one connection; own-update tracking resets with each one.
+          sessions_.erase(r.session);
+          break;
+      }
+    }
+  }
+
+  CheckReport Finish() { return std::move(report_); }
+
+ private:
+  struct KeyFacts {
+    std::unordered_set<std::uint64_t> justified;
+    bool exempt = false;
+  };
+  struct SessKey {
+    std::unordered_set<std::uint64_t> pre_hashes;  // observed before wrote
+    bool wrote = false;
+  };
+
+  SessKey& Touched(const OpRecord& r) {
+    return sessions_[r.session][r.key_hash];
+  }
+  /// Track what the session saw on this key before its first own write.
+  void Observe(const OpRecord& r) {
+    SessKey& sk = Touched(r);
+    if (!sk.wrote && r.value_hash != kNoValueHash) {
+      sk.pre_hashes.insert(r.value_hash);
+    }
+  }
+
+  CheckerOptions options_;
+  CheckReport report_;
+  std::unordered_map<std::uint64_t, KeyState> keys_;
+  std::unordered_map<std::uint64_t, KeyFacts> key_facts_;
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, SessKey>>
+      sessions_;
+};
+
+}  // namespace
+
+const char* ToString(AnomalyClass c) {
+  auto i = static_cast<std::size_t>(c);
+  return i < kAnomalyClassCount ? kClassNames[i] : "?";
+}
+
+CheckReport CheckHistory(const std::vector<TraceSource>& sources,
+                         const std::vector<OpRecord>& ops,
+                         const CheckerOptions& options) {
+  HistoryChecker checker(options);
+  checker.CheckCompleteness(sources);
+  checker.CheckLifecycles(sources);
+  checker.CheckOps(ops);
+  return checker.Finish();
+}
+
+std::string CheckReport::Summary() const {
+  std::string out;
+  out += certified() ? "verdict: CERTIFIED\n"
+         : clean()   ? "verdict: NOT CERTIFIED (incomplete history)\n"
+                     : "verdict: ANOMALOUS\n";
+  out += Printf(
+      "history: trace_events=%llu op_records=%llu grants=%llu ends=%llu "
+      "open_leases=%llu\n",
+      static_cast<unsigned long long>(trace_events),
+      static_cast<unsigned long long>(op_records),
+      static_cast<unsigned long long>(grants),
+      static_cast<unsigned long long>(ends),
+      static_cast<unsigned long long>(open_leases));
+  out += Printf("reads: checked=%llu exempt=%llu\n",
+                static_cast<unsigned long long>(reads_checked),
+                static_cast<unsigned long long>(reads_exempt));
+  out += Printf("complete=%s lifecycle_checked=%s\n",
+                complete ? "true" : "false",
+                lifecycle_checked ? "true" : "false");
+  out += Printf("anomalies: total=%llu",
+                static_cast<unsigned long long>(total_anomalies()));
+  for (std::size_t i = 0; i < kAnomalyClassCount; ++i) {
+    out += Printf(" %s=%llu", kClassNames[i],
+                  static_cast<unsigned long long>(counts[i]));
+  }
+  out += "\n";
+  const std::size_t shown = std::min<std::size_t>(anomalies.size(), 10);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Anomaly& a = anomalies[i];
+    out += Printf("  [%s] session=%llu key=%llu at=%lld: ",
+                  ToString(a.cls),
+                  static_cast<unsigned long long>(a.session),
+                  static_cast<unsigned long long>(a.key_hash),
+                  static_cast<long long>(a.at));
+    out += a.detail;
+    out += "\n";
+  }
+  if (anomalies.size() > shown) {
+    out += Printf("  ... %llu more\n",
+                  static_cast<unsigned long long>(anomalies.size() - shown));
+  }
+  return out;
+}
+
+}  // namespace iq::check

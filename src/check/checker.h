@@ -1,0 +1,131 @@
+// Offline execution-history checker: replays a run's server-side lease
+// traces and client-side op log against the IQ protocol and the
+// snapshot-isolation session axioms (Raad/Lahav/Vafeiadis, arXiv
+// 1805.06196), flagging whole-history anomalies the online per-read
+// staleness auditor cannot see — lost updates, overlapping write windows,
+// sessions that stop reading their own writes.
+//
+// Inputs:
+//  - One TraceSource per drained server (the `trace` verb / --trace-dump /
+//    IQServer::TraceSnapshot), carrying its TRACE_INFO completeness header.
+//  - The client op log (check/oplog.h), in append order.
+//
+// Per-key event ordering is exact, not heuristic: any one key lives in
+// exactly one (source, shard) trace ring, where `seq` is program order and
+// `at` is non-decreasing, so the (at, source, shard, seq) stable merge
+// reconstructs every key's true lease lifecycle.
+//
+// Anomaly classes (DESIGN.md §4.8):
+//   drops            trace incomplete (ring wrapped / short drain / missing
+//                    TRACE_INFO) — the checker refuses to certify, and the
+//                    lifecycle checks are skipped (they would be unsound
+//                    against a truncated history)
+//   protocol         a lease granted/voided from an illegal state (e.g. an
+//                    I grant while any lease is live)
+//   overlap_q        a Q(refresh) grant inside another live Q window on the
+//                    key — two write sessions racing one key (Figure 5b
+//                    must reject instead)
+//   unmatched_end    a commit/abort/release/expire with no matching live
+//                    grant for that session+key
+//   unjustified_read a client-observed value no seed, write intent, or
+//                    RDBMS ground-truth read ever produced (lost update /
+//                    phantom value)
+//   non_monotonic_session  a session re-read a key under its own live Q
+//                    lease after buffering a delta and observed a pre-delta
+//                    value again — it stopped seeing its own update
+//                    (Section 4.2.2; the PR 5 own-update bug)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oplog.h"
+#include "util/trace_ring.h"
+
+namespace iq::check {
+
+enum class AnomalyClass : std::uint8_t {
+  kDrops,
+  kProtocol,
+  kOverlapQ,
+  kUnmatchedEnd,
+  kUnjustifiedRead,
+  kNonMonotonicSession,
+};
+inline constexpr std::size_t kAnomalyClassCount =
+    static_cast<std::size_t>(AnomalyClass::kNonMonotonicSession) + 1;
+
+const char* ToString(AnomalyClass c);
+
+struct Anomaly {
+  AnomalyClass cls = AnomalyClass::kProtocol;
+  std::uint64_t session = 0;
+  std::uint64_t key_hash = 0;
+  Nanos at = 0;
+  std::string detail;
+};
+
+/// One drained server's events plus its completeness accounting.
+struct TraceSource {
+  std::string name;  // label for anomaly details ("127.0.0.1:19311", file)
+  std::vector<TraceEvent> events;
+  TraceInfo info;
+  bool has_info = false;
+};
+
+struct CheckerOptions {
+  /// Downgrade incomplete traces from anomaly to warning: drops stop
+  /// certification either way, but with allow_drops a wrapped ring does
+  /// not count against clean() (used by stress tests that only assert "no
+  /// anomalies besides drops").
+  bool allow_drops = false;
+  /// Flag leases still live at the end of the history as protocol
+  /// anomalies. Only sound for runs that quiesce (every session
+  /// committed/aborted and expiry drained) before the drain.
+  bool require_quiescent = false;
+  /// Keep at most this many Anomaly records (counters keep counting).
+  std::size_t max_anomalies = 100;
+};
+
+struct CheckReport {
+  std::vector<Anomaly> anomalies;
+  std::uint64_t counts[kAnomalyClassCount] = {};
+
+  // History shape (for reporting and for "the run actually ran" checks).
+  std::uint64_t trace_events = 0;
+  std::uint64_t op_records = 0;
+  std::uint64_t grants = 0;         // i_grant + q_inv_grant + q_ref_grant
+  std::uint64_t ends = 0;           // commit/abort/release/expire/void
+  std::uint64_t reads_checked = 0;  // read_hit records hash-verified
+  std::uint64_t reads_exempt = 0;   // read_own + reads of delta-exempt keys
+  std::uint64_t open_leases = 0;    // still live at end of history
+
+  /// Every source carried a TRACE_INFO header and drained every recorded
+  /// event (dropped == 0 and nothing short-drained).
+  bool complete = true;
+  /// False when incompleteness forced the lease-lifecycle checks off.
+  bool lifecycle_checked = true;
+
+  std::uint64_t total_anomalies() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts) n += c;
+    return n;
+  }
+  /// No anomalies (drops excluded only under allow_drops, which keeps them
+  /// out of the counters entirely).
+  bool clean() const { return total_anomalies() == 0; }
+  /// The bar for iqcheck exit 0: a clean AND complete history.
+  bool certified() const { return clean() && complete; }
+
+  /// Human-readable multi-line summary (counts, verdict, first anomalies).
+  std::string Summary() const;
+};
+
+/// Replay `sources` + `ops` and check them. `ops` must be in op-log append
+/// order (ParseOpLog/OpLog::Snapshot order); sources may be in any order.
+CheckReport CheckHistory(const std::vector<TraceSource>& sources,
+                         const std::vector<OpRecord>& ops,
+                         const CheckerOptions& options = {});
+
+}  // namespace iq::check

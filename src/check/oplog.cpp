@@ -1,0 +1,153 @@
+#include "check/oplog.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace iq::check {
+namespace {
+
+/// One row per OpKind, indexed by the enum value.
+constexpr const char* kOpKindNames[kOpKindCount] = {
+    "seed",     "write",   "delta",    "inval",  "read_hit",
+    "read_db",  "read_miss", "read_own", "commit", "abort",
+};
+
+bool ParseU64(std::string_view v, std::uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+bool ParseI64(std::string_view v, std::int64_t* out) {
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+}  // namespace
+
+const char* ToString(OpKind k) {
+  auto i = static_cast<std::size_t>(k);
+  return i < kOpKindCount ? kOpKindNames[i] : "?";
+}
+
+std::optional<OpKind> ParseOpKind(std::string_view name) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (name == kOpKindNames[i]) return static_cast<OpKind>(i);
+  }
+  return std::nullopt;
+}
+
+OpLog::OpLog(const Clock* clock)
+    : clock_(clock != nullptr ? *clock : SteadyClock::Instance()) {}
+
+void OpLog::Record(std::uint64_t session, OpKind kind, std::uint64_t key_hash,
+                   std::uint64_t value_hash) {
+  OpRecord r;
+  r.at = clock_.Now();
+  r.session = session;
+  r.kind = kind;
+  r.key_hash = key_hash;
+  r.value_hash = value_hash;
+  Append(r);
+}
+
+void OpLog::Append(const OpRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<OpRecord> OpLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t OpLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::string OpLog::Dump() const {
+  std::vector<OpRecord> records = Snapshot();
+  char head[48];
+  int n = std::snprintf(head, sizeof head, "OPLOG_INFO %llu\r\n",
+                        static_cast<unsigned long long>(records.size()));
+  std::string out(head, n > 0 ? static_cast<std::size_t>(n) : 0);
+  out += FormatOpRecords(records);
+  return out;
+}
+
+bool OpLog::DumpToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string FormatOpRecords(const std::vector<OpRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 56);
+  char line[160];
+  for (const OpRecord& r : records) {
+    int n = std::snprintf(line, sizeof line, "OP %lld %llu %s %llu %llu\r\n",
+                          static_cast<long long>(r.at),
+                          static_cast<unsigned long long>(r.session),
+                          ToString(r.kind),
+                          static_cast<unsigned long long>(r.key_hash),
+                          static_cast<unsigned long long>(r.value_hash));
+    if (n > 0) out.append(line, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+bool ParseOpLog(std::string_view text, std::vector<OpRecord>* out) {
+  // All-or-nothing: parse into locals, publish only on full success.
+  std::vector<OpRecord> records;
+  std::uint64_t declared = 0;
+  bool has_info = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    if (line.rfind("OPLOG_INFO ", 0) == 0) {
+      std::uint64_t count = 0;
+      if (!ParseU64(line.substr(11), &count)) return false;
+      declared += count;
+      has_info = true;
+      continue;
+    }
+    if (line.rfind("OP ", 0) != 0) continue;  // noise: skip
+
+    // OP <at> <session> <kind> <key_hash> <value_hash>
+    std::string_view rest = line.substr(3);
+    std::string_view tok[5];
+    std::size_t count = 0;
+    while (!rest.empty() && count < 5) {
+      std::size_t sp = rest.find(' ');
+      tok[count++] = rest.substr(0, sp);
+      rest = sp == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(sp + 1);
+    }
+    if (count != 5 || !rest.empty()) return false;
+
+    OpRecord r;
+    auto kind = ParseOpKind(tok[2]);
+    if (!ParseI64(tok[0], &r.at) || !ParseU64(tok[1], &r.session) || !kind ||
+        !ParseU64(tok[3], &r.key_hash) || !ParseU64(tok[4], &r.value_hash)) {
+      return false;
+    }
+    r.kind = *kind;
+    records.push_back(r);
+  }
+  // The truncation guard: a dump that lost its tail (killed process, full
+  // disk) declares more records than it carries.
+  if (has_info && declared != records.size()) return false;
+  out->insert(out->end(), records.begin(), records.end());
+  return true;
+}
+
+}  // namespace iq::check

@@ -245,8 +245,20 @@ QaReadReply IQServer::QaRead(std::string_view key, SessionId session) {
         return {QaReadReply::Status::kGranted, std::nullopt, entry->token};
       }
       std::string value = std::move(item->value);
-      for (const auto& d : entry->pending_deltas) ApplyDeltaToValue(value, d);
+      // TEST-ONLY mutation (Config::mutate_own_update_invisible): skip the
+      // replay so iqcheck can prove it catches the historical bug.
+      if (!config_.mutate_own_update_invisible) {
+        for (const auto& d : entry->pending_deltas) ApplyDeltaToValue(value, d);
+      }
       return {QaReadReply::Status::kGranted, std::move(value), entry->token};
+    } else if (config_.mutate_overlap_q &&
+               entry->kind == LeaseKind::kQRefresh) {
+      // TEST-ONLY mutation (Config::mutate_overlap_q): steal the key from
+      // the live foreign Q(refresh) holder instead of rejecting, then fall
+      // through to a fresh grant — two write sessions now race on one key
+      // and the trace shows a q_ref_grant inside a live Q window.
+      leases_.Erase(g.shard_index(), skey);
+      entry = nullptr;
     } else {
       // Another write session holds Q (Figure 5b): reject; the caller
       // releases everything, rolls back its RDBMS transaction, retries.
@@ -539,6 +551,16 @@ std::uint64_t IQServer::TraceRecorded() const {
   std::uint64_t n = 0;
   for (const auto& ring : trace_rings_) n += ring->recorded();
   return n;
+}
+
+TraceInfo IQServer::TraceInfoTotal() const {
+  TraceInfo info;
+  for (const auto& ring : trace_rings_) {
+    info.recorded += ring->recorded();
+    info.dropped += ring->dropped();
+    info.capacity += ring->capacity();
+  }
+  return info;
 }
 
 std::size_t IQServer::LeaseCount() const {

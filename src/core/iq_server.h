@@ -97,6 +97,21 @@ class IQServer final : public KvsBackend {
     /// a power of two). 0 disables tracing entirely.
     std::size_t trace_capacity = 1024;
     const Clock* clock = nullptr;
+
+    // -- TEST-ONLY fault injection (mutation hooks for iqcheck) -----------
+    // Both flags deliberately re-introduce historical bugs so the offline
+    // history checker can prove it has teeth. NEVER set outside tests /
+    // iqcached --mutate.
+
+    /// Re-introduce the PR 5 own-update visibility bug: QaRead
+    /// re-acquisition returns the stored value WITHOUT replaying the
+    /// session's buffered deltas (a session stops seeing its own writes —
+    /// the Section 4.2.2 violation iqcheck flags as non_monotonic_session).
+    bool mutate_own_update_invisible = false;
+    /// Violate Q exclusivity: QaRead steals the key from another session's
+    /// live Q(refresh) lease instead of rejecting (Figure 5b), so two
+    /// write sessions proceed on one key (iqcheck flags overlap_q).
+    bool mutate_overlap_q = false;
   };
 
   /// The server owns its CacheStore.
@@ -204,6 +219,10 @@ class IQServer final : public KvsBackend {
   /// Lifetime trace records emitted across all shard rings (including
   /// events the rings have since overwritten).
   std::uint64_t TraceRecorded() const;
+  /// Drain-completeness accounting summed across all shard rings: lifetime
+  /// records, events lost to ring wrap, and total capacity. dropped == 0
+  /// means TraceSnapshot(big enough) is the complete lease history.
+  TraceInfo TraceInfoTotal() const;
   /// Live (unexpired) lease on `key`, if any (testing).
   std::optional<LeaseKind> LeaseOn(std::string_view key);
   /// Live lease entries, aggregated shard by shard under each shard's lock

@@ -416,6 +416,42 @@ IQServerStats ShardedBackend::Stats() const {
   return total;
 }
 
+std::vector<TraceEvent> ShardedBackend::TraceSnapshot(
+    std::size_t max_events) const {
+  std::vector<TraceEvent> merged;
+  if (max_events == 0) return merged;
+  for (const Shard& s : shards_) {
+    if (!s.trace) continue;
+    std::vector<TraceEvent> part = s.trace(max_events);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  // Each child drain is already (at, shard, seq)-ordered; a stable sort on
+  // the timestamp alone therefore yields (at, child, shard, seq) — equal
+  // timestamps (ManualClock tests, coarse clocks) stay deterministic and
+  // per-key causal, since one key's events all live in one child's ring.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  if (merged.size() > max_events) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return merged;
+}
+
+TraceInfo ShardedBackend::TraceInfoTotal() const {
+  TraceInfo total;
+  for (const Shard& s : shards_) {
+    if (!s.trace_info) continue;
+    const TraceInfo info = s.trace_info();
+    total.recorded += info.recorded;
+    total.dropped += info.dropped;
+    total.capacity += info.capacity;
+  }
+  return total;
+}
+
 ShardedBackendStats ShardedBackend::router_stats() const {
   ShardedBackendStats s;
   s.sessions = sessions_.load(std::memory_order_relaxed);

@@ -82,6 +82,14 @@ class ShardedBackend final : public KvsBackend {
     /// Optional reconnect counter for FormatStats(); bind
     /// net::ReconnectingChannel::reconnects for a TCP child.
     std::function<std::uint64_t()> reconnects;
+    /// Optional lease-trace drain used by TraceSnapshot(): the newest (up
+    /// to) max_events events, oldest first. Bind IQServer::TraceSnapshot
+    /// for an in-process child; for a TCP child bind the `trace` verb via
+    /// net::RemoteCacheClient::Trace.
+    std::function<std::vector<TraceEvent>(std::size_t)> trace;
+    /// Optional drain-completeness accounting for TraceInfoTotal(); bind
+    /// IQServer::TraceInfoTotal or the TRACE_INFO wire header.
+    std::function<TraceInfo()> trace_info;
   };
 
   struct Config {
@@ -163,6 +171,17 @@ class ShardedBackend final : public KvsBackend {
   /// return lifetime totals plus the delta since the previous call. One
   /// logical scraper per router, same contract as IQServer::WindowedStats.
   StatsWindowSample WindowedStats();
+
+  /// The newest (up to) `max_events` lease-trace events across every child
+  /// with a trace provider, stable-merged oldest first on (at, child,
+  /// shard, seq). Equal timestamps (ManualClock tests, coarse clocks) keep
+  /// a deterministic — and per-key causal — order, because any one key's
+  /// events all come from one (child, shard) ring where seq is program
+  /// order. Children without a provider contribute nothing.
+  std::vector<TraceEvent> TraceSnapshot(std::size_t max_events) const;
+  /// Summed drain-completeness accounting across every child with a
+  /// trace_info provider.
+  TraceInfo TraceInfoTotal() const;
 
  private:
   /// One live session: the lazily minted child id per shard (0 = shard not

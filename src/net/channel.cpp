@@ -240,6 +240,23 @@ std::optional<std::vector<TraceEvent>> RemoteCacheClient::Trace(
   return events;
 }
 
+std::optional<RemoteCacheClient::TraceDrain> RemoteCacheClient::TraceWithInfo(
+    std::uint64_t max_events) {
+  Request r;
+  r.command = Command::kTrace;
+  r.amount = max_events;
+  Response resp = Call(r);
+  TraceDrain drain;
+  // A headerless empty trace (pre-TRACE_INFO server) is a bare END.
+  if (resp.type == ResponseType::kEnd) return drain;
+  if (resp.type != ResponseType::kTrace) return std::nullopt;
+  if (!ParseTraceEvents(resp.message, &drain.events, &drain.info,
+                        &drain.has_info)) {
+    return std::nullopt;
+  }
+  return drain;
+}
+
 GetReply RemoteCacheClient::IQget(const std::string& key, SessionId session) {
   Request r;
   r.command = Command::kIQGet;

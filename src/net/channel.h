@@ -94,6 +94,16 @@ class RemoteCacheClient {
   /// Drain the newest `max_events` lease-trace events (0 = server default).
   /// nullopt on transport failure or an unparsable reply.
   std::optional<std::vector<TraceEvent>> Trace(std::uint64_t max_events = 0);
+  /// One drained trace with its completeness header. `has_info` is false
+  /// against pre-TRACE_INFO servers.
+  struct TraceDrain {
+    std::vector<TraceEvent> events;
+    TraceInfo info;
+    bool has_info = false;
+  };
+  /// Like Trace() but also returns the server's TRACE_INFO header, so the
+  /// caller (iqcheck) can tell a complete history from a wrapped one.
+  std::optional<TraceDrain> TraceWithInfo(std::uint64_t max_events = 0);
 
   // -- IQ commands --
   GetReply IQget(const std::string& key, SessionId session);

@@ -598,8 +598,9 @@ void AppendTo(const Response& r, std::string* out) {
       out->append("\r\n");
       return;
     case ResponseType::kTrace:
-      // Zero or more self-describing TRACE lines, END-terminated (the STAT
-      // pattern; an empty trace is a bare END and parses as kEnd).
+      // A TRACE_INFO completeness header plus zero or more self-describing
+      // TRACE lines, END-terminated (the STAT pattern; a headerless empty
+      // trace is a bare END and parses as kEnd).
       out->append(r.message);
       out->append("END\r\n");
       return;
@@ -740,8 +741,8 @@ std::optional<Response> ParseResponse(std::string_view bytes,
     *consumed = eol + 2 + *size + 2;
     return resp;
   }
-  if (head == "TRACE") {
-    // Collect TRACE lines up to END (same shape as STAT).
+  if (head == "TRACE" || head == "TRACE_INFO") {
+    // Collect TRACE_INFO/TRACE lines up to END (same shape as STAT).
     std::size_t end = bytes.find("END\r\n");
     if (end == std::string_view::npos) return std::nullopt;
     resp.type = ResponseType::kTrace;

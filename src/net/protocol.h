@@ -36,8 +36,10 @@
 //   metrics\r\n                                -> METRICS <bytes>\r\n<data>\r\n
 //     (Prometheus exposition text: lifetime totals plus rates over the
 //      window since the previous metrics scrape; see net/metrics.h)
-//   trace [<n>]\r\n                            -> TRACE lines + END\r\n
-//     (the newest n — default 128 — lease-trace events, one
+//   trace [<n>]\r\n            -> TRACE_INFO + TRACE lines + END\r\n
+//     (a "TRACE_INFO <recorded> <dropped> <capacity>" completeness header —
+//      dropped != 0 means the rings wrapped and the history is incomplete —
+//      then the newest n (default 128) lease-trace events, one
 //      "TRACE <seq> <at> <shard> <kind> <session> <key_hash>" line each;
 //      see util/trace_ring.h)
 //

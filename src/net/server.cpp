@@ -353,8 +353,11 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
       }
       return resp;
     case Command::kTrace:
+      // TRACE_INFO header first: consumers (iqcheck) need recorded/dropped/
+      // capacity to tell a complete history from one the rings wrapped.
       resp.type = ResponseType::kTrace;
-      resp.message = FormatTraceEvents(server_.TraceSnapshot(
+      resp.message = FormatTraceInfo(server_.TraceInfoTotal());
+      resp.message += FormatTraceEvents(server_.TraceSnapshot(
           r.amount != 0 ? static_cast<std::size_t>(r.amount)
                         : kDefaultTraceEvents));
       return resp;

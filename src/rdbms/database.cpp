@@ -271,11 +271,16 @@ bool Database::RunTransaction(const std::function<bool(Transaction&)>& body,
     }
     auto txn = Begin();
     bool want_commit = body(*txn);
+    // A doomed transaction means a write-write conflict surfaced inside the
+    // body (the DML verbs Doom() on kConflict), NOT a user decision — the
+    // body typically maps the failed statement to `false`, and treating
+    // that as "roll back and give up" silently dropped the retry the
+    // contract promises. Retry regardless of what the body returned.
+    if (txn->state() == Transaction::State::kAborted) continue;
     if (!want_commit) {
       txn->Rollback();
       return false;
     }
-    if (txn->state() == Transaction::State::kAborted) continue;  // conflicted
     if (txn->Commit() == TxnResult::kOk) return true;
   }
   return false;

@@ -92,7 +92,21 @@ std::string FormatTraceEvents(const std::vector<TraceEvent>& events) {
   return out;
 }
 
-bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out) {
+std::string FormatTraceInfo(const TraceInfo& info) {
+  char line[96];
+  int n = std::snprintf(line, sizeof line, "TRACE_INFO %llu %llu %llu\r\n",
+                        static_cast<unsigned long long>(info.recorded),
+                        static_cast<unsigned long long>(info.dropped),
+                        static_cast<unsigned long long>(info.capacity));
+  return std::string(line, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out,
+                      TraceInfo* info, bool* has_info) {
+  // All-or-nothing: parse into locals, publish only on full success.
+  std::vector<TraceEvent> events;
+  TraceInfo totals;
+  bool saw_info = false;
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
@@ -101,6 +115,30 @@ bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out) {
                                            : eol - pos);
     pos = eol == std::string_view::npos ? text.size() : eol + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    if (line.rfind("TRACE_INFO ", 0) == 0) {
+      // TRACE_INFO <recorded> <dropped> <capacity>
+      std::string_view rest = line.substr(11);
+      std::string_view tok[3];
+      std::size_t count = 0;
+      while (!rest.empty() && count < 3) {
+        std::size_t sp = rest.find(' ');
+        tok[count++] = rest.substr(0, sp);
+        rest = sp == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(sp + 1);
+      }
+      if (count != 3 || !rest.empty()) return false;
+      TraceInfo ti;
+      if (!ParseU64(tok[0], &ti.recorded) || !ParseU64(tok[1], &ti.dropped) ||
+          !ParseU64(tok[2], &ti.capacity)) {
+        return false;
+      }
+      totals.recorded += ti.recorded;
+      totals.dropped += ti.dropped;
+      totals.capacity += ti.capacity;
+      saw_info = true;
+      continue;
+    }
     if (line.rfind("TRACE ", 0) != 0) continue;  // END / noise: skip
 
     // TRACE <seq> <at> <shard> <kind> <session> <key_hash>
@@ -125,8 +163,15 @@ bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out) {
     }
     e.shard = static_cast<std::uint32_t>(shard);
     e.kind = *kind;
-    out->push_back(e);
+    events.push_back(e);
   }
+  out->insert(out->end(), events.begin(), events.end());
+  if (info) {
+    info->recorded += totals.recorded;
+    info->dropped += totals.dropped;
+    info->capacity += totals.capacity;
+  }
+  if (has_info) *has_info = saw_info;
   return true;
 }
 

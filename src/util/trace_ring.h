@@ -132,13 +132,35 @@ class TraceRing {
   alignas(64) std::atomic<std::uint64_t> head_{0};
 };
 
+/// Drain-completeness accounting for a trace source: how many events were
+/// ever recorded, how many are no longer reachable because the ring
+/// wrapped, and the ring capacity. A history with dropped != 0 cannot be
+/// certified (the checker may be missing the very transition that proves
+/// an anomaly).
+struct TraceInfo {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t capacity = 0;
+};
+
 /// Render events as the wire format used by the `trace` verb, one
 /// "TRACE <seq> <at> <shard> <kind> <session> <key_hash>\r\n" line per
 /// event (no trailing END marker; the protocol layer adds it).
 std::string FormatTraceEvents(const std::vector<TraceEvent>& events);
 
-/// Inverse of FormatTraceEvents: parses the TRACE lines (ignoring anything
-/// else, e.g. a trailing END). Returns false on a malformed TRACE line.
-bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out);
+/// The completeness header preceding the TRACE lines on the wire:
+/// "TRACE_INFO <recorded> <dropped> <capacity>\r\n".
+std::string FormatTraceInfo(const TraceInfo& info);
+
+/// Inverse of FormatTraceEvents/FormatTraceInfo: parses the TRACE lines
+/// (ignoring unrecognized lines, e.g. a trailing END). All-or-nothing: on
+/// a malformed TRACE or TRACE_INFO line it returns false and leaves *out
+/// (and *info) untouched, so a truncated drain file can never be half-
+/// ingested as a valid history. When `info`/`has_info` are given,
+/// TRACE_INFO headers are accumulated into *info (summed across multiple
+/// headers, e.g. a file concatenating several drains) and *has_info
+/// reports whether at least one header was present.
+bool ParseTraceEvents(std::string_view text, std::vector<TraceEvent>* out,
+                      TraceInfo* info = nullptr, bool* has_info = nullptr);
 
 }  // namespace iq

@@ -314,7 +314,7 @@ TEST(ShardedFaultTest, BreakerTripsFailsFastAndHealsThroughAProbe) {
   cfg.clock = &clock;
   cfg.down_after_errors = 3;
   cfg.probe_interval = 1000;
-  ShardedBackend router({{"s0", &f0, 1, {}, {}}, {"s1", &s1, 1, {}, {}}}, cfg);
+  ShardedBackend router({{"s0", &f0, 1, {}, {}, {}, {}}, {"s1", &s1, 1, {}, {}, {}, {}}}, cfg);
   std::string k0 = KeyOn(router, 0, "a");
   std::string k1 = KeyOn(router, 1, "b");
   ASSERT_EQ(router.Set(k0, "v0"), StoreResult::kStored);
@@ -365,7 +365,7 @@ TEST(ShardedFaultTest, FailedProbeKeepsTheShardDown) {
   cfg.clock = &clock;
   cfg.down_after_errors = 1;
   cfg.probe_interval = 1000;
-  ShardedBackend router({{"s0", &f0, 1, {}, {}}, {"s1", &s1, 1, {}, {}}}, cfg);
+  ShardedBackend router({{"s0", &f0, 1, {}, {}, {}, {}}, {"s1", &s1, 1, {}, {}, {}, {}}}, cfg);
   std::string k0 = KeyOn(router, 0, "a");
 
   f0.SetDown(true);
@@ -392,7 +392,7 @@ TEST(ShardedFaultTest, CasqlDegradesReadsAndFailsWritesFastOnADownShard) {
   ShardedBackend::Config rcfg;  // real clock: casql back-off sleeps in it
   rcfg.down_after_errors = 1;
   rcfg.probe_interval = kNanosPerMilli;
-  ShardedBackend router({{"s0", &f0, 1, {}, {}}, {"s1", &s1, 1, {}, {}}}, rcfg);
+  ShardedBackend router({{"s0", &f0, 1, {}, {}, {}, {}}, {"s1", &s1, 1, {}, {}, {}, {}}}, rcfg);
   std::string k0 = KeyOn(router, 0, "a");
 
   sql::Database db;

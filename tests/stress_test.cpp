@@ -14,11 +14,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/checker.h"
 #include "core/fault_backend.h"
 #include "core/sharded_backend.h"
 #include "net/channel.h"
@@ -70,6 +72,30 @@ struct Tally {
 };
 
 std::string KeyFor(std::uint32_t i) { return "k" + std::to_string(i % kKeys); }
+
+/// Drain one server's complete lease history (events + TRACE_INFO) for the
+/// offline checker. The test must size trace_capacity so the rings never
+/// wrap — the checker verifies that via the info header and refuses to
+/// certify a wrapped ring.
+check::TraceSource DrainTrace(IQServer& server, const char* name) {
+  check::TraceSource src;
+  src.name = name;
+  src.events = server.TraceSnapshot(std::numeric_limits<std::size_t>::max());
+  src.info = server.TraceInfoTotal();
+  src.has_info = true;
+  return src;
+}
+
+/// End-of-storm lifecycle property: the drained history must replay through
+/// the IQ protocol state machine with zero anomalies and, since every storm
+/// quiesces (all sessions ended, stranded leases swept), zero open leases.
+void ExpectCertifiedHistory(const std::vector<check::TraceSource>& sources) {
+  check::CheckerOptions options;
+  options.require_quiescent = true;
+  check::CheckReport report = check::CheckHistory(sources, {}, options);
+  EXPECT_TRUE(report.certified()) << report.Summary();
+  EXPECT_GT(report.grants, 0u);
+}
 
 /// The command mix runs against the KvsBackend seam so the same worker can
 /// hammer a bare IQServer or a ShardedBackend routing over two transports.
@@ -166,8 +192,11 @@ void Worker(KvsBackend& server, int seed, Tally& out,
 }
 
 TEST(StressTest, StatsBalanceUnderContention) {
+  // Rings sized so the full storm fits: the checker below certifies the
+  // complete lifecycle history, which requires zero drops.
   IQServer server(CacheStore::Config{.shard_count = 8},
-                  IQServer::Config{.lease_lifetime = 0});  // leases never expire
+                  IQServer::Config{.lease_lifetime = 0,  // leases never expire
+                                   .trace_capacity = 1 << 16});
 
   std::vector<Tally> tallies(kThreads);
   std::vector<std::thread> threads;
@@ -221,6 +250,10 @@ TEST(StressTest, StatsBalanceUnderContention) {
   // Every session path above released what it acquired.
   EXPECT_EQ(server.LeaseCount(), 0u);
   EXPECT_EQ(total.tokens_granted, total.iqset_stored + total.iqset_dropped);
+
+  // Lifecycle property: the whole storm's lease history replays cleanly —
+  // no overlapping Q windows, no unmatched ends, nothing left open.
+  ExpectCertifiedHistory({DrainTrace(server, "stress")});
 }
 
 TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
@@ -229,9 +262,11 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
   // Identical shard names give every thread's router the same ring, so all
   // threads agree on key placement and contend on the same leases.
   IQServer local_child(CacheStore::Config{.shard_count = 8},
-                       IQServer::Config{.lease_lifetime = 0});
+                       IQServer::Config{.lease_lifetime = 0,
+                                        .trace_capacity = 1 << 14});
   IQServer tcp_child(CacheStore::Config{.shard_count = 8},
-                     IQServer::Config{.lease_lifetime = 0});
+                     IQServer::Config{.lease_lifetime = 0,
+                                      .trace_capacity = 1 << 14});
   net::TcpServer::Config cfg;
   cfg.workers = 2;
   net::TcpServer tcp(tcp_child, cfg);
@@ -251,8 +286,8 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
       ASSERT_NE(channel, nullptr) << conn_error;
       net::RemoteBackend remote(*channel);
       ShardedBackend router(
-          {{"s0", &local_child, 1, nullptr, nullptr},
-           {"s1", &remote, 1, nullptr, nullptr}});
+          {{"s0", &local_child, 1, nullptr, nullptr, nullptr, nullptr},
+           {"s1", &remote, 1, nullptr, nullptr, nullptr, nullptr}});
       Worker(router, /*seed=*/5150 + i, tallies[i], kShardIters);
     });
   }
@@ -302,6 +337,12 @@ TEST(StressTest, ShardedTwoChildBalanceUnderContention) {
   // The ring really split the work across both children.
   EXPECT_GT(local_child.Stats().commits, 0u);
   EXPECT_GT(tcp_child.Stats().commits, 0u);
+
+  // Lifecycle property over BOTH children's drained histories: each key
+  // lives on exactly one child, so the two-source merge must replay every
+  // key's lifecycle cleanly across the in-process and TCP transports.
+  ExpectCertifiedHistory(
+      {DrainTrace(local_child, "s0"), DrainTrace(tcp_child, "s1")});
 }
 
 TEST(StressTest, AffinityModeBalanceUnderContention) {
@@ -312,7 +353,8 @@ TEST(StressTest, AffinityModeBalanceUnderContention) {
   // client-vs-server counter balance must come out identical to the
   // in-process and shared-mode storms.
   IQServer server(CacheStore::Config{.shard_count = 8},
-                  IQServer::Config{.lease_lifetime = 0});
+                  IQServer::Config{.lease_lifetime = 0,
+                                   .trace_capacity = 1 << 14});
   net::TcpServer::Config cfg;
   cfg.workers = 4;  // 8 shards -> 4 partitions of 2
   cfg.affinity = true;
@@ -362,6 +404,11 @@ TEST(StressTest, AffinityModeBalanceUnderContention) {
             w.requests);
   EXPECT_GT(w.affinity_forwards, 0u);
   tcp.Stop();
+
+  // Affinity execution must leave the same certifiable history as shared
+  // mode: mailbox handoffs and inline fallbacks cannot reorder or drop
+  // lease transitions within any key's owning shard ring.
+  ExpectCertifiedHistory({DrainTrace(server, "affinity")});
 }
 
 TEST(StressTest, FlappingShardTripsHealsAndStrandsNoLeases) {
@@ -372,15 +419,18 @@ TEST(StressTest, FlappingShardTripsHealsAndStrandsNoLeases) {
   // must stay EXACT through every trip and recovery; leases stranded by
   // commits that could not reach the down shard must drain by expiry.
   IQServer s0(CacheStore::Config{.shard_count = 8},
-              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli});
+              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli,
+                               .trace_capacity = 1 << 14});
   IQServer s1(CacheStore::Config{.shard_count = 8},
-              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli});
+              IQServer::Config{.lease_lifetime = 20 * kNanosPerMilli,
+                               .trace_capacity = 1 << 14});
   FaultBackend flappy(s0);
   ShardedBackend::Config rcfg;
   rcfg.down_after_errors = 2;
   rcfg.probe_interval = 200 * kNanosPerMicro;
-  ShardedBackend router({{"s0", &flappy, 1, {}, {}}, {"s1", &s1, 1, {}, {}}},
-                        rcfg);
+  ShardedBackend router(
+      {{"s0", &flappy, 1, {}, {}, {}, {}}, {"s1", &s1, 1, {}, {}, {}, {}}},
+      rcfg);
 
   struct FlapTally {
     std::uint64_t i_granted = 0;
@@ -494,6 +544,11 @@ TEST(StressTest, FlappingShardTripsHealsAndStrandsNoLeases) {
   s1.SweepExpired();
   EXPECT_EQ(s0.LeaseCount(), 0u);
   EXPECT_EQ(s1.LeaseCount(), 0u);
+
+  // Even through trips, heals and expiry-drained strands, the surviving
+  // lease history must replay cleanly: transport errors fail before the
+  // child, so they can never leave a half-recorded lifecycle behind.
+  ExpectCertifiedHistory({DrainTrace(s0, "flappy"), DrainTrace(s1, "s1")});
 }
 
 TEST(StressTest, LoopbackRequestCounterExactUnderThreads) {

@@ -29,10 +29,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <atomic>
+#include <fstream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/oplog.h"
 #include "core/iq_server.h"
 #include "core/sharded_backend.h"
 #include "bg/workload.h"
@@ -74,6 +78,28 @@ struct Options {
   /// Online staleness audit: fraction of reads re-checked against ground
   /// truth. Any detected stale read fails the run (exit 1).
   double audit_rate = 0.0;
+  /// Client-side op log for the offline checker (tools/iqcheck): every
+  /// client-visible read/write/commit/abort is appended here and dumped to
+  /// this file at the end of the run. Empty = off.
+  std::string oplog;
+  /// In-process mode: dump the server's lease trace (TRACE_INFO header +
+  /// TRACE lines, iqcheck --trace format) to this file after the run.
+  std::string trace_out;
+  /// In-process mode: per-shard lease-trace ring capacity. Size it above
+  /// the run's event count or iqcheck will refuse to certify (ring wrap).
+  std::size_t trace_capacity = 1024;
+  /// Remote mode: Zipfian skew (theta) for counter/data key selection;
+  /// 0 = uniform. Hot keys concentrate lease contention for the checker's
+  /// scenario matrix (theta 0.99 ~ YCSB's default skew).
+  double zipf = 0.0;
+  /// Remote mode: write counters via buffered IQDelta + a re-read under
+  /// the session's own Q lease (the own-update visibility probe,
+  /// Section 4.2.2) instead of the QaRead/SaR refresh path.
+  bool rmw_delta = false;
+  /// Remote mode: fraction of write sessions that update TWO counters
+  /// under one session (two Q leases, one commit) — multi-key sessions
+  /// for the checker's scenario matrix.
+  double multikey_rate = 0.0;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -95,9 +121,13 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--db-write-us=N] [--db-commit-us=N]\n"
                "               [--lease-ms=N] [--eager-delete]\n"
                "               [--audit-rate=F]\n"
+               "               [--oplog=FILE] [--trace-out=FILE]\n"
+               "               [--trace-capacity=N]\n"
                "       iqbench --connect=host:port[,host:port,...]\n"
                "               [--threads=N] [--seconds=S] [--mix=PCT]\n"
-               "               [--seed=N] [--timeout-ms=N] [--audit-rate=F]\n");
+               "               [--seed=N] [--timeout-ms=N] [--audit-rate=F]\n"
+               "               [--oplog=FILE] [--zipf=THETA]\n"
+               "               [--rmw=sar|delta] [--multikey-rate=F]\n");
   std::exit(2);
 }
 
@@ -168,6 +198,24 @@ Options Parse(int argc, char** argv) {
       opt.timeout_ms = std::atoi(v);
     } else if (StartsWith(arg, "--audit-rate=", &v)) {
       opt.audit_rate = std::atof(v);
+    } else if (StartsWith(arg, "--oplog=", &v)) {
+      opt.oplog = v;
+    } else if (StartsWith(arg, "--trace-out=", &v)) {
+      opt.trace_out = v;
+    } else if (StartsWith(arg, "--trace-capacity=", &v)) {
+      opt.trace_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (StartsWith(arg, "--zipf=", &v)) {
+      opt.zipf = std::atof(v);
+    } else if (StartsWith(arg, "--rmw=", &v)) {
+      if (std::strcmp(v, "sar") == 0) {
+        opt.rmw_delta = false;
+      } else if (std::strcmp(v, "delta") == 0) {
+        opt.rmw_delta = true;
+      } else {
+        Usage(arg);
+      }
+    } else if (StartsWith(arg, "--multikey-rate=", &v)) {
+      opt.multikey_rate = std::atof(v);
     } else {
       Usage(arg);
     }
@@ -216,7 +264,19 @@ struct RemoteStack {
                           return net::ParseIQStats(
                               net::RemoteCacheClient(*channel).Stats());
                         },
-                        [channel] { return channel->reconnects(); }});
+                        [channel] { return channel->reconnects(); },
+                        [channel](std::size_t max_events) {
+                          auto drain = net::RemoteCacheClient(*channel)
+                                           .TraceWithInfo(max_events);
+                          return drain ? std::move(drain->events)
+                                       : std::vector<TraceEvent>{};
+                        },
+                        [channel] {
+                          auto drain =
+                              net::RemoteCacheClient(*channel).TraceWithInfo(1);
+                          return drain && drain->has_info ? drain->info
+                                                          : TraceInfo{};
+                        }});
     }
     if (endpoints.size() == 1) {
       stack->backend = stack->backends[0].get();
@@ -227,6 +287,14 @@ struct RemoteStack {
     return stack;
   }
 };
+
+/// Op-log append (no-op when log is null). The key is hashed here; value
+/// hashes come pre-computed via check::OpValueHash.
+void LogOp(check::OpLog* log, SessionId session, check::OpKind kind,
+           const std::string& key,
+           std::uint64_t value_hash = check::kNoValueHash) {
+  if (log) log->Record(session, kind, TraceKeyHash(key), value_hash);
+}
 
 /// One increment of a shared counter via the refresh protocol, retried
 /// with exponential backoff across lease rejections AND transport failures
@@ -240,8 +308,15 @@ struct RemoteStack {
 /// under the Q lease (the cache server was restarted and lost the counter)
 /// reseeds the key from it, exactly as a CASQL refresh would recompute the
 /// value from the database.
+///
+/// `use_delta` switches the increment to a buffered IQDelta plus a re-read
+/// under the session's own (still live) Q lease — the own-update
+/// visibility probe: the server must replay the pending delta into the
+/// re-read (Section 4.2.2), and the read_own op record lets iqcheck flag a
+/// pre-delta value reappearing. A KVS miss still reseeds via SaR.
 bool RemoteIncrement(KvsBackend& backend, const std::string& key,
-                     std::atomic<long long>& tally, Nanos deadline, Rng& rng) {
+                     std::atomic<long long>& tally, Nanos deadline, Rng& rng,
+                     bool use_delta = false, check::OpLog* log = nullptr) {
   const Clock& clock = SteadyClock::Instance();
   ExponentialBackoff backoff(50 * kNanosPerMicro, 20 * kNanosPerMilli);
   for (int attempt = 0; clock.Now() < deadline; ++attempt) {
@@ -254,14 +329,47 @@ bool RemoteIncrement(KvsBackend& backend, const std::string& key,
     QaReadReply q = backend.QaRead(key, session);
     if (q.status != QaReadReply::Status::kGranted) {
       backend.Abort(session);
+      LogOp(log, session, check::OpKind::kAbort, key);
       SleepFor(clock, backoff.DelayFor(attempt, rng));
       continue;
+    }
+    LogOp(log, session,
+          q.value ? check::OpKind::kReadHit : check::OpKind::kReadMiss, key,
+          check::OpValueHash(q.value));
+    if (use_delta && q.value) {
+      DeltaOp delta;
+      delta.kind = DeltaOp::Kind::kIncr;
+      delta.amount = 1;
+      if (backend.IQDelta(session, key, delta) != QuarantineResult::kGranted) {
+        backend.Abort(session);
+        LogOp(log, session, check::OpKind::kAbort, key);
+        SleepFor(clock, backoff.DelayFor(attempt, rng));
+        continue;
+      }
+      LogOp(log, session, check::OpKind::kDelta, key);
+      // Re-read under our own live Q lease: same session, so the server
+      // hands back the value with our buffered delta replayed (no grant is
+      // traced — we already hold the lease).
+      QaReadReply own = backend.QaRead(key, session);
+      if (own.status == QaReadReply::Status::kGranted) {
+        LogOp(log, session, check::OpKind::kReadOwn, key,
+              check::OpValueHash(own.value));
+      }
+      // Commit applies the buffered delta. Tally after the send, as the
+      // SaR path does after its ack: the exposure window against a
+      // mid-commit kill is the same sub-microsecond one noted below.
+      backend.Commit(session);
+      tally.fetch_add(1, std::memory_order_relaxed);
+      LogOp(log, session, check::OpKind::kCommit, key);
+      return true;
     }
     // The Q lease serializes writers, so at most one session reseeds a lost
     // counter at a time and concurrent increments still can't be lost.
     long long current =
         q.value ? std::atoll(q.value->c_str()) : tally.load();
     std::string next = std::to_string(current + 1);
+    // Write intent logged BEFORE the install (check/oplog.h soundness rule).
+    LogOp(log, session, check::OpKind::kWrite, key, check::OpValueHash(next));
     if (backend.SaR(key, std::string_view(next), q.token) ==
         StoreResult::kStored) {
       // Tally immediately after the ack: a kill between the ack and this
@@ -269,12 +377,82 @@ bool RemoteIncrement(KvsBackend& backend, const std::string& key,
       // sub-microsecond against a kill cadence of seconds.
       tally.fetch_add(1, std::memory_order_relaxed);
       backend.Commit(session);
+      LogOp(log, session, check::OpKind::kCommit, key);
       return true;
     }
     // SaR not acknowledged (lease expired/evicted, or the connection
     // dropped): the store did not commit, so it must not be counted —
     // release the session and retry.
     backend.Abort(session);
+    LogOp(log, session, check::OpKind::kAbort, key);
+    SleepFor(clock, backoff.DelayFor(attempt, rng));
+  }
+  return false;
+}
+
+/// One two-counter write session: increment `key_a` AND `key_b` under a
+/// single session (two Q leases, one commit) — the multi-key leg of the
+/// checker's scenario matrix. SaR stores-and-releases immediately, so each
+/// counter is tallied after its own ack; an abort after the first ack
+/// cannot undo it and the balance invariant still holds.
+bool RemoteTransfer(KvsBackend& backend, const std::string& key_a,
+                    std::atomic<long long>& tally_a, const std::string& key_b,
+                    std::atomic<long long>& tally_b, Nanos deadline, Rng& rng,
+                    check::OpLog* log) {
+  const Clock& clock = SteadyClock::Instance();
+  ExponentialBackoff backoff(50 * kNanosPerMicro, 20 * kNanosPerMilli);
+  for (int attempt = 0; clock.Now() < deadline; ++attempt) {
+    SessionId session = backend.GenID();
+    if (session == 0) {
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
+      continue;
+    }
+    QaReadReply qa = backend.QaRead(key_a, session);
+    if (qa.status != QaReadReply::Status::kGranted) {
+      backend.Abort(session);
+      LogOp(log, session, check::OpKind::kAbort, key_a);
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
+      continue;
+    }
+    LogOp(log, session,
+          qa.value ? check::OpKind::kReadHit : check::OpKind::kReadMiss,
+          key_a, check::OpValueHash(qa.value));
+    QaReadReply qb = backend.QaRead(key_b, session);
+    if (qb.status != QaReadReply::Status::kGranted) {
+      // Second-lease rejection: abort releases the first lease too.
+      backend.Abort(session);
+      LogOp(log, session, check::OpKind::kAbort, key_b);
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
+      continue;
+    }
+    LogOp(log, session,
+          qb.value ? check::OpKind::kReadHit : check::OpKind::kReadMiss,
+          key_b, check::OpValueHash(qb.value));
+    std::string next_a = std::to_string(
+        (qa.value ? std::atoll(qa.value->c_str()) : tally_a.load()) + 1);
+    LogOp(log, session, check::OpKind::kWrite, key_a,
+          check::OpValueHash(next_a));
+    if (backend.SaR(key_a, std::string_view(next_a), qa.token) !=
+        StoreResult::kStored) {
+      backend.Abort(session);
+      LogOp(log, session, check::OpKind::kAbort, key_a);
+      SleepFor(clock, backoff.DelayFor(attempt, rng));
+      continue;
+    }
+    tally_a.fetch_add(1, std::memory_order_relaxed);
+    std::string next_b = std::to_string(
+        (qb.value ? std::atoll(qb.value->c_str()) : tally_b.load()) + 1);
+    LogOp(log, session, check::OpKind::kWrite, key_b,
+          check::OpValueHash(next_b));
+    if (backend.SaR(key_b, std::string_view(next_b), qb.token) ==
+        StoreResult::kStored) {
+      tally_b.fetch_add(1, std::memory_order_relaxed);
+      backend.Commit(session);
+      LogOp(log, session, check::OpKind::kCommit, key_b);
+      return true;
+    }
+    backend.Abort(session);
+    LogOp(log, session, check::OpKind::kAbort, key_b);
     SleepFor(clock, backoff.DelayFor(attempt, rng));
   }
   return false;
@@ -291,19 +469,25 @@ enum class AuditVerdict { kOk, kStale, kSkip };
 /// invented an update. A KVS miss means a restarted shard dropped the
 /// counter (reseeded by the next increment): no verdict.
 AuditVerdict AuditRemoteCounter(KvsBackend& backend, const std::string& key,
-                                std::atomic<long long>& tally, int threads) {
+                                std::atomic<long long>& tally, int threads,
+                                check::OpLog* log) {
   SessionId session = backend.GenID();
   if (session == 0) return AuditVerdict::kSkip;
   long long t1 = tally.load();
   QaReadReply q = backend.QaRead(key, session);
   if (q.status != QaReadReply::Status::kGranted) {
     backend.Abort(session);
+    LogOp(log, session, check::OpKind::kAbort, key);
     return AuditVerdict::kSkip;
   }
+  LogOp(log, session,
+        q.value ? check::OpKind::kReadHit : check::OpKind::kReadMiss, key,
+        check::OpValueHash(q.value));
   std::optional<long long> got;
   if (q.value) got = std::atoll(q.value->c_str());
   backend.SaR(key, std::nullopt, q.token);  // release, value left in place
   backend.Commit(session);
+  LogOp(log, session, check::OpKind::kCommit, key);
   if (!got) return AuditVerdict::kSkip;
   long long t2 = tally.load();
   return (*got >= t1 && *got <= t2 + threads) ? AuditVerdict::kOk
@@ -312,9 +496,14 @@ AuditVerdict AuditRemoteCounter(KvsBackend& backend, const std::string& key,
 
 /// Data keys are never written after seeding, so any hit must return the
 /// seeded constant; a miss is a restarted shard (no verdict).
-AuditVerdict AuditRemoteDataKey(KvsBackend& backend, const std::string& key) {
+AuditVerdict AuditRemoteDataKey(KvsBackend& backend, const std::string& key,
+                                check::OpLog* log) {
   auto item = backend.Get(key);
-  if (!item) return AuditVerdict::kSkip;
+  if (!item) {
+    LogOp(log, 0, check::OpKind::kReadMiss, key);
+    return AuditVerdict::kSkip;
+  }
+  LogOp(log, 0, check::OpKind::kReadHit, key, check::OpValueHash(item->value));
   return item->value == std::string(100, 'x') ? AuditVerdict::kOk
                                               : AuditVerdict::kStale;
 }
@@ -333,9 +522,17 @@ int RunRemote(const Options& opt) {
   std::printf(" (%zu shard%s) | %d threads, %.1fs, %.1f%% writes\n",
               endpoints.size(), endpoints.size() == 1 ? "" : "s", opt.threads,
               opt.seconds, opt.mix);
+  if (opt.zipf > 0 || opt.rmw_delta || opt.multikey_rate > 0) {
+    std::printf("iqbench: zipf=%.2f rmw=%s multikey-rate=%.2f\n", opt.zipf,
+                opt.rmw_delta ? "delta" : "sar", opt.multikey_rate);
+  }
+
+  check::OpLog op_log;
+  check::OpLog* log = opt.oplog.empty() ? nullptr : &op_log;
 
   // Seed the keyspace through the routing stack: shared counters for the
-  // write protocol, data keys for the read path.
+  // write protocol, data keys for the read path. Seed records are logged
+  // before the install, like write intents.
   {
     auto setup = RemoteStack::Connect(endpoints, opt.timeout_ms, &error);
     if (!setup) {
@@ -343,12 +540,34 @@ int RunRemote(const Options& opt) {
       return 1;
     }
     for (int i = 0; i < kRemoteCounters; ++i) {
-      setup->backend->Set("ctr:" + std::to_string(i), "0");
+      std::string key = "ctr:" + std::to_string(i);
+      LogOp(log, 0, check::OpKind::kSeed, key, check::OpValueHash("0"));
+      setup->backend->Set(key, "0");
     }
     for (int i = 0; i < kRemoteDataKeys; ++i) {
-      setup->backend->Set("data:" + std::to_string(i), std::string(100, 'x'));
+      std::string key = "data:" + std::to_string(i);
+      LogOp(log, 0, check::OpKind::kSeed, key,
+            check::OpValueHash(std::string(100, 'x')));
+      setup->backend->Set(key, std::string(100, 'x'));
     }
   }
+
+  // Key pickers: Zipfian skew (scrambled so hot ids spread over the space)
+  // concentrates lease contention on a few hot counters. The generators
+  // are stateless after construction and shared across threads.
+  std::optional<ScrambledZipfian> ctr_zipf, data_zipf;
+  if (opt.zipf > 0) {
+    ctr_zipf.emplace(kRemoteCounters, opt.zipf);
+    data_zipf.emplace(kRemoteDataKeys, opt.zipf);
+  }
+  auto pick_ctr = [&](Rng& rng) {
+    return static_cast<int>(ctr_zipf ? ctr_zipf->Next(rng)
+                                     : rng.NextUint64(kRemoteCounters));
+  };
+  auto pick_data = [&](Rng& rng) {
+    return static_cast<int>(data_zipf ? data_zipf->Next(rng)
+                                      : rng.NextUint64(kRemoteDataKeys));
+  };
 
   std::vector<std::atomic<long long>> committed(kRemoteCounters);
   for (auto& c : committed) c.store(0);
@@ -389,22 +608,32 @@ int RunRemote(const Options& opt) {
       while (clock.Now() < deadline) {
         Nanos start = clock.Now();
         if (rng.NextUint64(10000) < static_cast<std::uint64_t>(opt.mix * 100)) {
-          int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
+          int idx = pick_ctr(rng);
           // A false return means the run deadline arrived while the
           // counter's shard was unreachable — not an error: the increment
           // never committed, so it is not tallied and the balance holds.
-          RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx),
-                          committed[idx], deadline, rng);
+          if (opt.multikey_rate > 0 && rng.NextBool(opt.multikey_rate)) {
+            int jdx = pick_ctr(rng);
+            while (jdx == idx) jdx = static_cast<int>(rng.NextUint64(kRemoteCounters));
+            // Order the keys so contending transfers always acquire in the
+            // same direction (no circular rejection livelock).
+            if (jdx < idx) std::swap(idx, jdx);
+            RemoteTransfer(*stack->backend, "ctr:" + std::to_string(idx),
+                           committed[idx], "ctr:" + std::to_string(jdx),
+                           committed[jdx], deadline, rng, log);
+          } else {
+            RemoteIncrement(*stack->backend, "ctr:" + std::to_string(idx),
+                            committed[idx], deadline, rng, opt.rmw_delta, log);
+          }
         } else if (opt.audit_rate > 0 && rng.NextBool(opt.audit_rate)) {
           // Audit instead of a plain read: one shared counter under a Q
           // lease and one never-written data key.
-          int idx = static_cast<int>(rng.NextUint64(kRemoteCounters));
+          int idx = pick_ctr(rng);
           AuditVerdict v =
               AuditRemoteCounter(*stack->backend, "ctr:" + std::to_string(idx),
-                                 committed[idx], opt.threads);
+                                 committed[idx], opt.threads, log);
           AuditVerdict d = AuditRemoteDataKey(
-              *stack->backend,
-              "data:" + std::to_string(rng.NextUint64(kRemoteDataKeys)));
+              *stack->backend, "data:" + std::to_string(pick_data(rng)), log);
           for (AuditVerdict verdict : {v, d}) {
             switch (verdict) {
               case AuditVerdict::kOk: ++audit_samples; break;
@@ -418,14 +647,27 @@ int RunRemote(const Options& opt) {
         } else if (multi) {
           std::vector<std::string> keys;
           for (int k = 0; k < 3; ++k) {
-            keys.push_back("data:" +
-                           std::to_string(rng.NextUint64(kRemoteDataKeys)));
+            keys.push_back("data:" + std::to_string(pick_data(rng)));
           }
-          multi->MultiGet(keys);
+          auto items = multi->MultiGet(keys);
+          for (std::size_t k = 0; log && k < items.size(); ++k) {
+            if (items[k]) {
+              LogOp(log, 0, check::OpKind::kReadHit, keys[k],
+                    check::OpValueHash(items[k]->value));
+            } else {
+              LogOp(log, 0, check::OpKind::kReadMiss, keys[k]);
+            }
+          }
         } else {
           for (int k = 0; k < 3; ++k) {
-            stack->backend->Get("data:" +
-                                std::to_string(rng.NextUint64(kRemoteDataKeys)));
+            std::string key = "data:" + std::to_string(pick_data(rng));
+            auto item = stack->backend->Get(key);
+            if (item) {
+              LogOp(log, 0, check::OpKind::kReadHit, key,
+                    check::OpValueHash(item->value));
+            } else {
+              LogOp(log, 0, check::OpKind::kReadMiss, key);
+            }
           }
         }
         latencies[t].Record(clock.Now() - start);
@@ -471,13 +713,17 @@ int RunRemote(const Options& opt) {
   for (int i = 0; i < kRemoteCounters; ++i) {
     std::string key = "ctr:" + std::to_string(i);
     if (!RemoteIncrement(*check->backend, key, committed[i], settle_deadline,
-                         settle_rng)) {
+                         settle_rng, /*use_delta=*/false, log)) {
       std::fprintf(stderr, "iqbench: %s unreachable during settle pass\n",
                    key.c_str());
       balanced = false;
       continue;
     }
     auto item = check->backend->Get(key);
+    if (item) {
+      LogOp(log, 0, check::OpKind::kReadHit, key,
+            check::OpValueHash(item->value));
+    }
     long long expect = committed[i].load();
     long long got = item ? std::atoll(item->value.c_str()) : -1;
     total_commits += expect;
@@ -517,6 +763,11 @@ int RunRemote(const Options& opt) {
     std::printf("\ncache server:\n%s",
                 net::RemoteCacheClient(check->pool->channel(0)).Stats().c_str());
   }
+  if (log && !op_log.DumpToFile(opt.oplog)) {
+    std::fprintf(stderr, "iqbench: cannot write op log '%s'\n",
+                 opt.oplog.c_str());
+    return 1;
+  }
   return balanced && audit_stale.load() == 0 ? 0 : 1;
 }
 
@@ -554,13 +805,16 @@ int main(int argc, char** argv) {
   IQServer::Config server_cfg;
   server_cfg.lease_lifetime = opt.lease_lifetime;
   server_cfg.deferred_delete = opt.deferred_delete;
+  server_cfg.trace_capacity = opt.trace_capacity;
   IQServer server(CacheStore::Config{}, server_cfg);
 
+  check::OpLog op_log;
   casql::CasqlConfig cfg;
   cfg.technique = opt.technique;
   cfg.consistency = opt.consistency;
   cfg.placement = opt.placement;
   cfg.audit_rate = opt.audit_rate;
+  if (!opt.oplog.empty()) cfg.op_log = &op_log;
   casql::CasqlSystem system(db, server, cfg);
 
   if (opt.warm) {
@@ -608,6 +862,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(audit.skipped));
   }
   std::printf("\ncache server:\n%s", net::FormatStats(server).c_str());
+  // Artifacts for the offline checker: the client op log and the server's
+  // lease trace with its completeness header (iqcheck --oplog / --trace).
+  if (!opt.oplog.empty() && !op_log.DumpToFile(opt.oplog)) {
+    std::fprintf(stderr, "iqbench: cannot write op log '%s'\n",
+                 opt.oplog.c_str());
+    return 1;
+  }
+  if (!opt.trace_out.empty()) {
+    std::string text = FormatTraceInfo(server.TraceInfoTotal());
+    text += FormatTraceEvents(
+        server.TraceSnapshot(std::numeric_limits<std::size_t>::max()));
+    std::ofstream out(opt.trace_out, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "iqbench: cannot write trace '%s'\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+  }
   // In IQ mode the audit has zero false positives, so any detection is a
   // real consistency bug: fail the run. Baselines are expected to be stale
   // (that is the paper's point), so they report without failing.

@@ -71,6 +71,7 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "                [--sweep-ms=N] [--trace-capacity=N]\n"
                "                [--trace-dump[=N]] [--opt-value-cap=N]\n"
                "                [--no-opt-reads]\n"
+               "                [--mutate=own-update|overlap-q] (TEST ONLY)\n"
                "(--workers defaults to the hardware concurrency and must be "
                ">= 1)\n");
   std::exit(2);
@@ -122,6 +123,17 @@ int main(int argc, char** argv) {
       trace_dump = 512;
     } else if (StartsWith(arg, "--trace-dump=", &v)) {
       trace_dump = static_cast<std::size_t>(std::atoll(v));
+    } else if (StartsWith(arg, "--mutate=", &v)) {
+      // Deliberately re-introduce a historical consistency bug (TEST ONLY;
+      // see IQServer::Config). CI runs iqcheck against a mutated server to
+      // prove the checker actually catches these.
+      if (std::strcmp(v, "own-update") == 0) {
+        server_cfg.mutate_own_update_invisible = true;
+      } else if (std::strcmp(v, "overlap-q") == 0) {
+        server_cfg.mutate_overlap_q = true;
+      } else {
+        Usage(arg);
+      }
     } else {
       Usage(arg);
     }
@@ -176,7 +188,10 @@ int main(int argc, char** argv) {
   tcp.Stop();
   std::printf("iqcached: shutting down\n%s", stats.c_str());
   if (trace_dump > 0) {
-    std::printf("iqcached: lease trace (newest %zu)\n%s", trace_dump,
+    // TRACE_INFO first, as on the wire, so a captured dump is iqcheck
+    // --trace ingestible (and shows whether the ring wrapped).
+    std::printf("iqcached: lease trace (newest %zu)\n%s%s", trace_dump,
+                FormatTraceInfo(server.TraceInfoTotal()).c_str(),
                 FormatTraceEvents(server.TraceSnapshot(trace_dump)).c_str());
   }
   return 0;
