@@ -85,7 +85,8 @@ std::optional<std::string> CasqlConnection::ComputeFresh(
 
 void CasqlConnection::MaybeAudit(const std::string& key,
                                  const std::optional<std::string>& observed,
-                                 const ComputeFn& compute) {
+                                 const ComputeFn& compute, bool near_hit,
+                                 Nanos near_remaining) {
   const CasqlConfig& cfg = system_.config_;
   if (cfg.audit_rate <= 0 || !audit_rng_.NextBool(cfg.audit_rate)) return;
   if (cfg.consistency == Consistency::kIQ) {
@@ -112,6 +113,18 @@ void CasqlConnection::MaybeAudit(const std::string& key,
     bool stale = current && (!truth || *truth != *current);
     session_->SaR(key, std::nullopt);  // release, leave the value in place
     system_.audit_samples_.fetch_add(1, std::memory_order_relaxed);
+    if (near_hit && observed && (!truth || *truth != *observed)) {
+      // A hit served from the client's near cache may trail the serialized
+      // ground truth — that is the validity-interval contract working as
+      // designed, but ONLY while the entry is inside its interval. The near
+      // cache never serves expired entries, so near_remaining > 0 always
+      // holds here; a violation of that invariant is real staleness.
+      if (near_remaining > 0) {
+        system_.audit_bounded_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stale = true;
+      }
+    }
     if (stale) {
       system_.stale_reads_detected_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -175,7 +188,7 @@ ReadOutcome CasqlConnection::ReadLeased(const std::string& key,
       out.hit = true;
       out.value = std::move(got.value);
       LogOp(check::OpKind::kReadHit, key, out.value);
-      MaybeAudit(key, out.value, compute);
+      MaybeAudit(key, out.value, compute, got.near_hit, got.near_remaining);
       return out;
     case ClientGetResult::Status::kMissRecompute:
       LogKeyOp(check::OpKind::kReadMiss, key);
@@ -225,6 +238,11 @@ WriteOutcome CasqlConnection::WriteBaseline(const WriteSpec& spec) {
   WriteOutcome out;
   KvsBackend& store = system_.backend_;
   const CasqlConfig& cfg = system_.config_;
+  // Baseline restarts only ever call Backoff() — never Commit()/Abort() on
+  // the IQ session — so without an explicit reset the escalation counter
+  // leaks across Write() calls and every later conflict waits the cap
+  // delay (the "stuck backoff" bug).
+  session_->ResetBackoff();
   for (int attempt = 0; attempt < cfg.max_session_restarts; ++attempt) {
     auto txn = system_.db_.Begin();
     bool ok = spec.body(*txn);

@@ -77,6 +77,11 @@ struct AuditStats {
   std::uint64_t stale_reads_detected = 0; // audited hits that mismatched
   std::uint64_t skipped = 0;              // audits abandoned (Q conflict /
                                           // transport error)
+  std::uint64_t bounded = 0;              // near-cache hits that trailed the
+                                          // serialized truth while still
+                                          // inside their granted validity
+                                          // interval (allowed by design,
+                                          // DESIGN.md §4.10) — not stale
 };
 
 /// One impacted key in a write session.
@@ -156,9 +161,15 @@ class CasqlConnection {
   /// RDBMS ground truth for a key that just hit in the KVS and bump the
   /// system-wide AuditStats. `observed` is the hit value handed to the
   /// application (the comparand in the lease-free baseline audit).
+  /// `near_hit`/`near_remaining` describe a hit served from the client's
+  /// near cache: such a hit may legitimately trail the serialized ground
+  /// truth, but only while inside its granted validity interval — a
+  /// mismatch with near_remaining > 0 counts as `bounded`, one without is
+  /// a real staleness violation.
   void MaybeAudit(const std::string& key,
                   const std::optional<std::string>& observed,
-                  const ComputeFn& compute);
+                  const ComputeFn& compute, bool near_hit = false,
+                  Nanos near_remaining = 0);
 
   /// Op-log helpers (no-ops when CasqlConfig::op_log is null).
   void LogOp(check::OpKind kind, std::string_view key,
@@ -182,6 +193,9 @@ class CasqlSystem {
   sql::Database& db() { return db_; }
   KvsBackend& backend() { return backend_; }
   const CasqlConfig& config() const { return config_; }
+  /// The shared IQ client behind every connection's session (backoff
+  /// policy, process-wide near cache).
+  IQClient& client() { return client_; }
 
   /// Snapshot of the staleness-auditor tally across all connections.
   AuditStats audit_stats() const {
@@ -190,6 +204,7 @@ class CasqlSystem {
     s.stale_reads_detected =
         stale_reads_detected_.load(std::memory_order_relaxed);
     s.skipped = audit_skipped_.load(std::memory_order_relaxed);
+    s.bounded = audit_bounded_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -204,6 +219,7 @@ class CasqlSystem {
   std::atomic<std::uint64_t> audit_samples_{0};
   std::atomic<std::uint64_t> stale_reads_detected_{0};
   std::atomic<std::uint64_t> audit_skipped_{0};
+  std::atomic<std::uint64_t> audit_bounded_{0};
 };
 
 }  // namespace iq::casql

@@ -318,8 +318,12 @@ class HistoryChecker {
         }
         case OpKind::kCommit:
         case OpKind::kAbort:
+        case OpKind::kTransportError:
           // Server session ids are re-used across logical sessions within
-          // one connection; own-update tracking resets with each one.
+          // one connection; own-update tracking resets with each one. A
+          // transport error ends the logical session the same way — the
+          // surviving shards' traces account for its leases (expiry), so
+          // fault-injection histories can be joined instead of excluded.
           sessions_.erase(r.session);
           break;
       }

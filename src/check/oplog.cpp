@@ -8,8 +8,9 @@ namespace {
 
 /// One row per OpKind, indexed by the enum value.
 constexpr const char* kOpKindNames[kOpKindCount] = {
-    "seed",     "write",   "delta",    "inval",  "read_hit",
+    "seed",     "write",     "delta",    "inval",  "read_hit",
     "read_db",  "read_miss", "read_own", "commit", "abort",
+    "transport_error",
 };
 
 bool ParseU64(std::string_view v, std::uint64_t* out) {

@@ -51,9 +51,14 @@ enum class OpKind : std::uint8_t {
               // seeing its own update (Section 4.2.2)
   kCommit,    // logical session committed (key/value fields are 0)
   kAbort,     // logical session aborted
+  kTransportError,  // a transport failure ended the logical session (shard
+                    // down, connection lost); the session's server-side
+                    // fate is unknown, so the checker treats this as a
+                    // session end — it lets fault-injection runs join
+                    // surviving-shard traces instead of excluding them
 };
 inline constexpr std::size_t kOpKindCount =
-    static_cast<std::size_t>(OpKind::kAbort) + 1;
+    static_cast<std::size_t>(OpKind::kTransportError) + 1;
 
 const char* ToString(OpKind k);
 std::optional<OpKind> ParseOpKind(std::string_view name);

@@ -10,6 +10,10 @@ IQClient::IQClient(KvsBackend& backend, Config config)
   } else {
     backoff_ = std::make_unique<FixedBackoff>(config_.backoff_base);
   }
+  if (config_.near_capacity > 0) {
+    near_ = std::make_unique<NearCache>(config_.near_capacity,
+                                        backend_.clock());
+  }
 }
 
 IQClient::IQClient(KvsBackend& backend) : IQClient(backend, Config{}) {}
@@ -38,11 +42,40 @@ bool IQSession::EnsureId() {
   return id_ != 0;
 }
 
+void IQSession::NearInvalidate(std::string_view key) {
+  NearCache* near = client_.near_cache();
+  if (near == nullptr) return;
+  std::string skey(key);
+  near->Invalidate(skey);
+  near_written_.insert(std::move(skey));
+}
+
 ClientGetResult IQSession::Get(std::string_view key, int max_retries) {
+  NearCache* near = client_.near_cache();
+  if (near != nullptr) {
+    // Zero round trips: a locally valid entry is served straight from the
+    // near cache. Entries self-invalidate past their granted interval, so
+    // staleness stays within the server's bound (DESIGN.md §4.10).
+    if (auto hit = near->Get(std::string(key))) {
+      return {ClientGetResult::Status::kHit, std::move(hit->value), true,
+              hit->remaining};
+    }
+  }
+  // Re-mint a session id minted during an outage before issuing IQget: an
+  // I lease granted under session 0 would be orphaned once the lazy
+  // re-mint (via a later write verb) switches ids, leaving Commit/Abort
+  // unable to release it.
+  if (!EnsureId()) {
+    ++stats_.transport_errors;
+    return {ClientGetResult::Status::kMissNoInstall, {}};
+  }
   for (int attempt = 0; attempt < max_retries; ++attempt) {
     GetReply reply = client_.backend_.IQget(key, id_);
     switch (reply.status) {
       case GetReply::Status::kHit:
+        if (near != nullptr && reply.validity > 0) {
+          near->Insert(std::string(key), reply.value, reply.validity);
+        }
         return {ClientGetResult::Status::kHit, std::move(reply.value)};
       case GetReply::Status::kMissGrantedI:
         i_tokens_[std::string(key)] = reply.token;
@@ -69,11 +102,18 @@ ClientGetResult IQSession::Get(std::string_view key, int max_retries) {
 void IQSession::Put(std::string_view key, std::string_view value) {
   auto it = i_tokens_.find(std::string(key));
   if (it == i_tokens_.end()) return;  // no lease: nothing to install
+  // The freshly computed value supersedes whatever the near cache holds;
+  // it gains no validity of its own (grants only come with IQget hits).
+  NearInvalidate(key);
   client_.backend_.IQset(key, value, it->second);
   i_tokens_.erase(it);
 }
 
 ClientQResult IQSession::Quarantine(std::string_view key) {
+  // Write-your-own-reads within this client: drop the local entry before
+  // the quarantine lands so no later Get of this process serves the
+  // soon-to-be-deleted value locally.
+  NearInvalidate(key);
   if (!EnsureId()) {
     ++stats_.transport_errors;
     return ClientQResult::kTransportError;
@@ -93,6 +133,7 @@ ClientQResult IQSession::Quarantine(std::string_view key) {
 
 ClientQResult IQSession::QaRead(std::string_view key,
                                 std::optional<std::string>& value) {
+  NearInvalidate(key);
   if (!EnsureId()) {
     ++stats_.transport_errors;
     return ClientQResult::kTransportError;
@@ -115,11 +156,13 @@ void IQSession::SaR(std::string_view key,
                     std::optional<std::string_view> v_new) {
   auto it = q_tokens_.find(std::string(key));
   if (it == q_tokens_.end()) return;
+  NearInvalidate(key);
   client_.backend_.SaR(key, v_new, it->second);
   q_tokens_.erase(it);
 }
 
 ClientQResult IQSession::Delta(std::string_view key, DeltaOp delta) {
+  NearInvalidate(key);
   if (!EnsureId()) {
     ++stats_.transport_errors;
     return ClientQResult::kTransportError;
@@ -151,6 +194,13 @@ ClientQResult IQSession::Decr(std::string_view key, std::uint64_t amount) {
 
 void IQSession::Commit() {
   client_.backend_.Commit(id_);
+  // Re-invalidate everything this session wrote: a concurrent Get in this
+  // process may have re-populated an entry between the write verb's eager
+  // invalidation and the commit taking effect.
+  if (NearCache* near = client_.near_cache()) {
+    for (const std::string& key : near_written_) near->Invalidate(key);
+  }
+  near_written_.clear();
   i_tokens_.clear();
   q_tokens_.clear();
   backoff_attempt_ = 0;
@@ -158,6 +208,10 @@ void IQSession::Commit() {
 
 void IQSession::Abort() {
   client_.backend_.Abort(id_);
+  if (NearCache* near = client_.near_cache()) {
+    for (const std::string& key : near_written_) near->Invalidate(key);
+  }
+  near_written_.clear();
   i_tokens_.clear();
   q_tokens_.clear();
   backoff_attempt_ = 0;

@@ -20,8 +20,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/kvs_backend.h"
+#include "core/near_cache.h"
 #include "util/backoff.h"
 #include "util/rng.h"
 
@@ -37,6 +39,12 @@ struct ClientGetResult {
   };
   Status status;
   std::string value;
+  /// kHit only: served from the client's near cache, zero round trips.
+  bool near_hit = false;
+  /// near_hit only: how much of the granted validity interval remained at
+  /// serve time (> 0 — expired entries are never served). Lets the casql
+  /// auditor assert an observed-stale near hit is within its interval.
+  Nanos near_remaining = 0;
 };
 
 /// Client-side view of a quarantine request.
@@ -120,6 +128,16 @@ class IQSession {
   /// so repeated calls wait longer. Reset by Commit/Abort.
   void Backoff();
 
+  /// Reset the back-off escalation to base delay. Commit/Abort do this
+  /// implicitly; callers that recycle a session across logical restarts
+  /// without either (e.g. a baseline write loop that only ever calls
+  /// Backoff()) must reset explicitly, or the counter escalates forever
+  /// and every later conflict waits the cap delay.
+  void ResetBackoff() { backoff_attempt_ = 0; }
+
+  /// Current back-off escalation level (0 = next Backoff waits base delay).
+  int backoff_attempt() const { return backoff_attempt_; }
+
   /// Relinquish a lease held on one key without applying anything (e.g. an
   /// I lease whose recompute found no row to cache).
   void DropLease(std::string_view key);
@@ -133,12 +151,20 @@ class IQSession {
   /// while the backend stays unreachable.
   bool EnsureId();
 
+  /// Eagerly drop `key` from the client's near cache (write-your-own-reads
+  /// within this client) and remember it so Commit/Abort re-invalidate —
+  /// a racing Get of another session could re-populate the entry between
+  /// the verb and the commit.
+  void NearInvalidate(std::string_view key);
+
   IQClient& client_;
   SessionId id_;
   /// I-lease tokens held for keys read via Get().
   std::unordered_map<std::string, LeaseToken> i_tokens_;
   /// Q(refresh) tokens held via QaRead.
   std::unordered_map<std::string, LeaseToken> q_tokens_;
+  /// Keys this session wrote (near-cache re-invalidation at Commit/Abort).
+  std::unordered_set<std::string> near_written_;
   int backoff_attempt_ = 0;
   SessionStats stats_;
   Rng rng_;
@@ -153,6 +179,11 @@ class IQClient {
     Nanos backoff_cap = 10 * kNanosPerMilli;
     /// false selects FixedBackoff(backoff_base) (the A3 ablation).
     bool exponential_backoff = true;
+    /// Near-cache entry capacity (DESIGN.md §4.10). 0 = no near cache (the
+    /// default). Entries are only ever stored when the server grants a
+    /// validity interval with a hit, so enabling this against a server with
+    /// near_validity == 0 is a harmless no-op.
+    std::size_t near_capacity = 0;
     std::uint64_t seed = 42;
   };
 
@@ -160,6 +191,10 @@ class IQClient {
   explicit IQClient(KvsBackend& backend);
 
   KvsBackend& backend() { return backend_; }
+
+  /// The client-process near cache shared by every session of this client;
+  /// nullptr when Config::near_capacity == 0.
+  NearCache* near_cache() { return near_.get(); }
 
   std::unique_ptr<IQSession> NewSession();
 
@@ -169,6 +204,7 @@ class IQClient {
   KvsBackend& backend_;
   Config config_;
   std::unique_ptr<BackoffPolicy> backoff_;
+  std::unique_ptr<NearCache> near_;
   std::mutex rng_mu_;
   Rng seed_rng_;
 };

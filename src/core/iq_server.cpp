@@ -74,6 +74,25 @@ IQServer::IQServer(CacheStore::Config store_config, Config config)
           std::make_unique<TraceRing>(config_.trace_capacity));
     }
   }
+  if (config_.near_validity > 0) near_horizons_.resize(store_.shard_count());
+}
+
+void IQServer::RecordNearGrant(const CacheStore::ShardGuard& g,
+                               const std::string& key, const LazyNow& now) {
+  Nanos& horizon = near_horizons_[g.shard_index()][key];
+  horizon = std::max(horizon, now() + config_.near_validity);
+  StatsFor(g).near_grants.fetch_add(1, std::memory_order_relaxed);
+}
+
+Nanos IQServer::TakeNearHorizon(const CacheStore::ShardGuard& g,
+                                const std::string& key) {
+  if (near_horizons_.empty()) return 0;
+  auto& horizons = near_horizons_[g.shard_index()];
+  auto it = horizons.find(key);
+  if (it == horizons.end()) return 0;
+  const Nanos horizon = it->second;
+  horizons.erase(it);
+  return horizon;
 }
 
 IQServer::IQServer() : IQServer(CacheStore::Config{}, Config{}) {}
@@ -83,6 +102,17 @@ bool IQServer::MaybeExpire(const CacheStore::ShardGuard& g,
   LeaseEntry* entry = leases_.Find(g.shard_index(), key);
   if (entry == nullptr || !LeaseTable::Expired(*entry, now())) {
     return false;
+  }
+  if (entry->kind == LeaseKind::kQInvalidate && entry->pending_delete &&
+      entry->inv_holders.empty()) {
+    // Silent holdover reclaim (DESIGN.md §4.10): every holder's commit or
+    // abort was already traced and counted — this entry only existed to
+    // keep the committed delete from taking effect before the granted
+    // near-cache validity intervals lapsed. No trace event, no expiry
+    // counters: to the lease history this session ended at its commit.
+    store_.DeleteLocked(g, key);
+    leases_.Erase(g.shard_index(), key);
+    return true;
   }
   // An expired Q lease deletes the key-value pair: the lease holder may be
   // a failed application node mid-session, and a deleted key is always safe
@@ -113,8 +143,10 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
   // conservative: any lease anywhere in the shard sends us to the locked
   // path, which also preserves own-update visibility (a session that holds
   // a lease on this key observes its own grant in program order, so the
-  // count it reads here is nonzero).
-  if (store_.optimistic_enabled()) {
+  // count it reads here is nonzero). Disabled while near-cache validity
+  // grants are on: every hit must record its grant horizon under the shard
+  // lock so QaReg can hold the Q until the newest grant lapses.
+  if (store_.optimistic_enabled() && config_.near_validity == 0) {
     const std::uint64_t h = CacheStore::HashKey(key);
     if (leases_.ShardSizeRelaxed(store_.ShardIndexForHash(h)) == 0) {
       if (auto item = store_.OptimisticGet(key, h)) {
@@ -178,7 +210,19 @@ GetReply IQServer::IQget(std::string_view key, SessionId session) {
   }
 
   auto item = store_.GetLocked(g, key);
-  if (item) return {GetReply::Status::kHit, std::move(item->value), 0};
+  if (item) {
+    GetReply reply{GetReply::Status::kHit, std::move(item->value), 0};
+    if (config_.near_validity > 0) {
+      // Clean hit (no lease entry on the key): grant a validity interval
+      // so the caller may serve this value from its near cache without
+      // further round trips. Hits under a live lease (deferred delete,
+      // own-update replay) never grant — a value already being written out
+      // must not gain new validity.
+      reply.validity = config_.near_validity;
+      RecordNearGrant(g, skey, now);
+    }
+    return reply;
+  }
 
   // Miss with no pending lease: grant an I lease so exactly one session
   // queries the RDBMS (also Facebook's thundering-herd protection).
@@ -327,9 +371,11 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
       case LeaseKind::kQInvalidate:
         // Deletes are idempotent: Q(invalidate) leases share (Figure 5a).
         // Sharing is a holder touch: the deadline extends to cover the
-        // newest quarantining session.
+        // newest quarantining session. Joining a holdover re-lives it; its
+        // hold_until / pending_delete carry over.
         entry->inv_holders.insert(tid);
         entry->expires_at = Deadline(now);
+        entry->hold_until = std::max(entry->hold_until, TakeNearHorizon(g, skey));
         registry_.AddKey(tid, skey);
         if (!config_.deferred_delete) store_.DeleteLocked(g, key);
         StatsFor(g).q_inv_granted.fetch_add(1, std::memory_order_relaxed);
@@ -354,6 +400,11 @@ QuarantineResult IQServer::QaReg(SessionId tid, std::string_view key) {
   lease.kind = LeaseKind::kQInvalidate;
   lease.inv_holders.insert(tid);
   lease.expires_at = Deadline(now);
+  // QaReg on a key with outstanding near-cache validity grants holds the Q
+  // until the newest grant lapses (DESIGN.md §4.10): the commit's delete
+  // must not take effect as "fresh" while a near cache may still serve the
+  // old value within its granted interval.
+  lease.hold_until = TakeNearHorizon(g, skey);
   leases_.Put(g.shard_index(), skey, std::move(lease));
   registry_.AddKey(tid, skey);
   if (!config_.deferred_delete) store_.DeleteLocked(g, key);
@@ -420,12 +471,32 @@ void IQServer::Commit(SessionId tid) {
     LeaseEntry* entry = leases_.Find(g.shard_index(), key);
     if (entry == nullptr || !entry->HeldBy(tid)) continue;
     switch (entry->kind) {
-      case LeaseKind::kQInvalidate:
-        store_.DeleteLocked(g, key);
+      case LeaseKind::kQInvalidate: {
+        // The invalidating commit takes effect immediately unless validity
+        // grants on the key are still outstanding (DESIGN.md §4.10): then
+        // the old value stays visible and the delete is deferred until the
+        // newest granted interval lapses, matching what remote near caches
+        // may still serve.
+        const bool hold = entry->hold_until > now();
+        if (hold) {
+          entry->pending_delete = true;
+        } else {
+          store_.DeleteLocked(g, key);
+        }
         entry->inv_holders.erase(tid);
-        if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        if (entry->inv_holders.empty()) {
+          if (hold) {
+            // Silent holdover: every holder has ended (and is traced as
+            // such); MaybeExpire reclaims the entry at hold_until without
+            // further trace events or expiry counters.
+            entry->expires_at = entry->hold_until;
+          } else {
+            leases_.Erase(g.shard_index(), key);
+          }
+        }
         Trace(g, LeaseTraceKind::kCommit, tid, key, now);
         break;
+      }
       case LeaseKind::kQRefresh:
         for (const auto& d : entry->pending_deltas) ApplyDeltaLocked(g, key, d);
         leases_.Erase(g.shard_index(), key);
@@ -451,7 +522,20 @@ void IQServer::Abort(SessionId tid) {
       case LeaseKind::kQInvalidate:
         // Leave the current version in place (paper Section 3.3).
         entry->inv_holders.erase(tid);
-        if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), key);
+        if (entry->inv_holders.empty()) {
+          if (entry->pending_delete) {
+            // Another holder's committed delete is pending behind
+            // outstanding validity grants; the abort must not discard it.
+            if (entry->hold_until > now()) {
+              entry->expires_at = entry->hold_until;  // silent holdover
+            } else {
+              store_.DeleteLocked(g, key);
+              leases_.Erase(g.shard_index(), key);
+            }
+          } else {
+            leases_.Erase(g.shard_index(), key);
+          }
+        }
         Trace(g, LeaseTraceKind::kAbort, tid, key, now);
         break;
       case LeaseKind::kQRefresh:
@@ -478,7 +562,14 @@ void IQServer::ReleaseKey(SessionId tid, std::string_view key) {
   if (entry == nullptr || !entry->HeldBy(tid)) return;
   if (entry->kind == LeaseKind::kQInvalidate) {
     entry->inv_holders.erase(tid);
-    if (entry->inv_holders.empty()) leases_.Erase(g.shard_index(), skey);
+    if (entry->inv_holders.empty()) {
+      if (entry->pending_delete && entry->hold_until > now()) {
+        entry->expires_at = entry->hold_until;  // silent holdover (§4.10)
+      } else {
+        if (entry->pending_delete) store_.DeleteLocked(g, skey);
+        leases_.Erase(g.shard_index(), skey);
+      }
+    }
   } else {
     leases_.Erase(g.shard_index(), skey);
   }
@@ -517,6 +608,7 @@ IQServerStats IQServer::Stats() const {
     total.expiry_deletes += s.expiry_deletes.load(std::memory_order_relaxed);
     total.commits += s.commits.load(std::memory_order_relaxed);
     total.aborts += s.aborts.load(std::memory_order_relaxed);
+    total.near_grants += s.near_grants.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -590,6 +682,14 @@ std::size_t IQServer::SweepExpired() {
     const LazyNow batch_now(now);
     for (const std::string& key : overdue) {
       if (MaybeExpire(g, key, batch_now)) ++reclaimed;
+    }
+    if (!near_horizons_.empty()) {
+      // Grant horizons that already lapsed can no longer hold a Q; prune
+      // them here so the map stays bounded by the recently-read key set.
+      auto& horizons = near_horizons_[shard];
+      for (auto it = horizons.begin(); it != horizons.end();) {
+        it = it->second <= now ? horizons.erase(it) : std::next(it);
+      }
     }
   }
   return reclaimed;

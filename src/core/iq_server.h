@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/iq_stats.h"
@@ -55,6 +56,7 @@ struct alignas(64) IQShardStats {
   std::atomic<std::uint64_t> expiry_deletes{0};
   std::atomic<std::uint64_t> commits{0};
   std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> near_grants{0};
 };
 
 /// Coarse command classes for server-side latency accounting. The wire
@@ -96,6 +98,14 @@ class IQServer final : public KvsBackend {
     /// Lease-event trace ring capacity per CacheStore shard (rounded up to
     /// a power of two). 0 disables tracing entirely.
     std::size_t trace_capacity = 1024;
+    /// Near-cache validity interval granted with each lease-free IQget hit
+    /// (DESIGN.md §4.10). 0 = near caching off (the default). When on, the
+    /// server tracks the newest outstanding grant per key and an
+    /// invalidating commit does not take effect as "fresh" until every
+    /// granted interval on the key has lapsed. Grants are only issued on
+    /// clean hits (no lease entry), so the server's lock-free optimistic
+    /// read path is disabled while this is nonzero.
+    Nanos near_validity = 0;
     const Clock* clock = nullptr;
 
     // -- TEST-ONLY fault injection (mutation hooks for iqcheck) -----------
@@ -254,6 +264,14 @@ class IQServer final : public KvsBackend {
   void ApplyDeltaLocked(const CacheStore::ShardGuard& g, const std::string& key,
                         const DeltaOp& delta);
 
+  /// Record a near-cache validity grant on `key` (shard lock held): the
+  /// horizon advances to the server-clock instant the new interval lapses.
+  void RecordNearGrant(const CacheStore::ShardGuard& g, const std::string& key,
+                       const LazyNow& now);
+  /// Consume `key`'s outstanding grant horizon (0 = none). Shard lock held.
+  Nanos TakeNearHorizon(const CacheStore::ShardGuard& g,
+                        const std::string& key);
+
   LeaseToken NewToken() { return next_token_.fetch_add(1, std::memory_order_relaxed); }
   Nanos Deadline(const LazyNow& now) const {
     return config_.lease_lifetime == 0 ? 0 : now() + config_.lease_lifetime;
@@ -287,6 +305,11 @@ class IQServer final : public KvsBackend {
   const Clock& clock_;
   LeaseTable leases_;
   SessionRegistry registry_;
+  /// Per-shard key → near-grant horizon (latest lapse of a granted validity
+  /// interval, server-clock scale). Guarded by the CacheStore shard locks,
+  /// like the lease table. Empty when near_validity == 0; entries are
+  /// consumed by QaReg and pruned by SweepExpired.
+  std::vector<std::unordered_map<std::string, Nanos>> near_horizons_;
   std::atomic<LeaseToken> next_token_{1};
   std::atomic<SessionId> next_session_{1};
 

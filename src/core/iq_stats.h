@@ -29,6 +29,15 @@ struct IQServerStats {
   std::uint64_t expiry_deletes = 0; // keys deleted because a Q lease expired
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+  // Near-cache counters (DESIGN.md §4.10). near_grants is maintained
+  // server-side; the other four count client-local events — a bare server
+  // reports 0 for them, while iqbench merges its clients' NearCache
+  // counters into the same canonical fields.
+  std::uint64_t near_grants = 0;       // IQget hits granted a validity TTL
+  std::uint64_t near_hits = 0;         // reads served with zero round trips
+  std::uint64_t near_expired = 0;      // entries dropped on lookup past TTL
+  std::uint64_t near_invalidated = 0;  // entries dropped by own write verbs
+  std::uint64_t near_evictions = 0;    // entries dropped by LRU capacity
 };
 
 /// One row of the canonical IQServerStats field table.
@@ -54,6 +63,11 @@ inline constexpr IQStatsField kIQStatsFields[] = {
     {"expiry_deletes", &IQServerStats::expiry_deletes},
     {"commits", &IQServerStats::commits},
     {"aborts", &IQServerStats::aborts},
+    {"near_grants", &IQServerStats::near_grants},
+    {"near_hits", &IQServerStats::near_hits},
+    {"near_expired", &IQServerStats::near_expired},
+    {"near_invalidated", &IQServerStats::near_invalidated},
+    {"near_evictions", &IQServerStats::near_evictions},
 };
 
 /// One scrape from a StatsWindow: the lifetime totals plus what changed

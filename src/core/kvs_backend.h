@@ -34,6 +34,11 @@ struct GetReply {
   Status status;
   std::string value;     // valid when kHit
   LeaseToken token = 0;  // valid when kMissGrantedI
+  /// Validity interval granted with a kHit (0 = none): the caller may serve
+  /// this value from a client-local near cache for this long after receipt
+  /// without another round trip. Always a duration relative to receipt —
+  /// client and server clocks are not comparable over a network.
+  Nanos validity = 0;
 };
 
 /// Reply to QaRead.

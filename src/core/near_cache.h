@@ -1,0 +1,93 @@
+// Client-process near cache for IQ reads (DESIGN.md §4.10).
+//
+// The IQ server may grant each IQget hit a validity interval (config
+// `near_validity`, carried on the wire as a duration — see GetReply).
+// Entries stored here self-invalidate: a lookup past the entry's local
+// expiry removes it and reports a miss, so a locally valid entry can be
+// served with zero network round trips while staleness stays bounded by
+// the granted interval (Misra et al., arXiv 2003.04150).
+//
+// The cache is shared by every IQSession of one IQClient and is
+// thread-safe (one mutex; the point is avoiding a network round trip, not
+// avoiding a cache-line bounce). Sessions invalidate eagerly on their own
+// write verbs (QaReg/QaRead/IQDelta/SaR/Put and again at Commit/Abort);
+// remote writers are bounded by the interval because the server holds an
+// invalidating Q until every granted interval on the key has lapsed.
+//
+// Accounting invariant (asserted by the TSan storm in stress_test):
+// every stored entry leaves in exactly one way, so
+//   inserts == size + replaced + evictions + invalidated + expired.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/clock.h"
+
+namespace iq {
+
+class NearCache {
+ public:
+  /// Counter snapshot. All transitions are counted under the cache mutex,
+  /// so a snapshot taken after the last operation balances exactly.
+  struct Stats {
+    std::uint64_t hits = 0;         // fresh entry served locally
+    std::uint64_t misses = 0;       // key absent
+    std::uint64_t inserts = 0;      // values stored (new or replacing)
+    std::uint64_t replaced = 0;     // insert displaced a live entry
+    std::uint64_t evictions = 0;    // LRU capacity displacements
+    std::uint64_t invalidated = 0;  // removed by Invalidate()
+    std::uint64_t expired = 0;      // removed on lookup past expiry
+  };
+
+  /// A locally served read: the value plus how much of the granted
+  /// interval remained at serve time (always > 0 — expired entries are
+  /// never served). `remaining` lets the staleness auditor assert that an
+  /// observed-stale near hit is still within its granted interval.
+  struct Hit {
+    std::string value;
+    Nanos remaining = 0;
+  };
+
+  /// `capacity` bounds the entry count (must be > 0); `clock` supplies the
+  /// local timebase the wire durations are anchored to on receipt.
+  NearCache(std::size_t capacity, const Clock& clock);
+
+  NearCache(const NearCache&) = delete;
+  NearCache& operator=(const NearCache&) = delete;
+
+  /// Fresh entry: Hit (moved to MRU). Expired entry: removed, miss.
+  std::optional<Hit> Get(const std::string& key);
+
+  /// Store `value` with a validity of `validity` from now. Ignored when
+  /// validity <= 0 (the server granted nothing).
+  void Insert(const std::string& key, std::string value, Nanos validity);
+
+  /// Drop `key` if present; true when an entry was removed.
+  bool Invalidate(const std::string& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    Nanos expires_at = 0;
+  };
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  const std::size_t capacity_;
+  const Clock& clock_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace iq

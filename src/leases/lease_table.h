@@ -61,6 +61,14 @@ struct LeaseEntry {
   Nanos expires_at = 0;
   /// kQRefresh only: deltas queued by IQ-delta, applied at Commit.
   std::vector<DeltaOp> pending_deltas;
+  /// kQInvalidate only: latest lapse of a near-cache validity interval
+  /// granted on this key before the Q arrived (Clock::Now() scale, 0 =
+  /// none). The invalidating commit must not take effect as "fresh" before
+  /// this instant — near caches may serve the old value until then.
+  Nanos hold_until = 0;
+  /// kQInvalidate only: a commit emptied the holder set while hold_until
+  /// was still in the future; the delete is pending until the grants lapse.
+  bool pending_delete = false;
 
   bool HeldBy(SessionId s) const {
     if (kind == LeaseKind::kQInvalidate) return inv_holders.contains(s);

@@ -265,7 +265,10 @@ GetReply RemoteCacheClient::IQget(const std::string& key, SessionId session) {
   Response resp = Call(r);
   switch (resp.type) {
     case ResponseType::kValue:
-      return {GetReply::Status::kHit, std::move(resp.data), 0};
+      // The ttl token, if any, is a duration relative to receipt: the
+      // caller anchors it to its own clock the moment it stores the entry.
+      return {GetReply::Status::kHit, std::move(resp.data), 0,
+              static_cast<Nanos>(resp.ttl_ns)};
     case ResponseType::kMissToken:
       return {GetReply::Status::kMissGrantedI, {}, resp.number};
     case ResponseType::kMissNoLease:

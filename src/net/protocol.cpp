@@ -503,7 +503,8 @@ namespace {
 
 void AppendValueBlock(std::string* out, const std::string& key,
                       const std::string& data, std::uint32_t flags,
-                      bool with_cas, std::uint64_t cas_unique) {
+                      bool with_cas, std::uint64_t cas_unique,
+                      std::uint64_t ttl_ns) {
   out->append("VALUE ");
   out->append(key);
   out->push_back(' ');
@@ -513,6 +514,13 @@ void AppendValueBlock(std::string* out, const std::string& key,
   if (with_cas) {
     out->push_back(' ');
     AppendU64(out, cas_unique);
+  }
+  if (ttl_ns != 0) {
+    // Near-cache validity duration. The 'T' prefix keeps the token
+    // non-numeric, so pre-TTL parsers skip it instead of mistaking it for
+    // a cas unique.
+    out->append(" T");
+    AppendU64(out, ttl_ns);
   }
   out->append("\r\n");
   out->append(data);
@@ -527,11 +535,11 @@ void AppendTo(const Response& r, std::string* out) {
       if (!r.values.empty()) {
         for (const ValueEntry& v : r.values) {
           AppendValueBlock(out, v.key, v.data, v.flags, r.with_cas,
-                           v.cas_unique);
+                           v.cas_unique, v.ttl_ns);
         }
       } else {
         AppendValueBlock(out, r.key, r.data, r.flags, r.with_cas,
-                         r.cas_unique);
+                         r.cas_unique, r.ttl_ns);
       }
       out->append("END\r\n");
       return;
@@ -690,8 +698,11 @@ std::optional<Response> ParseResponse(std::string_view bytes,
       entry.key = std::string(btok[1]);
       entry.flags = static_cast<std::uint32_t>(*flags);
       entry.data = std::string(bytes.substr(block_eol + 2, *size));
-      if (btok.size() >= 5) {
-        if (auto cas = ParseU64(btok[4])) {
+      for (std::size_t i = 4; i < btok.size(); ++i) {
+        if (!btok[i].empty() && btok[i][0] == 'T') {
+          // Trailing near-cache validity duration (see protocol.h).
+          if (auto ttl = ParseU64(btok[i].substr(1))) entry.ttl_ns = *ttl;
+        } else if (auto cas = ParseU64(btok[i])) {
           entry.cas_unique = *cas;
           resp.with_cas = true;
         }
@@ -704,6 +715,7 @@ std::optional<Response> ParseResponse(std::string_view bytes,
     resp.key = resp.values.front().key;
     resp.flags = resp.values.front().flags;
     resp.cas_unique = resp.values.front().cas_unique;
+    resp.ttl_ns = resp.values.front().ttl_ns;
     resp.data = resp.values.front().data;
     return resp;
   }

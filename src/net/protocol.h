@@ -15,6 +15,10 @@
 // IQ extensions (one line each; tokens are decimal):
 //   iqget <key> <session>\r\n
 //     -> VALUE ... | MISS_TOKEN <token> | MISS_BACKOFF | MISS_NOLEASE
+//     (a hit's VALUE line may carry a trailing T<ttl_ns> token: a near-cache
+//      validity interval. Always a DURATION relative to receipt, never an
+//      absolute deadline — client and server clocks are not comparable over
+//      TCP. Old parsers skip the non-numeric token harmlessly.)
 //   iqset <key> <token> <bytes>\r\n<data>\r\n  -> STORED | NOT_STORED
 //   qaread <key> <session>\r\n
 //     -> QVALUE <token> ...data block... | QMISS <token> | REJECT
@@ -155,7 +159,7 @@ void AppendTo(const Request& request, std::string* out);
 // ---- responses ----------------------------------------------------------------
 
 enum class ResponseType {
-  kValue,        // (VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n)+END\r\n
+  kValue,        // (VALUE <key> <flags> <bytes> [<cas>] [T<ttl_ns>]\r\n<data>\r\n)+END\r\n
   kEnd,          // END (get miss)
   kStored,
   kNotStored,
@@ -192,6 +196,8 @@ struct ValueEntry {
   std::string data;
   std::uint32_t flags = 0;
   std::uint64_t cas_unique = 0;
+  /// Near-cache validity duration in nanoseconds (iqget hits; 0 = none).
+  std::uint64_t ttl_ns = 0;
 };
 
 struct Response {
@@ -201,6 +207,9 @@ struct Response {
   std::uint32_t flags = 0;
   std::uint64_t cas_unique = 0;
   bool with_cas = false;       // gets vs get
+  /// Near-cache validity duration granted with an iqget hit (nanoseconds,
+  /// 0 = none), carried as a trailing T<ttl_ns> token on the VALUE line.
+  std::uint64_t ttl_ns = 0;
   std::uint64_t number = 0;    // incr/decr result, token, or session id
   std::string message;         // error text / stats payload
   /// kValue responses with multiple hits (multi-key get) carry one entry

@@ -235,6 +235,8 @@ Response CommandDispatcher::DispatchIQ(const Request& r) {
           resp.type = ResponseType::kValue;
           resp.key = r.key;
           resp.data = std::move(reply.value);
+          // Near-cache validity grant rides the VALUE line as a duration.
+          resp.ttl_ns = static_cast<std::uint64_t>(reply.validity);
           return resp;
         case GetReply::Status::kMissGrantedI:
           resp.type = ResponseType::kMissToken;

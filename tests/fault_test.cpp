@@ -294,6 +294,32 @@ TEST(FaultBackendTest, SessionMintedWhileDownHealsAfterReconnect) {
   EXPECT_EQ(server.LeaseCount(), 0u);
 }
 
+TEST(FaultBackendTest, SessionMintedWhileDownHealsOnTheReadPath) {
+  // Regression: Get() used to skip the lazy id re-mint, so a session minted
+  // against a dead server kept issuing IQget under session 0 — and an I
+  // lease granted to session 0 could never be released by Commit/Abort
+  // once a later write verb switched the id.
+  IQServer server;
+  FaultBackend fb(server);
+  IQClient client(fb);
+  fb.SetDown(true);
+  auto session = client.NewSession();
+  EXPECT_EQ(session->id(), 0u);
+  EXPECT_EQ(session->Get("k").status, ClientGetResult::Status::kMissNoInstall);
+  EXPECT_GE(session->stats().transport_errors, 1u);
+  fb.SetDown(false);
+  // The first read after reconnect re-mints the id before IQget; the I
+  // lease it wins belongs to the healed session, so its Put installs (and
+  // consumes the lease) instead of being orphaned under session 0.
+  EXPECT_EQ(session->Get("k").status,
+            ClientGetResult::Status::kMissRecompute);
+  EXPECT_NE(session->id(), 0u);
+  EXPECT_EQ(server.LeaseCount(), 1u);
+  session->Put("k", "healed");
+  EXPECT_EQ(server.store().Get("k")->value, "healed");
+  EXPECT_EQ(server.LeaseCount(), 0u);
+}
+
 // ---- the ShardedBackend circuit breaker ----------------------------------
 
 std::string KeyOn(const ShardedBackend& router, std::size_t shard,

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "core/fault_backend.h"
 #include "core/iq_server.h"
 #include "core/iq_client.h"
 
@@ -193,6 +194,52 @@ TEST_F(IQClientTest, BackoffSleepsAndResets) {
   EXPECT_GT(server_.clock().Now() - t0, 0);
   s->Commit();  // resets the attempt counter; just verify no crash
   s->Backoff();
+}
+
+TEST_F(IQClientTest, GetReMintsSessionIdMintedDuringOutage) {
+  // Regression: Get() used to skip EnsureId(), so a session minted while
+  // the server was unreachable (id 0) would issue IQget under session 0
+  // forever — and any I lease it won would be orphaned once a later write
+  // verb lazily re-minted the id.
+  FaultBackend fault(server_);
+  IQClient client(fault, FastBackoff());
+  fault.SetDown(true);
+  auto s = client.NewSession();
+  EXPECT_EQ(s->id(), 0u);
+  // While unreachable, reads degrade to RDBMS pass-through.
+  auto r = s->Get("k");
+  EXPECT_EQ(r.status, ClientGetResult::Status::kMissNoInstall);
+  EXPECT_GE(s->stats().transport_errors, 1u);
+  fault.SetDown(false);
+  // First read after the backend heals re-mints the id before IQget.
+  r = s->Get("k");
+  EXPECT_EQ(r.status, ClientGetResult::Status::kMissRecompute);
+  EXPECT_NE(s->id(), 0u);
+  // The I lease belongs to the re-minted session: Put installs normally.
+  s->Put("k", "healed");
+  EXPECT_EQ(server_.store().Get("k")->value, "healed");
+}
+
+TEST_F(IQClientTest, RestartedSessionBackoffResetsToBase) {
+  IQClient::Config cfg;
+  cfg.backoff_base = 10 * kNanosPerMicro;
+  cfg.backoff_cap = 10 * kNanosPerMilli;
+  IQClient client(server_, cfg);
+  auto s = client.NewSession();
+  for (int i = 0; i < 12; ++i) s->Backoff();
+  EXPECT_EQ(s->backoff_attempt(), 12);
+  // Fully escalated: the next wait is at least cap/2 (the jitter floor).
+  Nanos t0 = server_.clock().Now();
+  s->Backoff();
+  EXPECT_GE(server_.clock().Now() - t0, 5 * kNanosPerMilli);
+  // A restarted session resets to base delay: its first backoff must be
+  // far below the escalated wait, not stuck at the cap.
+  s->ResetBackoff();
+  EXPECT_EQ(s->backoff_attempt(), 0);
+  t0 = server_.clock().Now();
+  s->Backoff();
+  EXPECT_LT(server_.clock().Now() - t0, 5 * kNanosPerMilli);
+  EXPECT_EQ(s->backoff_attempt(), 1);
 }
 
 TEST_F(IQClientTest, FixedBackoffConfigSupported) {

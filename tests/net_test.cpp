@@ -290,6 +290,74 @@ TEST(ResponseCodec, QValueCarriesTokenAndData) {
   EXPECT_EQ(parsed->data, "old value");
 }
 
+TEST(ResponseCodec, ValueCarriesValidityTtl) {
+  Response r;
+  r.type = ResponseType::kValue;
+  r.key = "k";
+  r.data = "v";
+  r.ttl_ns = 12345;
+  std::size_t consumed = 0;
+  std::string bytes = Serialize(r);
+  // The duration rides as a trailing T-prefixed token: non-numeric, so a
+  // parser unaware of validity grants skips it as it would any extension.
+  EXPECT_NE(bytes.find(" T12345"), std::string::npos);
+  auto parsed = ParseResponse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, ResponseType::kValue);
+  EXPECT_EQ(parsed->ttl_ns, 12345u);
+  EXPECT_FALSE(parsed->with_cas);
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(ResponseCodec, ValueCarriesCasAndTtlTogether) {
+  Response r;
+  r.type = ResponseType::kValue;
+  r.key = "k";
+  r.data = "v";
+  r.with_cas = true;
+  r.cas_unique = 42;
+  r.ttl_ns = 77;
+  std::size_t consumed = 0;
+  auto parsed = ParseResponse(Serialize(r), &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->with_cas);
+  EXPECT_EQ(parsed->cas_unique, 42u);
+  EXPECT_EQ(parsed->ttl_ns, 77u);
+}
+
+TEST(ResponseCodec, ValueWithoutTtlParsesAsZero) {
+  std::size_t consumed = 0;
+  auto parsed = ParseResponse("VALUE k 0 1\r\nv\r\nEND\r\n", &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->ttl_ns, 0u);
+}
+
+TEST(RemoteValidity, IQgetHitCarriesGrantedIntervalAsDuration) {
+  IQServer::Config cfg;
+  cfg.near_validity = 5 * kNanosPerMilli;
+  IQServer server(CacheStore::Config{}, cfg);
+  LoopbackChannel channel(server);
+  RemoteBackend backend(channel);
+  server.store().Set("k", "v");
+  SessionId sid = backend.GenID();
+  GetReply hit = backend.IQget("k", sid);
+  ASSERT_EQ(hit.status, GetReply::Status::kHit);
+  EXPECT_EQ(hit.value, "v");
+  // The interval crosses the wire as a duration, never a deadline — the
+  // two hosts' clocks are not comparable (DESIGN.md §4.10).
+  EXPECT_EQ(hit.validity, 5 * kNanosPerMilli);
+}
+
+TEST(RemoteValidity, NoGrantWhenServerValidityDisabled) {
+  IQServer server;
+  LoopbackChannel channel(server);
+  RemoteBackend backend(channel);
+  server.store().Set("k", "v");
+  GetReply hit = backend.IQget("k", backend.GenID());
+  ASSERT_EQ(hit.status, GetReply::Status::kHit);
+  EXPECT_EQ(hit.validity, 0);
+}
+
 TEST(ResponseCodec, IncompleteBytesReturnNullopt) {
   std::size_t consumed = 0;
   EXPECT_FALSE(ParseResponse("VALUE k 0 100\r\nshort", &consumed));

@@ -22,6 +22,8 @@
 
 #include "check/checker.h"
 #include "core/fault_backend.h"
+#include "core/iq_client.h"
+#include "core/near_cache.h"
 #include "core/sharded_backend.h"
 #include "net/channel.h"
 #include "net/remote_backend.h"
@@ -593,6 +595,101 @@ TEST(StressTest, LoopbackRequestCounterExactUnderThreads) {
   std::string stats = net::FormatStats(server);
   EXPECT_NE(stats.find("STAT cmd_store_count"), std::string::npos);
   EXPECT_NE(stats.find("STAT cmd_get_count"), std::string::npos);
+}
+
+TEST(StressTest, NearCacheStormCountersBalanceExactly) {
+  // One IQClient's near cache (DESIGN.md §4.10) shared by many sessions:
+  // reader threads hammer Get() (near hits, grant installs, self-expiry on
+  // a sub-millisecond validity) while writer threads run invalidate and
+  // refresh sessions on the same keys (eager Invalidate() plus the
+  // Commit/Abort re-invalidation sweep) and a monitor thread polls
+  // stats()/size() concurrently. Under -DIQ_SANITIZE=thread this certifies
+  // the cache mutex protocol; at quiescence every stored entry must have
+  // left in exactly one way:
+  //   inserts == size + replaced + evictions + invalidated + expired.
+  IQServer server(CacheStore::Config{.shard_count = 4},
+                  [] {
+                    IQServer::Config cfg;
+                    cfg.near_validity = 300 * kNanosPerMicro;  // real clock
+                    return cfg;
+                  }());
+  IQClient::Config ccfg;
+  ccfg.backoff_base = 10 * kNanosPerMicro;
+  ccfg.backoff_cap = 200 * kNanosPerMicro;
+  ccfg.near_capacity = 16;  // < kKeys so LRU evictions happen under load
+  IQClient client(server, ccfg);
+  NearCache* near = client.near_cache();
+  ASSERT_NE(near, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    // Concurrent snapshot readers: the counters move, only TSan judges.
+    while (!stop.load(std::memory_order_acquire)) {
+      NearCache::Stats snap = near->stats();
+      EXPECT_GE(snap.inserts, snap.replaced);
+      EXPECT_LE(near->size(), near->capacity());
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kNearThreads = 6;
+  constexpr int kNearIters = 2500;
+  std::vector<std::thread> threads;
+  threads.reserve(kNearThreads);
+  for (int i = 0; i < kNearThreads; ++i) {
+    threads.emplace_back([&, i] {
+      std::mt19937 rng(static_cast<std::uint32_t>(4242 + i));
+      auto session = client.NewSession();
+      for (int iter = 0; iter < kNearIters; ++iter) {
+        std::string key = KeyFor(rng());
+        std::uint32_t roll = rng() % 100;
+        if (roll < 70) {
+          // Read path: hits populate the near cache (server grants a
+          // validity interval), repeats serve locally until expiry.
+          ClientGetResult r = session->Get(key, /*max_retries=*/2);
+          if (r.status == ClientGetResult::Status::kMissRecompute) {
+            session->Put(key, "v" + std::to_string(iter));
+          }
+        } else if (roll < 85) {
+          // Invalidate writer: eager near-invalidate at Quarantine, again
+          // at Commit/Abort.
+          if (session->Quarantine(key) == ClientQResult::kGranted) {
+            rng() % 2 == 0 ? session->Commit() : session->Abort();
+          } else {
+            session->Abort();
+          }
+        } else {
+          // Refresh writer.
+          std::optional<std::string> old;
+          if (session->QaRead(key, old) == ClientQResult::kGranted) {
+            session->SaR(key, "r" + std::to_string(iter));
+            session->Commit();
+          } else {
+            session->Abort();
+          }
+        }
+      }
+      // Quiesce this thread's session: release leases, re-invalidate any
+      // keys it wrote.
+      session->Abort();
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  server.SweepExpired();  // reclaim holdover deletes + lapsed horizons
+
+  // The storm actually exercised every transition at least once.
+  NearCache::Stats s = near->stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.inserts, 0u);
+  EXPECT_GT(s.invalidated, 0u);
+  EXPECT_GT(server.Stats().near_grants, 0u);
+  // Exact accounting at quiescence: every entry ever stored is either
+  // still resident or left by exactly one of the four exits. A lost or
+  // double-counted transition under contention breaks this equality.
+  EXPECT_EQ(s.inserts, static_cast<std::uint64_t>(near->size()) + s.replaced +
+                           s.evictions + s.invalidated + s.expired);
 }
 
 TEST(StressTest, OptimisticReadStormStaysConsistent) {

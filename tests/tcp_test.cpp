@@ -16,9 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/iq_client.h"
 #include "core/iq_server.h"
 #include "core/partition.h"
 #include "net/channel.h"
+#include "net/remote_backend.h"
 #include "net/tcp_channel.h"
 #include "net/tcp_server.h"
 
@@ -193,6 +195,46 @@ TEST_F(TcpServerTest, WireCountersShowUpInStats) {
   EXPECT_GT(s.bytes_read, 0u);
   EXPECT_GT(s.bytes_written, 0u);
   EXPECT_GE(s.requests, 2u);
+}
+
+TEST(TcpNearCacheTest, RepeatedGetsWithinValidityCostOneWireRequest) {
+  // The tentpole claim, asserted at the wire: once a hit carries a validity
+  // grant, repeated Gets inside the interval are served from the client's
+  // near cache and the server sees NO further requests.
+  IQServer::Config cfg;
+  cfg.near_validity = 500 * kNanosPerMilli;
+  IQServer server(CacheStore::Config{}, cfg);
+  TcpServer::Config net_cfg;
+  net_cfg.workers = 2;
+  TcpServer tcp(server, net_cfg);
+  std::string error;
+  ASSERT_TRUE(tcp.Start(&error)) << error;
+  server.store().Set("k", "v");
+
+  auto channel = TcpChannel::Connect("127.0.0.1", tcp.port(), &error);
+  ASSERT_NE(channel, nullptr) << error;
+  RemoteBackend backend(*channel);
+  IQClient::Config client_cfg;
+  client_cfg.near_capacity = 8;
+  IQClient client(backend, client_cfg);
+  auto session = client.NewSession();
+
+  auto first = session->Get("k");
+  ASSERT_EQ(first.status, ClientGetResult::Status::kHit);
+  EXPECT_FALSE(first.near_hit);  // populated over the wire, grant attached
+
+  std::uint64_t baseline = tcp.Stats().requests;
+  for (int i = 0; i < 10; ++i) {
+    auto r = session->Get("k");
+    ASSERT_EQ(r.status, ClientGetResult::Status::kHit);
+    EXPECT_TRUE(r.near_hit);
+    EXPECT_EQ(r.value, "v");
+    EXPECT_GT(r.near_remaining, 0);
+  }
+  EXPECT_EQ(tcp.Stats().requests, baseline);  // zero round trips
+  EXPECT_EQ(client.near_cache()->stats().hits, 10u);
+  EXPECT_EQ(server.Stats().near_grants, 1u);
+  tcp.Stop();
 }
 
 TEST_F(TcpServerTest, PipelinedChannelDrainsInOrder) {

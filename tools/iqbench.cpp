@@ -71,6 +71,12 @@ struct Options {
   Nanos db_commit = 60 * kNanosPerMicro;
   Nanos lease_lifetime = 10 * kNanosPerSec;
   bool deferred_delete = true;
+  /// Near cache (DESIGN.md §4.10): validity interval (ms) the server
+  /// grants with every clean IQget hit, and the client-side near-cache
+  /// capacity in entries. --near-ttl-ms > 0 enables both ends; repeat
+  /// reads inside the interval are served locally with zero round trips.
+  long long near_ttl_ms = 0;
+  std::size_t near_cap = 4096;
   std::string connect;  // host:port of a running iqcached; empty = in-process
   /// Remote mode: connect/read/write deadline per socket operation. Bounds
   /// how long any request can block on a dead or wedged server.
@@ -120,14 +126,18 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
                "               [--no-validate] [--db-read-us=N]\n"
                "               [--db-write-us=N] [--db-commit-us=N]\n"
                "               [--lease-ms=N] [--eager-delete]\n"
+               "               [--near-ttl-ms=N] [--near-cap=N]\n"
                "               [--audit-rate=F]\n"
                "               [--oplog=FILE] [--trace-out=FILE]\n"
                "               [--trace-capacity=N]\n"
                "       iqbench --connect=host:port[,host:port,...]\n"
                "               [--threads=N] [--seconds=S] [--mix=PCT]\n"
                "               [--seed=N] [--timeout-ms=N] [--audit-rate=F]\n"
+               "               [--near-ttl-ms=N] [--near-cap=N]\n"
                "               [--oplog=FILE] [--zipf=THETA]\n"
-               "               [--rmw=sar|delta] [--multikey-rate=F]\n");
+               "               [--rmw=sar|delta] [--multikey-rate=F]\n"
+               "(--near-ttl-ms in remote mode requires the server to run with\n"
+               " a matching --near-validity-ms; grants are server-side)\n");
   std::exit(2);
 }
 
@@ -192,6 +202,10 @@ Options Parse(int argc, char** argv) {
       opt.lease_lifetime = std::atoll(v) * kNanosPerMilli;
     } else if (std::strcmp(arg, "--eager-delete") == 0) {
       opt.deferred_delete = false;
+    } else if (StartsWith(arg, "--near-ttl-ms=", &v)) {
+      opt.near_ttl_ms = std::atoll(v);
+    } else if (StartsWith(arg, "--near-cap=", &v)) {
+      opt.near_cap = static_cast<std::size_t>(std::atoll(v));
     } else if (StartsWith(arg, "--connect=", &v)) {
       opt.connect = v;
     } else if (StartsWith(arg, "--timeout-ms=", &v)) {
@@ -296,6 +310,16 @@ void LogOp(check::OpLog* log, SessionId session, check::OpKind kind,
   if (log) log->Record(session, kind, TraceKeyHash(key), value_hash);
 }
 
+/// A failed lease request ends the logical session. Record which way it
+/// died: transport_error when the transport (not a lease conflict) killed
+/// it, abort otherwise — the offline checker treats both as session ends,
+/// and the distinct kind lets fault-leg op logs be certified instead of
+/// mis-reading a connection drop as a voluntary abort.
+check::OpKind EndKind(bool transport_error) {
+  return transport_error ? check::OpKind::kTransportError
+                         : check::OpKind::kAbort;
+}
+
 /// One increment of a shared counter via the refresh protocol, retried
 /// with exponential backoff across lease rejections AND transport failures
 /// until it commits or `deadline` passes. Every session ends with
@@ -329,7 +353,8 @@ bool RemoteIncrement(KvsBackend& backend, const std::string& key,
     QaReadReply q = backend.QaRead(key, session);
     if (q.status != QaReadReply::Status::kGranted) {
       backend.Abort(session);
-      LogOp(log, session, check::OpKind::kAbort, key);
+      LogOp(log, session,
+            EndKind(q.status == QaReadReply::Status::kTransportError), key);
       SleepFor(clock, backoff.DelayFor(attempt, rng));
       continue;
     }
@@ -340,9 +365,11 @@ bool RemoteIncrement(KvsBackend& backend, const std::string& key,
       DeltaOp delta;
       delta.kind = DeltaOp::Kind::kIncr;
       delta.amount = 1;
-      if (backend.IQDelta(session, key, delta) != QuarantineResult::kGranted) {
+      QuarantineResult d = backend.IQDelta(session, key, delta);
+      if (d != QuarantineResult::kGranted) {
         backend.Abort(session);
-        LogOp(log, session, check::OpKind::kAbort, key);
+        LogOp(log, session, EndKind(d == QuarantineResult::kTransportError),
+              key);
         SleepFor(clock, backoff.DelayFor(attempt, rng));
         continue;
       }
@@ -410,7 +437,8 @@ bool RemoteTransfer(KvsBackend& backend, const std::string& key_a,
     QaReadReply qa = backend.QaRead(key_a, session);
     if (qa.status != QaReadReply::Status::kGranted) {
       backend.Abort(session);
-      LogOp(log, session, check::OpKind::kAbort, key_a);
+      LogOp(log, session,
+            EndKind(qa.status == QaReadReply::Status::kTransportError), key_a);
       SleepFor(clock, backoff.DelayFor(attempt, rng));
       continue;
     }
@@ -421,7 +449,8 @@ bool RemoteTransfer(KvsBackend& backend, const std::string& key_a,
     if (qb.status != QaReadReply::Status::kGranted) {
       // Second-lease rejection: abort releases the first lease too.
       backend.Abort(session);
-      LogOp(log, session, check::OpKind::kAbort, key_b);
+      LogOp(log, session,
+            EndKind(qb.status == QaReadReply::Status::kTransportError), key_b);
       SleepFor(clock, backoff.DelayFor(attempt, rng));
       continue;
     }
@@ -477,7 +506,8 @@ AuditVerdict AuditRemoteCounter(KvsBackend& backend, const std::string& key,
   QaReadReply q = backend.QaRead(key, session);
   if (q.status != QaReadReply::Status::kGranted) {
     backend.Abort(session);
-    LogOp(log, session, check::OpKind::kAbort, key);
+    LogOp(log, session,
+          EndKind(q.status == QaReadReply::Status::kTransportError), key);
     return AuditVerdict::kSkip;
   }
   LogOp(log, session,
@@ -583,6 +613,12 @@ int RunRemote(const Options& opt) {
   std::atomic<std::uint64_t> audit_samples{0};
   std::atomic<std::uint64_t> audit_stale{0};
   std::atomic<std::uint64_t> audit_skipped{0};
+  // Near-cache tally merged from every worker's client-local cache at exit
+  // (the client side of the server's near_grants STAT counter).
+  std::atomic<std::uint64_t> near_hits{0};
+  std::atomic<std::uint64_t> near_expired{0};
+  std::atomic<std::uint64_t> near_invalidated{0};
+  std::atomic<std::uint64_t> near_evictions{0};
   std::vector<LatencyHistogram> latencies(opt.threads);
   const Clock& clock = SteadyClock::Instance();
   Nanos deadline = clock.Now() + static_cast<Nanos>(opt.seconds * kNanosPerSec);
@@ -602,6 +638,20 @@ int RunRemote(const Options& opt) {
       std::unique_ptr<net::RemoteCacheClient> multi;
       if (endpoints.size() == 1) {
         multi = std::make_unique<net::RemoteCacheClient>(stack->pool->channel(0));
+      }
+      // Near-cache read stack: data-key reads go through an IQSession so
+      // server validity grants (iqcached --near-validity-ms) populate a
+      // client-local near cache; repeat reads inside the granted interval
+      // are served with zero round trips (DESIGN.md §4.10). The counter
+      // write path keeps the raw QaRead/SaR protocol — no grants there.
+      std::unique_ptr<IQClient> near_client;
+      std::unique_ptr<IQSession> near_session;
+      if (opt.near_ttl_ms > 0) {
+        IQClient::Config near_cfg;
+        near_cfg.near_capacity = opt.near_cap;
+        near_cfg.seed = opt.seed + static_cast<std::uint64_t>(t) * 31;
+        near_client = std::make_unique<IQClient>(*stack->backend, near_cfg);
+        near_session = near_client->NewSession();
       }
       Rng rng(opt.seed + static_cast<std::uint64_t>(t) * 7919);
       std::uint64_t local_ops = 0;
@@ -644,6 +694,22 @@ int RunRemote(const Options& opt) {
               case AuditVerdict::kSkip: ++audit_skipped; break;
             }
           }
+        } else if (near_session) {
+          for (int k = 0; k < 3; ++k) {
+            std::string key = "data:" + std::to_string(pick_data(rng));
+            ClientGetResult got = near_session->Get(key);
+            if (got.status == ClientGetResult::Status::kHit) {
+              LogOp(log, 0, check::OpKind::kReadHit, key,
+                    check::OpValueHash(got.value));
+            } else {
+              // Data keys are never recomputed (a miss means a restarted
+              // shard); drop the I lease so other readers are not blocked.
+              if (got.status == ClientGetResult::Status::kMissRecompute) {
+                near_session->DropLease(key);
+              }
+              LogOp(log, 0, check::OpKind::kReadMiss, key);
+            }
+          }
         } else if (multi) {
           std::vector<std::string> keys;
           for (int k = 0; k < 3; ++k) {
@@ -674,6 +740,14 @@ int RunRemote(const Options& opt) {
         ++local_ops;
       }
       ops.fetch_add(local_ops, std::memory_order_relaxed);
+      if (near_client != nullptr && near_client->near_cache() != nullptr) {
+        NearCache::Stats ns = near_client->near_cache()->stats();
+        near_hits += ns.hits;
+        near_expired += ns.expired;
+        near_invalidated += ns.invalidated;
+        near_evictions += ns.evictions;
+      }
+      near_session.reset();  // release any I leases before the stack dies
       for (std::size_t i = 0; i < stack->pool->size(); ++i) {
         worker_reconnects += stack->pool->channel(i).reconnects();
         worker_transport_errors += stack->pool->channel(i).transport_errors();
@@ -749,6 +823,14 @@ int RunRemote(const Options& opt) {
                 static_cast<unsigned long long>(audit_stale.load()),
                 static_cast<unsigned long long>(audit_skipped.load()));
   }
+  if (opt.near_ttl_ms > 0) {
+    std::printf("near cache     %llu hits (zero round trips), %llu expired, "
+                "%llu invalidated, %llu evictions\n",
+                static_cast<unsigned long long>(near_hits.load()),
+                static_cast<unsigned long long>(near_expired.load()),
+                static_cast<unsigned long long>(near_invalidated.load()),
+                static_cast<unsigned long long>(near_evictions.load()));
+  }
   std::printf(
       "fault recovery  %llu transport errors, %llu reconnects, "
       "%llu trips, %llu recoveries (worker-side)\n",
@@ -806,6 +888,7 @@ int main(int argc, char** argv) {
   server_cfg.lease_lifetime = opt.lease_lifetime;
   server_cfg.deferred_delete = opt.deferred_delete;
   server_cfg.trace_capacity = opt.trace_capacity;
+  server_cfg.near_validity = opt.near_ttl_ms * kNanosPerMilli;
   IQServer server(CacheStore::Config{}, server_cfg);
 
   check::OpLog op_log;
@@ -814,6 +897,7 @@ int main(int argc, char** argv) {
   cfg.consistency = opt.consistency;
   cfg.placement = opt.placement;
   cfg.audit_rate = opt.audit_rate;
+  if (opt.near_ttl_ms > 0) cfg.client.near_capacity = opt.near_cap;
   if (!opt.oplog.empty()) cfg.op_log = &op_log;
   casql::CasqlSystem system(db, server, cfg);
 
@@ -856,10 +940,20 @@ int main(int argc, char** argv) {
   if (opt.audit_rate > 0) {
     casql::AuditStats audit = system.audit_stats();
     std::printf("audit          %llu samples, stale_reads_detected=%llu, "
-                "%llu skipped\n",
+                "%llu skipped, %llu bounded\n",
                 static_cast<unsigned long long>(audit.samples),
                 static_cast<unsigned long long>(audit.stale_reads_detected),
-                static_cast<unsigned long long>(audit.skipped));
+                static_cast<unsigned long long>(audit.skipped),
+                static_cast<unsigned long long>(audit.bounded));
+  }
+  if (NearCache* near = system.client().near_cache()) {
+    NearCache::Stats ns = near->stats();
+    std::printf("near cache     %llu hits (zero round trips), %llu expired, "
+                "%llu invalidated, %llu evictions (%zu entries)\n",
+                static_cast<unsigned long long>(ns.hits),
+                static_cast<unsigned long long>(ns.expired),
+                static_cast<unsigned long long>(ns.invalidated),
+                static_cast<unsigned long long>(ns.evictions), near->size());
   }
   std::printf("\ncache server:\n%s", net::FormatStats(server).c_str());
   // Artifacts for the offline checker: the client op log and the server's

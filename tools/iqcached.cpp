@@ -4,7 +4,8 @@
 // (or any memcached text-protocol client) at it from others.
 //
 //   iqcached [--port=N] [--host=A] [--workers=N] [--affinity] [--pin-cores]
-//            [--lease-ms=N] [--eager-delete] [--cache-mb=N] [--sweep-ms=N]
+//            [--lease-ms=N] [--near-validity-ms=N] [--eager-delete]
+//            [--cache-mb=N] [--sweep-ms=N]
 //            [--trace-capacity=N] [--trace-dump[=N]]
 //            [--opt-value-cap=N] [--no-opt-reads]
 //
@@ -15,6 +16,12 @@
 // per-worker mailboxes. Off = shared mode (any worker executes anything),
 // the A/B baseline. --pin-cores additionally pins worker i to CPU core
 // (i % hardware_concurrency) so each partition stays cache-resident.
+//
+// --near-validity-ms grants every clean IQget hit a validity interval of N
+// milliseconds, letting clients with a near cache (iqbench --near-cap)
+// serve repeat reads locally with zero round trips (DESIGN.md §4.10).
+// 0 (the default) disables grants. Note: a nonzero value disables the
+// optimistic read path — grants must be recorded under the shard lock.
 //
 // --opt-value-cap bounds the value size (bytes) served by the mutex-free
 // optimistic read path (DESIGN.md §4.6); larger values fall back to the
@@ -67,7 +74,8 @@ bool StartsWith(const char* arg, const char* prefix, const char** value) {
   std::fprintf(stderr,
                "usage: iqcached [--port=N] [--host=A] [--workers=N]\n"
                "                [--affinity] [--pin-cores]\n"
-               "                [--lease-ms=N] [--eager-delete] [--cache-mb=N]\n"
+               "                [--lease-ms=N] [--near-validity-ms=N]\n"
+               "                [--eager-delete] [--cache-mb=N]\n"
                "                [--sweep-ms=N] [--trace-capacity=N]\n"
                "                [--trace-dump[=N]] [--opt-value-cap=N]\n"
                "                [--no-opt-reads]\n"
@@ -106,6 +114,8 @@ int main(int argc, char** argv) {
       net_cfg.pin_cores = true;
     } else if (StartsWith(arg, "--lease-ms=", &v)) {
       server_cfg.lease_lifetime = std::atoll(v) * kNanosPerMilli;
+    } else if (StartsWith(arg, "--near-validity-ms=", &v)) {
+      server_cfg.near_validity = std::atoll(v) * kNanosPerMilli;
     } else if (std::strcmp(arg, "--eager-delete") == 0) {
       server_cfg.deferred_delete = false;
     } else if (StartsWith(arg, "--cache-mb=", &v)) {
